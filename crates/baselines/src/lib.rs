@@ -1,0 +1,27 @@
+#![warn(missing_docs)]
+
+//! Baseline Masked SpGEMM implementations the paper compares against.
+//!
+//! SuiteSparse:GraphBLAS itself is a large C library and an
+//! apples-to-apples link-level comparison is explicitly out of scope in the
+//! paper (Section 3). What the paper actually benchmarks against are two
+//! *algorithm families* inside SS:GB, which we re-implement here:
+//!
+//! * [`ss_dot`] — `SS:DOT`: pull-based dot products driven by the mask,
+//!   with per-element binary-search (galloping) intersection as used by
+//!   `GB_AxB_dot2`, rather than `Inner`'s two-pointer merge;
+//! * [`ss_saxpy`] — `SS:SAXPY`: push-based Gustavson accumulation that does
+//!   **not** consult the mask during the scatter (all products are
+//!   accumulated) and applies the mask only when gathering the row — the
+//!   "mask as post-filter" behaviour that costs `flops(A·B)` regardless of
+//!   mask density;
+//! * [`plain_then_mask`] — the Figure 1 strawman: a complete unmasked
+//!   SpGEMM followed by an element-wise mask application.
+
+pub mod plain;
+pub mod ssdot;
+pub mod sssaxpy;
+
+pub use plain::{plain_spgemm, plain_then_mask};
+pub use ssdot::ss_dot;
+pub use sssaxpy::ss_saxpy;

@@ -1,0 +1,190 @@
+//! Unmasked Gustavson SpGEMM and the compute-then-mask strawman.
+//!
+//! This is Algorithm 1 of the paper with a generation-stamped dense SPA,
+//! row-parallel via rayon — the classical plain SpGEMM every masked
+//! algorithm is trying to beat. [`plain_then_mask`] then applies the mask
+//! as an element-wise intersection *after* the full product exists,
+//! wasting all work on masked-out entries (Figure 1).
+
+use rayon::prelude::*;
+use sparse::ewise::ewise_mult;
+use sparse::{CsrMatrix, Idx, Semiring};
+
+/// Dense sparse-accumulator (SPA) scratch for one thread.
+struct Spa<C> {
+    values: Vec<C>,
+    stamps: Vec<u32>,
+    gen: u32,
+    nonzeros: Vec<Idx>,
+}
+
+impl<C: Copy + Default> Spa<C> {
+    fn new(ncols: usize) -> Self {
+        Spa {
+            values: vec![C::default(); ncols],
+            stamps: vec![0; ncols],
+            gen: 0,
+            nonzeros: Vec::new(),
+        }
+    }
+
+    #[inline]
+    fn reset(&mut self) {
+        if self.gen == u32::MAX {
+            self.stamps.fill(0);
+            self.gen = 0;
+        }
+        self.gen += 1;
+        self.nonzeros.clear();
+    }
+
+    #[inline(always)]
+    fn insert(&mut self, key: Idx, v: C, add: impl FnOnce(C, C) -> C) {
+        let k = key as usize;
+        if self.stamps[k] == self.gen {
+            self.values[k] = add(self.values[k], v);
+        } else {
+            self.stamps[k] = self.gen;
+            self.values[k] = v;
+            self.nonzeros.push(key);
+        }
+    }
+}
+
+/// Row-parallel unmasked SpGEMM (Gustavson, SPA accumulator).
+pub fn plain_spgemm<S>(sr: S, a: &CsrMatrix<S::A>, b: &CsrMatrix<S::B>) -> CsrMatrix<S::C>
+where
+    S: Semiring,
+    S::C: Default + Send + Sync,
+{
+    assert_eq!(a.ncols(), b.nrows(), "inner dimension mismatch");
+    let nrows = a.nrows();
+    let ncols = b.ncols();
+    let n_chunks = rayon::current_num_threads().max(1) * 16;
+    let chunk = nrows.div_ceil(n_chunks).max(1);
+    let starts: Vec<usize> = (0..nrows).step_by(chunk).collect();
+    let outs: Vec<(Vec<usize>, Vec<Idx>, Vec<S::C>)> = starts
+        .par_iter()
+        .map(|&s| {
+            let e = (s + chunk).min(nrows);
+            let mut spa = Spa::<S::C>::new(ncols);
+            let mut counts = Vec::with_capacity(e - s);
+            let mut cols = Vec::new();
+            let mut vals = Vec::new();
+            for i in s..e {
+                spa.reset();
+                let (ac, av) = a.row(i);
+                for (&k, &avk) in ac.iter().zip(av) {
+                    let (bc, bv) = b.row(k as usize);
+                    for (&j, &bvj) in bc.iter().zip(bv) {
+                        spa.insert(j, sr.mul(avk, bvj), |x, y| sr.add(x, y));
+                    }
+                }
+                spa.nonzeros.sort_unstable();
+                let before = cols.len();
+                for &j in &spa.nonzeros {
+                    cols.push(j);
+                    vals.push(spa.values[j as usize]);
+                }
+                counts.push(cols.len() - before);
+            }
+            (counts, cols, vals)
+        })
+        .collect();
+    let mut rowptr = Vec::with_capacity(nrows + 1);
+    rowptr.push(0usize);
+    let total: usize = outs.iter().map(|(_, c, _)| c.len()).sum();
+    let mut colidx = Vec::with_capacity(total);
+    let mut values = Vec::with_capacity(total);
+    for (counts, cols, vals) in outs {
+        colidx.extend_from_slice(&cols);
+        values.extend(vals);
+        for &c in &counts {
+            rowptr.push(rowptr.last().unwrap() + c);
+        }
+    }
+    CsrMatrix::from_parts_unchecked(nrows, ncols, rowptr, colidx, values)
+}
+
+/// Figure 1's strawman: full SpGEMM, then apply the mask element-wise.
+pub fn plain_then_mask<S, MT>(
+    sr: S,
+    mask: &CsrMatrix<MT>,
+    a: &CsrMatrix<S::A>,
+    b: &CsrMatrix<S::B>,
+) -> CsrMatrix<S::C>
+where
+    S: Semiring,
+    S::C: Default + Send + Sync,
+    MT: Sync,
+{
+    let full = plain_spgemm(sr, a, b);
+    ewise_mult(&mask_shape_check(mask, &full), &full, |_, v| *v)
+}
+
+fn mask_shape_check<'a, MT>(mask: &'a CsrMatrix<MT>, full: &CsrMatrix<impl Sized>) -> &'a CsrMatrix<MT> {
+    assert_eq!(mask.shape(), full.shape(), "mask shape mismatch");
+    mask
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sparse::dense::{reference_masked_spgemm, reference_spgemm};
+    use sparse::PlusTimes;
+
+    fn random_csr(nrows: usize, ncols: usize, seed: u64, density_pct: u64) -> CsrMatrix<f64> {
+        let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        let mut rowptr = vec![0usize];
+        let mut cols = Vec::new();
+        let mut vals = Vec::new();
+        let mut c = 1.0;
+        for _ in 0..nrows {
+            for j in 0..ncols {
+                if next() % 100 < density_pct {
+                    cols.push(j as u32);
+                    vals.push(c);
+                    c += 1.0;
+                }
+            }
+            rowptr.push(cols.len());
+        }
+        CsrMatrix::try_new(nrows, ncols, rowptr, cols, vals).unwrap()
+    }
+
+    #[test]
+    fn plain_matches_reference() {
+        let sr = PlusTimes::<f64>::new();
+        for seed in 0..4 {
+            let a = random_csr(14, 11, seed, 35);
+            let b = random_csr(11, 17, seed + 100, 35);
+            assert_eq!(plain_spgemm(sr, &a, &b), reference_spgemm(sr, &a, &b));
+        }
+    }
+
+    #[test]
+    fn then_mask_matches_masked_reference() {
+        let sr = PlusTimes::<f64>::new();
+        let a = random_csr(10, 10, 5, 40);
+        let b = random_csr(10, 10, 6, 40);
+        let m = random_csr(10, 10, 7, 30).pattern();
+        assert_eq!(
+            plain_then_mask(sr, &m, &a, &b),
+            reference_masked_spgemm(sr, &m, false, &a, &b)
+        );
+    }
+
+    #[test]
+    fn empty_operands() {
+        let sr = PlusTimes::<f64>::new();
+        let a = CsrMatrix::<f64>::empty(3, 2);
+        let b = CsrMatrix::<f64>::empty(2, 4);
+        assert_eq!(plain_spgemm(sr, &a, &b).nnz(), 0);
+    }
+}

@@ -1,0 +1,77 @@
+//! Criterion benchmarks of the three paper applications (TC, k-truss, BC)
+//! at smoke-test scale — the full sweeps live in the `fig*` harness
+//! binaries; these provide regression tracking for the common path.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use graph_algos::{betweenness_centrality, ktruss, prepare_triangle_input, triangle_count, Scheme};
+use masked_spgemm::{Algorithm, Phases};
+use sparse::{CscMatrix, Idx};
+use std::time::Duration;
+
+fn graph() -> sparse::CsrMatrix<f64> {
+    graphs::to_undirected_simple(&graphs::rmat(9, graphs::RmatParams::default(), 42))
+}
+
+fn configure(g: &mut criterion::BenchmarkGroup<criterion::measurement::WallTime>) {
+    g.sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(800));
+}
+
+fn bench_tc(c: &mut Criterion) {
+    let adj = graph();
+    let l = prepare_triangle_input(&adj);
+    let lc = CscMatrix::from_csr(&l);
+    let mut g = c.benchmark_group("triangle_counting");
+    configure(&mut g);
+    for s in [
+        Scheme::Ours(Algorithm::Msa, Phases::One),
+        Scheme::Ours(Algorithm::Hash, Phases::One),
+        Scheme::Ours(Algorithm::Mca, Phases::One),
+        Scheme::Ours(Algorithm::Inner, Phases::One),
+        Scheme::SsSaxpy,
+        Scheme::SsDot,
+    ] {
+        g.bench_with_input(BenchmarkId::from_parameter(s.label()), &s, |b, s| {
+            b.iter(|| triangle_count(*s, &l, &lc).unwrap())
+        });
+    }
+    g.finish();
+}
+
+fn bench_ktruss(c: &mut Criterion) {
+    let adj = graph();
+    let mut g = c.benchmark_group("ktruss_k5");
+    configure(&mut g);
+    for s in [
+        Scheme::Ours(Algorithm::Msa, Phases::One),
+        Scheme::Ours(Algorithm::Inner, Phases::One),
+        Scheme::SsSaxpy,
+    ] {
+        g.bench_with_input(BenchmarkId::from_parameter(s.label()), &s, |b, s| {
+            b.iter(|| ktruss(*s, &adj, 5).unwrap().iterations)
+        });
+    }
+    g.finish();
+}
+
+fn bench_bc(c: &mut Criterion) {
+    let adj = graph();
+    let n = adj.nrows();
+    let sources: Vec<Idx> = (0..16).map(|i| ((i * 131) % n) as Idx).collect();
+    let mut g = c.benchmark_group("betweenness_batch16");
+    configure(&mut g);
+    for s in [
+        Scheme::Ours(Algorithm::Msa, Phases::One),
+        Scheme::Ours(Algorithm::Hash, Phases::One),
+        Scheme::SsSaxpy,
+    ] {
+        g.bench_with_input(BenchmarkId::from_parameter(s.label()), &s, |b, s| {
+            b.iter(|| betweenness_centrality(*s, &adj, &sources).unwrap().depth)
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_tc, bench_ktruss, bench_bc);
+criterion_main!(benches);

@@ -1,0 +1,92 @@
+//! Criterion micro-benchmarks of the Masked SpGEMM kernels in the three
+//! density regimes of Figure 7 (sparse mask / balanced / sparse inputs).
+//! One group per regime; each algorithm is one benchmark id, so criterion
+//! reports them side by side.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use graph_algos::Scheme;
+use masked_spgemm::{Algorithm, Phases};
+use sparse::{CscMatrix, CsrMatrix, PlusTimes};
+use std::time::Duration;
+
+struct Regime {
+    name: &'static str,
+    deg_inputs: f64,
+    deg_mask: f64,
+}
+
+const REGIMES: &[Regime] = &[
+    Regime {
+        name: "sparse_mask",
+        deg_inputs: 32.0,
+        deg_mask: 2.0,
+    },
+    Regime {
+        name: "balanced",
+        deg_inputs: 8.0,
+        deg_mask: 8.0,
+    },
+    Regime {
+        name: "sparse_inputs",
+        deg_inputs: 2.0,
+        deg_mask: 128.0,
+    },
+];
+
+fn inputs(r: &Regime) -> (CsrMatrix<f64>, CsrMatrix<f64>, CscMatrix<f64>, CsrMatrix<f64>) {
+    let n = 1 << 11;
+    let a = graphs::erdos_renyi(n, r.deg_inputs, 1);
+    let b = graphs::erdos_renyi(n, r.deg_inputs, 2);
+    let bc = CscMatrix::from_csr(&b);
+    let m = graphs::erdos_renyi(n, r.deg_mask, 3);
+    (a, b, bc, m)
+}
+
+fn bench_kernels(c: &mut Criterion) {
+    let sr = PlusTimes::<f64>::new();
+    for r in REGIMES {
+        let (a, b, bc, m) = inputs(r);
+        let mut g = c.benchmark_group(format!("fig07_regime/{}", r.name));
+        g.sample_size(10)
+            .warm_up_time(Duration::from_millis(200))
+            .measurement_time(Duration::from_millis(600));
+        for alg in Algorithm::ALL {
+            let s = Scheme::Ours(alg, Phases::One);
+            g.bench_with_input(BenchmarkId::from_parameter(s.label()), &s, |bch, s| {
+                bch.iter(|| s.run(sr, &m, false, &a, &b, &bc).unwrap().nnz())
+            });
+        }
+        for s in Scheme::baselines() {
+            g.bench_with_input(BenchmarkId::from_parameter(s.label()), &s, |bch, s| {
+                bch.iter(|| s.run(sr, &m, false, &a, &b, &bc).unwrap().nnz())
+            });
+        }
+        g.finish();
+    }
+}
+
+fn bench_complemented(c: &mut Criterion) {
+    let sr = PlusTimes::<f64>::new();
+    let n = 1 << 10;
+    let a = graphs::erdos_renyi(n, 8.0, 4);
+    let b = graphs::erdos_renyi(n, 8.0, 5);
+    let bc = CscMatrix::from_csr(&b);
+    let m = graphs::erdos_renyi(n, 8.0, 6);
+    let mut g = c.benchmark_group("complemented_mask");
+    g.sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(600));
+    for alg in [Algorithm::Msa, Algorithm::Hash, Algorithm::Heap] {
+        let s = Scheme::Ours(alg, Phases::One);
+        g.bench_with_input(BenchmarkId::from_parameter(s.label()), &s, |bch, s| {
+            bch.iter(|| s.run(sr, &m, true, &a, &b, &bc).unwrap().nnz())
+        });
+    }
+    g.bench_function("SS:SAXPY", |bch| {
+        bch.iter(|| Scheme::SsSaxpy.run(sr, &m, true, &a, &b, &bc).unwrap().nnz())
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_kernels, bench_complemented);
+criterion_main!(benches);

@@ -1,0 +1,60 @@
+//! Ablation: one-phase vs two-phase execution (paper Section 6 and the
+//! consistent "1P beats 2P" finding of Section 8), plus the heap's
+//! NInspect parameter (Heap = 1 vs HeapDot = ∞).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use graph_algos::Scheme;
+use masked_spgemm::{Algorithm, Phases};
+use sparse::{CscMatrix, PlusTimes};
+use std::time::Duration;
+
+fn bench_phases(c: &mut Criterion) {
+    let sr = PlusTimes::<f64>::new();
+    let n = 1 << 11;
+    let a = graphs::erdos_renyi(n, 12.0, 1);
+    let b = graphs::erdos_renyi(n, 12.0, 2);
+    let bc = CscMatrix::from_csr(&b);
+    let m = graphs::erdos_renyi(n, 12.0, 3);
+    let mut g = c.benchmark_group("one_vs_two_phase");
+    g.sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(600));
+    for alg in [Algorithm::Msa, Algorithm::Hash, Algorithm::Mca] {
+        for ph in Phases::ALL {
+            let s = Scheme::Ours(alg, ph);
+            g.bench_with_input(BenchmarkId::from_parameter(s.label()), &s, |bch, s| {
+                bch.iter(|| s.run(sr, &m, false, &a, &b, &bc).unwrap().nnz())
+            });
+        }
+    }
+    g.finish();
+}
+
+fn bench_ninspect(c: &mut Criterion) {
+    let sr = PlusTimes::<f64>::new();
+    let n = 1 << 11;
+    // Sparse inputs + dense-ish mask: the heap regime, where inspection
+    // depth matters most.
+    let a = graphs::erdos_renyi(n, 3.0, 4);
+    let b = graphs::erdos_renyi(n, 3.0, 5);
+    let bc = CscMatrix::from_csr(&b);
+    let mut g = c.benchmark_group("heap_ninspect");
+    g.sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(600));
+    for mask_deg in [4.0f64, 64.0, 512.0] {
+        let m = graphs::erdos_renyi(n, mask_deg, 6);
+        for alg in [Algorithm::Heap, Algorithm::HeapDot] {
+            let s = Scheme::Ours(alg, Phases::One);
+            g.bench_with_input(
+                BenchmarkId::new(s.label(), mask_deg as u64),
+                &s,
+                |bch, s| bch.iter(|| s.run(sr, &m, false, &a, &b, &bc).unwrap().nnz()),
+            );
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_phases, bench_ninspect);
+criterion_main!(benches);

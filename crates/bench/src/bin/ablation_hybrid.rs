@@ -1,0 +1,89 @@
+//! Ablation (extension): the adaptive hybrid scheme vs the fixed schemes,
+//! across the Figure 7 density grid.
+//!
+//! The paper's future work proposes choosing accumulators per row by
+//! density; this harness quantifies it. For each (input degree, mask
+//! degree) cell it reports the hybrid's runtime relative to the best and
+//! the worst fixed scheme — a perfect oracle would sit at 1.0 against the
+//! best; a useful heuristic sits well below the worst and close to the
+//! best *without knowing the regime in advance*.
+
+use bench::{banner, er_with_csc, schemes, time_masked_spgemm, HarnessArgs, Scheme};
+use masked_spgemm::{hybrid_choices, HybridConfig};
+use profile::table::{write_text, Table};
+
+fn main() {
+    let args = HarnessArgs::parse();
+    banner("ablation_hybrid", "adaptive hybrid vs fixed schemes", &args);
+    let lg = args.pick(10u32, 12, 14);
+    let n = 1usize << lg;
+    let input_degrees: &[f64] = &[2.0, 8.0, 32.0, 128.0];
+    let mask_degrees: &[f64] = &[1.0, 16.0, 256.0, 1024.0];
+    let fixed = schemes::ours_1p();
+
+    let mut table = Table::new(&[
+        "deg_inputs",
+        "deg_mask",
+        "hybrid_secs",
+        "best_fixed",
+        "best_fixed_secs",
+        "worst_fixed_secs",
+        "hybrid_vs_best",
+        "row_mix",
+    ]);
+    let mut report = String::new();
+    for (di, &deg_in) in input_degrees.iter().enumerate() {
+        let (a, _) = er_with_csc(n, deg_in, 500 + di as u64);
+        let (b, b_csc) = er_with_csc(n, deg_in, 600 + di as u64);
+        for (dm, &deg_m) in mask_degrees.iter().enumerate() {
+            let mask = graphs::erdos_renyi(n, deg_m.min(n as f64), 700 + dm as u64);
+            let mut best: Option<(Scheme, f64)> = None;
+            let mut worst = 0.0f64;
+            for s in &fixed {
+                let t = time_masked_spgemm(*s, args.reps, &mask, false, &a, &b, &b_csc)
+                    .expect("plain mask");
+                if best.map_or(true, |(_, bt)| t < bt) {
+                    best = Some((*s, t));
+                }
+                worst = worst.max(t);
+            }
+            let (bs, bt) = best.expect("nonempty");
+            let ht = time_masked_spgemm(Scheme::Hybrid, args.reps, &mask, false, &a, &b, &b_csc)
+                .expect("plain mask");
+            // Which families did the hybrid actually mix?
+            let choices = hybrid_choices(HybridConfig::default(), &mask, &a, &b);
+            let mut counts = std::collections::BTreeMap::new();
+            for c in choices {
+                *counts.entry(format!("{c:?}")).or_insert(0usize) += 1;
+            }
+            let mix: Vec<String> = counts
+                .into_iter()
+                .filter(|(k, _)| k != "Empty")
+                .map(|(k, v)| format!("{k}:{v}"))
+                .collect();
+            let line = format!(
+                "deg_in={deg_in:<5} deg_m={deg_m:<6} hybrid={ht:.4e} best={}@{bt:.4e} worst={worst:.4e} ratio={:.2}",
+                bs.label(),
+                ht / bt
+            );
+            println!("{line}");
+            report.push_str(&line);
+            report.push('\n');
+            table.push(vec![
+                deg_in.to_string(),
+                deg_m.to_string(),
+                format!("{ht:.6e}"),
+                bs.label(),
+                format!("{bt:.6e}"),
+                format!("{worst:.6e}"),
+                format!("{:.3}", ht / bt),
+                mix.join(" "),
+            ]);
+        }
+    }
+    println!("{}", table.to_console());
+    table
+        .write_csv(args.out_dir.join("ablation_hybrid.csv"))
+        .expect("write csv");
+    write_text(args.out_dir.join("ablation_hybrid.txt"), &report).expect("write txt");
+}

@@ -1,0 +1,76 @@
+//! Figure 7: best-performing scheme as a function of mask density (x) and
+//! input density (y), on Erdős-Rényi inputs, for a range of dimensions.
+//!
+//! Reproduces the heat maps of paper Figure 7. Expected shape: `Inner` wins
+//! the bottom-right (mask ≪ inputs), `Heap`/`HeapDot` the top-left (inputs
+//! ≪ mask), `MSA`/`Hash` the comparable-density middle (MSA on smaller
+//! dimensions, Hash on larger).
+
+use bench::{banner, er_with_csc, schemes, time_masked_spgemm, HarnessArgs};
+use profile::ascii::category_grid;
+use profile::table::{write_text, Table};
+
+fn main() {
+    let args = HarnessArgs::parse();
+    banner("fig07", "best scheme vs mask/input density (ER)", &args);
+
+    let lg_dims: &[u32] = match args.preset {
+        bench::Preset::Quick => &[10],
+        bench::Preset::Default => &[12],
+        bench::Preset::Full => &[12, 14, 16, 18, 20, 22],
+    };
+    let input_degrees: &[f64] = &[1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0];
+    let mask_degrees: &[f64] = &[1.0, 4.0, 16.0, 64.0, 256.0, 1024.0];
+    let schemes = schemes::ours_1p();
+
+    let mut table = Table::new(&["dim", "deg_inputs", "deg_mask", "winner", "best_secs"]);
+    let mut report = String::new();
+    for &lg in lg_dims {
+        let n = 1usize << lg;
+        // winner[input_degree][mask_degree]
+        let mut winners: Vec<Vec<char>> = Vec::new();
+        for (di, &deg_in) in input_degrees.iter().enumerate() {
+            let (a, _) = er_with_csc(n, deg_in, 100 + di as u64);
+            let (b, b_csc) = er_with_csc(n, deg_in, 200 + di as u64);
+            let mut row = Vec::new();
+            for (dm, &deg_m) in mask_degrees.iter().enumerate() {
+                let mask = graphs::erdos_renyi(n, deg_m.min(n as f64), 300 + dm as u64);
+                let mut best: Option<(usize, f64)> = None;
+                for (si, s) in schemes.iter().enumerate() {
+                    let t = time_masked_spgemm(*s, args.reps, &mask, false, &a, &b, &b_csc)
+                        .expect("plain mask supported by all");
+                    if best.map_or(true, |(_, bt)| t < bt) {
+                        best = Some((si, t));
+                    }
+                }
+                let (wi, wt) = best.expect("at least one scheme");
+                row.push(bench::scheme_char(schemes[wi]));
+                table.push(vec![
+                    format!("2^{lg}"),
+                    format!("{deg_in}"),
+                    format!("{deg_m}"),
+                    schemes[wi].label(),
+                    format!("{wt:.6e}"),
+                ]);
+            }
+            winners.push(row);
+        }
+        let rows: Vec<String> = input_degrees.iter().map(|d| format!("deg={d}")).collect();
+        let cols: Vec<String> = mask_degrees.iter().map(|d| format!("m={d}")).collect();
+        let grid = category_grid(
+            &format!("fig07: winners at dimension 2^{lg} (row = input degree, col = mask degree)"),
+            &rows,
+            &cols,
+            |r, c| winners[r][c],
+        );
+        println!("{grid}");
+        report.push_str(&grid);
+        report.push('\n');
+    }
+    println!("legend: M=MSA  H=Hash  C=MCA  P=Heap  D=HeapDot  I=Inner");
+    println!("{}", table.to_console());
+    table
+        .write_csv(args.out_dir.join("fig07_density.csv"))
+        .expect("write csv");
+    write_text(args.out_dir.join("fig07_density.txt"), &report).expect("write txt");
+}

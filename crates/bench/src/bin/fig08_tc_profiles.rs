@@ -1,0 +1,31 @@
+//! Figure 8: Triangle Counting performance profiles of our 12 schemes
+//! (6 algorithms × {1P, 2P}) over the evaluation suite.
+//!
+//! Expected shape (paper): MSA-1P best overall (~65% of cases), MCA-1P
+//! next, then Inner/Hash; heap-based worst; every 1P beats its 2P.
+
+use bench::{banner, schemes, HarnessArgs};
+use graph_algos::{prepare_triangle_input, triangle_count};
+use sparse::CscMatrix;
+
+fn main() {
+    let args = HarnessArgs::parse();
+    banner("fig08", "Triangle Counting profiles — our schemes", &args);
+    let max_n = args.pick(1 << 10, 1 << 14, usize::MAX);
+    let schemes = schemes::ours_all();
+    let labels: Vec<String> = schemes.iter().map(|s| s.label()).collect();
+    bench::run_suite_profile(&args, "fig08", &labels, max_n, |_, adj| {
+        let l = prepare_triangle_input(adj);
+        let lc = CscMatrix::from_csr(&l);
+        schemes
+            .iter()
+            .map(|s| {
+                let (count, m) = profile::best_of(args.reps, || {
+                    triangle_count(*s, &l, &lc).expect("plain mask")
+                });
+                std::hint::black_box(count);
+                Some(m.secs())
+            })
+            .collect()
+    });
+}

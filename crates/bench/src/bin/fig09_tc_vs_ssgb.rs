@@ -1,0 +1,31 @@
+//! Figure 9: Triangle Counting — our three best schemes (MSA-1P, Hash-1P,
+//! MCA-1P) against the SS:GB-like baselines (SS:SAXPY, SS:DOT).
+//!
+//! Expected shape (paper): all three of ours beat the baselines on almost
+//! every case.
+
+use bench::{banner, schemes, HarnessArgs};
+use graph_algos::{prepare_triangle_input, triangle_count};
+use sparse::CscMatrix;
+
+fn main() {
+    let args = HarnessArgs::parse();
+    banner("fig09", "Triangle Counting — ours vs SS:GB", &args);
+    let max_n = args.pick(1 << 10, 1 << 14, usize::MAX);
+    let schemes = schemes::tc_vs_ssgb();
+    let labels: Vec<String> = schemes.iter().map(|s| s.label()).collect();
+    bench::run_suite_profile(&args, "fig09", &labels, max_n, |_, adj| {
+        let l = prepare_triangle_input(adj);
+        let lc = CscMatrix::from_csr(&l);
+        schemes
+            .iter()
+            .map(|s| {
+                let (count, m) = profile::best_of(args.reps, || {
+                    triangle_count(*s, &l, &lc).expect("plain mask")
+                });
+                std::hint::black_box(count);
+                Some(m.secs())
+            })
+            .collect()
+    });
+}

@@ -1,0 +1,53 @@
+//! Figure 10: Triangle Counting GFLOPS as the R-MAT scale grows.
+//!
+//! GFLOPS = `2 · flops_masked / time` (multiply + add per surviving
+//! product), so all schemes share a numerator and differences are pure
+//! runtime, as in the paper. Expected shape: MSA-1P highest; Hash-1P and
+//! MCA-1P lower with the same trend; SS:SAXPY approaches MSA-1P at large
+//! scale; SS:GB schemes poor on small inputs.
+
+use bench::{banner, schemes, HarnessArgs};
+use graph_algos::{prepare_triangle_input, triangle_count};
+use profile::table::{write_text, Table};
+use sparse::CscMatrix;
+
+fn main() {
+    let args = HarnessArgs::parse();
+    banner("fig10", "Triangle Counting GFLOPS vs R-MAT scale", &args);
+    let max_scale = args.pick(10u32, 14, 20);
+    let schemes = schemes::tc_vs_ssgb();
+    let mut table = Table::new(&["scale", "scheme", "gflops", "secs", "triangles"]);
+    let mut series: Vec<(String, Vec<(f64, f64)>)> =
+        schemes.iter().map(|s| (s.label(), Vec::new())).collect();
+    for scale in 8..=max_scale {
+        let adj = graphs::to_undirected_simple(&graphs::rmat(
+            scale,
+            graphs::RmatParams::default(),
+            42,
+        ));
+        let l = prepare_triangle_input(&adj);
+        let lc = CscMatrix::from_csr(&l);
+        let useful = 2 * masked_spgemm::flops_masked(&l, &l, &l);
+        for (si, s) in schemes.iter().enumerate() {
+            let (count, m) =
+                profile::best_of(args.reps, || triangle_count(*s, &l, &lc).expect("plain"));
+            let gflops = useful as f64 / m.secs() / 1e9;
+            series[si].1.push((scale as f64, gflops));
+            table.push(vec![
+                scale.to_string(),
+                s.label(),
+                format!("{gflops:.4}"),
+                format!("{:.6e}", m.secs()),
+                count.to_string(),
+            ]);
+        }
+        println!("scale {scale} done (useful flops = {useful})");
+    }
+    println!("{}", table.to_console());
+    let chart = profile::ascii::line_chart("fig10: TC GFLOPS vs scale", &series, 60, 16);
+    println!("{chart}");
+    table
+        .write_csv(args.out_dir.join("fig10_tc_scale.csv"))
+        .expect("write csv");
+    write_text(args.out_dir.join("fig10_tc_scale.txt"), &chart).expect("write txt");
+}

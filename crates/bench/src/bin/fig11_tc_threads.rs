@@ -1,0 +1,61 @@
+//! Figure 11: Triangle Counting strong scaling (GFLOPS vs thread count) on
+//! an R-MAT graph.
+//!
+//! Note for this reproduction: on a single-core container every pool size
+//! sees one hardware thread, so the curves are flat — the harness still
+//! exercises the full multi-threaded code path (per-pool rayon installs,
+//! per-worker accumulator scratch) and on a multicore host reproduces the
+//! paper's near-linear scaling.
+
+use bench::{banner, schemes, HarnessArgs};
+use graph_algos::{prepare_triangle_input, triangle_count};
+use profile::table::{write_text, Table};
+use sparse::CscMatrix;
+
+fn main() {
+    let args = HarnessArgs::parse();
+    banner("fig11", "Triangle Counting strong scaling", &args);
+    let scale = args.pick(10u32, 14, 20);
+    let max_threads = args.pick(4usize, 8, 32);
+    let schemes = schemes::tc_vs_ssgb();
+    let adj = graphs::to_undirected_simple(&graphs::rmat(
+        scale,
+        graphs::RmatParams::default(),
+        42,
+    ));
+    let l = prepare_triangle_input(&adj);
+    let lc = CscMatrix::from_csr(&l);
+    let useful = 2 * masked_spgemm::flops_masked(&l, &l, &l);
+    println!("R-MAT scale {scale}: nnz(L)={} useful flops={useful}", l.nnz());
+
+    let mut table = Table::new(&["threads", "scheme", "gflops", "secs"]);
+    let mut series: Vec<(String, Vec<(f64, f64)>)> =
+        schemes.iter().map(|s| (s.label(), Vec::new())).collect();
+    let mut threads = 1usize;
+    while threads <= max_threads {
+        let pool = masked_spgemm::thread_pool(threads);
+        for (si, s) in schemes.iter().enumerate() {
+            let (count, m) = profile::best_of(args.reps, || {
+                pool.install(|| triangle_count(*s, &l, &lc).expect("plain"))
+            });
+            std::hint::black_box(count);
+            let gflops = useful as f64 / m.secs() / 1e9;
+            series[si].1.push((threads as f64, gflops));
+            table.push(vec![
+                threads.to_string(),
+                s.label(),
+                format!("{gflops:.4}"),
+                format!("{:.6e}", m.secs()),
+            ]);
+        }
+        println!("threads={threads} done");
+        threads *= 2;
+    }
+    println!("{}", table.to_console());
+    let chart = profile::ascii::line_chart("fig11: TC GFLOPS vs threads", &series, 60, 16);
+    println!("{chart}");
+    table
+        .write_csv(args.out_dir.join("fig11_tc_threads.csv"))
+        .expect("write csv");
+    write_text(args.out_dir.join("fig11_tc_threads.txt"), &chart).expect("write txt");
+}

@@ -1,0 +1,28 @@
+//! Figure 12: k-truss (k = 5) performance profiles of our schemes over the
+//! evaluation suite (the paper drops its largest graph, wb-edu, for
+//! runtime; our default preset caps at 2^14 vertices similarly).
+//!
+//! Expected shape (paper): MSA strongest, Inner competitive (the mask gets
+//! sparser as pruning proceeds), heap-based noncompetitive, 1P > 2P.
+
+use bench::{banner, schemes, HarnessArgs};
+use graph_algos::ktruss;
+
+fn main() {
+    let args = HarnessArgs::parse();
+    banner("fig12", "k-truss (k=5) profiles — our schemes", &args);
+    let max_n = args.pick(1 << 10, 1 << 13, usize::MAX);
+    let schemes = schemes::ours_all();
+    let labels: Vec<String> = schemes.iter().map(|s| s.label()).collect();
+    bench::run_suite_profile(&args, "fig12", &labels, max_n, |_, adj| {
+        schemes
+            .iter()
+            .map(|s| {
+                let (r, m) =
+                    profile::best_of(args.reps, || ktruss(*s, adj, 5).expect("plain mask"));
+                std::hint::black_box(r.truss.nnz());
+                Some(m.secs())
+            })
+            .collect()
+    });
+}

@@ -1,0 +1,27 @@
+//! Figure 13: k-truss (k = 5) — our best four schemes (MSA-1P, Inner-1P,
+//! Hash-1P, MCA-1P) against the SS:GB-like baselines.
+//!
+//! Expected shape (paper): MSA-1P and Inner-1P significantly ahead of
+//! SS:SAXPY and SS:DOT.
+
+use bench::{banner, schemes, HarnessArgs};
+use graph_algos::ktruss;
+
+fn main() {
+    let args = HarnessArgs::parse();
+    banner("fig13", "k-truss (k=5) — ours vs SS:GB", &args);
+    let max_n = args.pick(1 << 10, 1 << 13, usize::MAX);
+    let schemes = schemes::ktruss_vs_ssgb();
+    let labels: Vec<String> = schemes.iter().map(|s| s.label()).collect();
+    bench::run_suite_profile(&args, "fig13", &labels, max_n, |_, adj| {
+        schemes
+            .iter()
+            .map(|s| {
+                let (r, m) =
+                    profile::best_of(args.reps, || ktruss(*s, adj, 5).expect("plain mask"));
+                std::hint::black_box(r.truss.nnz());
+                Some(m.secs())
+            })
+            .collect()
+    });
+}

@@ -1,0 +1,48 @@
+//! Figure 14: k-truss GFLOPS as the R-MAT scale grows.
+//!
+//! The paper's metric: Σ flops over all Masked SpGEMM iterations divided by
+//! total time. Expected shape: pull-based schemes (Inner, SS:DOT) improve
+//! their rate with scale as iterative pruning sparsifies the mask relative
+//! to the inputs; MSA-1P strong throughout on cache-rich machines.
+
+use bench::{banner, schemes, HarnessArgs};
+use graph_algos::ktruss;
+use profile::table::{write_text, Table};
+
+fn main() {
+    let args = HarnessArgs::parse();
+    banner("fig14", "k-truss GFLOPS vs R-MAT scale", &args);
+    let max_scale = args.pick(9u32, 13, 20);
+    let schemes = schemes::ktruss_vs_ssgb();
+    let mut table = Table::new(&["scale", "scheme", "gflops", "secs", "iters", "truss_nnz"]);
+    let mut series: Vec<(String, Vec<(f64, f64)>)> =
+        schemes.iter().map(|s| (s.label(), Vec::new())).collect();
+    for scale in 8..=max_scale {
+        let adj = graphs::to_undirected_simple(&graphs::rmat(
+            scale,
+            graphs::RmatParams::default(),
+            42,
+        ));
+        for (si, s) in schemes.iter().enumerate() {
+            let (r, m) = profile::best_of(args.reps, || ktruss(*s, &adj, 5).expect("plain"));
+            let gflops = (2 * r.total_flops) as f64 / m.secs() / 1e9;
+            series[si].1.push((scale as f64, gflops));
+            table.push(vec![
+                scale.to_string(),
+                s.label(),
+                format!("{gflops:.4}"),
+                format!("{:.6e}", m.secs()),
+                r.iterations.to_string(),
+                r.truss.nnz().to_string(),
+            ]);
+        }
+        println!("scale {scale} done");
+    }
+    println!("{}", table.to_console());
+    let chart = profile::ascii::line_chart("fig14: k-truss GFLOPS vs scale", &series, 60, 16);
+    println!("{chart}");
+    table
+        .write_csv(args.out_dir.join("fig14_ktruss_scale.csv"))
+        .expect("write csv");
+    write_text(args.out_dir.join("fig14_ktruss_scale.txt"), &chart).expect("write txt");
+}

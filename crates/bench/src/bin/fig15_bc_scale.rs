@@ -1,0 +1,73 @@
+//! Figure 15: Betweenness Centrality MTEPS as the R-MAT scale grows.
+//!
+//! Metric (paper, citing HPCS SSCA#2): `batch_size × num_edges /
+//! total_time`, in millions. The paper uses batch 512; the default preset
+//! uses 64 to stay laptop-sized (`--full` restores 512). Expected shape:
+//! push-based schemes (MSA-1P, Hash-1P, SS:SAXPY) grow their MTEPS with
+//! scale; pull-based ones (Inner, SS:DOT) are measured at small scales only
+//! — with a dense complemented mask they are prohibitively slow, exactly as
+//! the paper reports.
+
+use bench::{banner, Algorithm, HarnessArgs, Phases, Scheme};
+use graph_algos::betweenness_centrality;
+use profile::table::{write_text, Table};
+use sparse::Idx;
+
+fn main() {
+    let args = HarnessArgs::parse();
+    banner("fig15", "Betweenness Centrality MTEPS vs R-MAT scale", &args);
+    let max_scale = args.pick(9u32, 12, 20);
+    let batch = args.pick(16usize, 64, 512);
+    // Pull-based schemes only below this scale (prohibitively slow above).
+    let pull_cap = args.pick(9u32, 10, 12);
+    let push: Vec<Scheme> = vec![
+        Scheme::Ours(Algorithm::Msa, Phases::One),
+        Scheme::Ours(Algorithm::Hash, Phases::One),
+        Scheme::SsSaxpy,
+    ];
+    let pull: Vec<Scheme> = vec![Scheme::Ours(Algorithm::Inner, Phases::One), Scheme::SsDot];
+    let all: Vec<Scheme> = push.iter().chain(pull.iter()).copied().collect();
+
+    let mut table = Table::new(&["scale", "scheme", "mteps", "secs", "depth"]);
+    let mut series: Vec<(String, Vec<(f64, f64)>)> =
+        all.iter().map(|s| (s.label(), Vec::new())).collect();
+    for scale in 8..=max_scale {
+        let adj = graphs::to_undirected_simple(&graphs::rmat(
+            scale,
+            graphs::RmatParams::default(),
+            42,
+        ));
+        let n = adj.nrows();
+        let nedges = adj.nnz() as f64 / 2.0;
+        // Deterministic source batch spread over the vertex range.
+        let sources: Vec<Idx> = (0..batch.min(n))
+            .map(|i| ((i * 2654435761) % n) as Idx)
+            .collect();
+        for (si, s) in all.iter().enumerate() {
+            let is_pull = si >= push.len();
+            if is_pull && scale > pull_cap {
+                continue;
+            }
+            let (r, m) = profile::best_of(args.reps, || {
+                betweenness_centrality(*s, &adj, &sources).expect("complement-capable")
+            });
+            let mteps = sources.len() as f64 * nedges / m.secs() / 1e6;
+            series[si].1.push((scale as f64, mteps));
+            table.push(vec![
+                scale.to_string(),
+                s.label(),
+                format!("{mteps:.3}"),
+                format!("{:.6e}", m.secs()),
+                r.depth.to_string(),
+            ]);
+        }
+        println!("scale {scale} done (batch {})", sources.len());
+    }
+    println!("{}", table.to_console());
+    let chart = profile::ascii::line_chart("fig15: BC MTEPS vs scale", &series, 60, 16);
+    println!("{chart}");
+    table
+        .write_csv(args.out_dir.join("fig15_bc_scale.csv"))
+        .expect("write csv");
+    write_text(args.out_dir.join("fig15_bc_scale.txt"), &chart).expect("write txt");
+}

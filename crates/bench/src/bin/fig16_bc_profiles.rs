@@ -1,0 +1,36 @@
+//! Figure 16: Betweenness Centrality performance profiles — MSA/Hash
+//! (1P and 2P) vs SS:SAXPY over the evaluation suite.
+//!
+//! MCA is excluded (no complemented-mask support); Heap, Inner and SS:DOT
+//! are excluded as prohibitively slow (paper Section 8.4) — fig15 measures
+//! them at small scale instead. Expected shape: MSA-1P best on every case,
+//! 1P > 2P.
+
+use bench::{banner, schemes, HarnessArgs};
+use graph_algos::betweenness_centrality;
+use sparse::Idx;
+
+fn main() {
+    let args = HarnessArgs::parse();
+    banner("fig16", "Betweenness Centrality profiles vs SS:SAXPY", &args);
+    let max_n = args.pick(1 << 10, 1 << 13, usize::MAX);
+    let batch = args.pick(16usize, 64, 512);
+    let schemes = schemes::bc_profiles();
+    let labels: Vec<String> = schemes.iter().map(|s| s.label()).collect();
+    bench::run_suite_profile(&args, "fig16", &labels, max_n, |_, adj| {
+        let n = adj.nrows();
+        let sources: Vec<Idx> = (0..batch.min(n))
+            .map(|i| ((i * 2654435761) % n) as Idx)
+            .collect();
+        schemes
+            .iter()
+            .map(|s| {
+                let (r, m) = profile::best_of(args.reps, || {
+                    betweenness_centrality(*s, adj, &sources).expect("complement-capable")
+                });
+                std::hint::black_box(r.centrality.len());
+                Some(m.secs())
+            })
+            .collect()
+    });
+}

@@ -1,0 +1,405 @@
+//! Hash accumulator (Section 5.3).
+//!
+//! An open-addressing hash table with linear probing replaces MSA's dense
+//! arrays: initialization and footprint scale with `nnz(mask row)` instead
+//! of `ncols`, trading cache misses for hashing overhead. As in the paper,
+//! the table never resizes in the plain-mask case — the number of allowed
+//! keys is known (`nnz(m)`) — and uses a load factor of 0.25 to keep probe
+//! chains short. Value and state live in one slot so a lookup touches a
+//! single cache line.
+
+use sparse::Idx;
+
+const EMPTY_STAMP: u32 = 0;
+
+#[derive(Clone, Copy, Debug)]
+struct Slot<V> {
+    key: Idx,
+    /// `2·gen` ⇒ ALLOWED, `2·gen + 1` ⇒ SET, anything else ⇒ empty slot.
+    stamp: u32,
+    val: V,
+}
+
+#[inline(always)]
+fn hash_key(key: Idx) -> usize {
+    // Fibonacci multiplicative hashing; the table masks to its capacity.
+    (key.wrapping_mul(0x9E37_79B9)) as usize
+}
+
+/// Next power of two ≥ `4·n` (load factor 0.25), with a small floor.
+#[inline]
+pub(crate) fn table_capacity(n: usize) -> usize {
+    (4 * n).next_power_of_two().max(16)
+}
+
+/// Plain-mask hash accumulator.
+#[derive(Debug)]
+pub struct HashAccum<V> {
+    slots: Vec<Slot<V>>,
+    /// Capacity mask for the current row (capacity - 1).
+    cap_mask: usize,
+    gen: u32,
+}
+
+impl<V: Copy + Default> HashAccum<V> {
+    /// Accumulator able to hold up to `max_mask_row_nnz` allowed keys.
+    pub fn new(max_mask_row_nnz: usize) -> Self {
+        let cap = table_capacity(max_mask_row_nnz);
+        HashAccum {
+            slots: vec![
+                Slot {
+                    key: 0,
+                    stamp: EMPTY_STAMP,
+                    val: V::default(),
+                };
+                cap
+            ],
+            cap_mask: cap - 1,
+            gen: 0,
+        }
+    }
+
+    /// Begin a new output row whose mask has `mask_row_nnz` entries. Only a
+    /// prefix of the table sized for this row is probed, improving locality
+    /// for sparse rows.
+    #[inline]
+    pub fn reset(&mut self, mask_row_nnz: usize) {
+        if self.gen >= u32::MAX / 2 - 1 {
+            for s in &mut self.slots {
+                s.stamp = EMPTY_STAMP;
+            }
+            self.gen = 0;
+        }
+        self.gen += 1;
+        let cap = table_capacity(mask_row_nnz).min(self.slots.len());
+        self.cap_mask = cap - 1;
+    }
+
+    #[inline(always)]
+    fn allowed_stamp(&self) -> u32 {
+        2 * self.gen
+    }
+
+    #[inline(always)]
+    fn set_stamp(&self) -> u32 {
+        2 * self.gen + 1
+    }
+
+    /// Probe for `key`; returns the slot index holding it (current
+    /// generation) or the first empty slot.
+    #[inline(always)]
+    fn probe(&self, key: Idx) -> usize {
+        let (a, s) = (self.allowed_stamp(), self.set_stamp());
+        let mut i = hash_key(key) & self.cap_mask;
+        loop {
+            let slot = &self.slots[i];
+            let live = slot.stamp == a || slot.stamp == s;
+            if !live || slot.key == key {
+                return i;
+            }
+            i = (i + 1) & self.cap_mask;
+        }
+    }
+
+    /// Mark `key` as permitted by the mask.
+    #[inline(always)]
+    pub fn set_allowed(&mut self, key: Idx) {
+        let i = self.probe(key);
+        let a = self.allowed_stamp();
+        let slot = &mut self.slots[i];
+        if slot.stamp != a && slot.stamp != a + 1 {
+            slot.key = key;
+            slot.stamp = a;
+        }
+    }
+
+    /// Insert a product for `key` (discarded unless `set_allowed(key)` was
+    /// called this row); `make` is evaluated only if kept.
+    #[inline(always)]
+    pub fn insert_with(
+        &mut self,
+        key: Idx,
+        make: impl FnOnce() -> V,
+        add: impl FnOnce(V, V) -> V,
+    ) {
+        let i = self.probe(key);
+        let (a, s) = (self.allowed_stamp(), self.set_stamp());
+        let slot = &mut self.slots[i];
+        if slot.stamp == s && slot.key == key {
+            slot.val = add(slot.val, make());
+        } else if slot.stamp == a && slot.key == key {
+            slot.val = make();
+            slot.stamp = s;
+        }
+    }
+
+    /// Pattern-only insert for the symbolic phase: ALLOWED → SET, returning
+    /// `true` on the first transition.
+    #[inline(always)]
+    pub fn mark_set(&mut self, key: Idx) -> bool {
+        let i = self.probe(key);
+        let a = self.allowed_stamp();
+        let slot = &mut self.slots[i];
+        if slot.stamp == a && slot.key == key {
+            slot.stamp = a + 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Accumulated value for `key`, if any product was inserted this row.
+    #[inline(always)]
+    pub fn remove(&self, key: Idx) -> Option<V> {
+        let i = self.probe(key);
+        let slot = &self.slots[i];
+        if slot.stamp == self.set_stamp() && slot.key == key {
+            Some(slot.val)
+        } else {
+            None
+        }
+    }
+}
+
+/// Complemented-mask hash accumulator: stores only *inserted* keys (those
+/// surviving the ¬mask filter), growing on demand since the output size of a
+/// complemented row is not bounded by `nnz(m)`.
+#[derive(Debug)]
+pub struct HashComplement<V> {
+    slots: Vec<Slot<V>>,
+    cap_mask: usize,
+    gen: u32,
+    len: usize,
+    /// Slot indices inserted this row, for the gather step.
+    inserted: Vec<usize>,
+}
+
+impl<V: Copy + Default> HashComplement<V> {
+    /// Accumulator with an initial capacity hint.
+    pub fn new(initial_hint: usize) -> Self {
+        let cap = table_capacity(initial_hint);
+        HashComplement {
+            slots: vec![
+                Slot {
+                    key: 0,
+                    stamp: EMPTY_STAMP,
+                    val: V::default(),
+                };
+                cap
+            ],
+            cap_mask: cap - 1,
+            gen: 0,
+            len: 0,
+            inserted: Vec::new(),
+        }
+    }
+
+    /// Begin a new output row.
+    #[inline]
+    pub fn reset(&mut self) {
+        if self.gen == u32::MAX {
+            for s in &mut self.slots {
+                s.stamp = EMPTY_STAMP;
+            }
+            self.gen = 0;
+        }
+        self.gen += 1;
+        self.len = 0;
+        self.inserted.clear();
+        self.cap_mask = self.slots.len() - 1;
+    }
+
+    fn grow(&mut self) {
+        let new_cap = self.slots.len() * 2;
+        let mut new_slots = vec![
+            Slot {
+                key: 0,
+                stamp: EMPTY_STAMP,
+                val: V::default(),
+            };
+            new_cap
+        ];
+        let mask = new_cap - 1;
+        let mut new_inserted = Vec::with_capacity(self.inserted.len());
+        for &old_i in &self.inserted {
+            let slot = self.slots[old_i];
+            let mut i = hash_key(slot.key) & mask;
+            while new_slots[i].stamp == self.gen {
+                i = (i + 1) & mask;
+            }
+            new_slots[i] = slot;
+            new_inserted.push(i);
+        }
+        self.slots = new_slots;
+        self.cap_mask = mask;
+        self.inserted = new_inserted;
+    }
+
+    /// Insert (accumulate) a product for `key`. The caller has already
+    /// established the key is not masked out.
+    #[inline]
+    pub fn insert(&mut self, key: Idx, value: V, add: impl FnOnce(V, V) -> V) {
+        // Load factor 0.25, like the plain table.
+        if 4 * (self.len + 1) > self.slots.len() {
+            self.grow();
+        }
+        let g = self.gen;
+        let mut i = hash_key(key) & self.cap_mask;
+        loop {
+            let slot = &mut self.slots[i];
+            if slot.stamp != g {
+                slot.key = key;
+                slot.stamp = g;
+                slot.val = value;
+                self.len += 1;
+                self.inserted.push(i);
+                return;
+            }
+            if slot.key == key {
+                slot.val = add(slot.val, value);
+                return;
+            }
+            i = (i + 1) & self.cap_mask;
+        }
+    }
+
+    /// Gather all inserted `(key, value)` pairs sorted by key, appending to
+    /// the output buffers.
+    pub fn gather_sorted(&mut self, out_cols: &mut Vec<Idx>, out_vals: &mut Vec<V>) {
+        self.inserted
+            .sort_unstable_by_key(|&i| self.slots[i].key);
+        for &i in &self.inserted {
+            let slot = &self.slots[i];
+            out_cols.push(slot.key);
+            out_vals.push(slot.val);
+        }
+    }
+
+    /// Number of distinct keys inserted this row.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True if nothing was inserted this row.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn capacity_is_pow2_load_quarter() {
+        assert_eq!(table_capacity(0), 16);
+        assert_eq!(table_capacity(4), 16);
+        assert_eq!(table_capacity(5), 32);
+        assert_eq!(table_capacity(100), 512);
+    }
+
+    #[test]
+    fn hash_state_machine() {
+        let mut h = HashAccum::<f64>::new(8);
+        h.reset(8);
+        let mut evaluated = false;
+        h.insert_with(
+            3,
+            || {
+                evaluated = true;
+                1.0
+            },
+            |a, b| a + b,
+        );
+        assert!(!evaluated);
+        assert_eq!(h.remove(3), None);
+        h.set_allowed(3);
+        h.insert_with(3, || 2.0, |a, b| a + b);
+        h.insert_with(3, || 5.0, |a, b| a + b);
+        assert_eq!(h.remove(3), Some(7.0));
+        assert_eq!(h.remove(4), None);
+    }
+
+    #[test]
+    fn hash_many_keys_with_collisions() {
+        // 64 keys in a table sized for 64 — exercise probe chains.
+        let mut h = HashAccum::<u64>::new(64);
+        h.reset(64);
+        for k in 0..64u32 {
+            h.set_allowed(k * 1000);
+        }
+        for k in 0..64u32 {
+            h.insert_with(k * 1000, || k as u64, |a, b| a + b);
+            h.insert_with(k * 1000, || 1, |a, b| a + b);
+        }
+        for k in 0..64u32 {
+            assert_eq!(h.remove(k * 1000), Some(k as u64 + 1));
+        }
+    }
+
+    #[test]
+    fn hash_reset_isolates_rows() {
+        let mut h = HashAccum::<i32>::new(4);
+        h.reset(4);
+        h.set_allowed(7);
+        h.insert_with(7, || 1, |a, b| a + b);
+        h.reset(4);
+        assert_eq!(h.remove(7), None);
+        h.insert_with(7, || 1, |a, b| a + b);
+        assert_eq!(h.remove(7), None, "ALLOWED does not persist across rows");
+    }
+
+    #[test]
+    fn set_allowed_idempotent_preserves_set() {
+        let mut h = HashAccum::<i32>::new(4);
+        h.reset(4);
+        h.set_allowed(1);
+        h.insert_with(1, || 5, |a, b| a + b);
+        h.set_allowed(1); // must not reset SET back to ALLOWED
+        assert_eq!(h.remove(1), Some(5));
+    }
+
+    #[test]
+    fn complement_accumulates_and_sorts() {
+        let mut h = HashComplement::<i64>::new(2);
+        h.reset();
+        h.insert(9, 1, |a, b| a + b);
+        h.insert(3, 2, |a, b| a + b);
+        h.insert(9, 10, |a, b| a + b);
+        h.insert(1, 7, |a, b| a + b);
+        let (mut c, mut v) = (Vec::new(), Vec::new());
+        h.gather_sorted(&mut c, &mut v);
+        assert_eq!(c, vec![1, 3, 9]);
+        assert_eq!(v, vec![7, 2, 11]);
+    }
+
+    #[test]
+    fn complement_grows_past_initial_capacity() {
+        let mut h = HashComplement::<u32>::new(1);
+        h.reset();
+        for k in 0..1000u32 {
+            h.insert(k, k, |a, b| a + b);
+        }
+        assert_eq!(h.len(), 1000);
+        let (mut c, mut v) = (Vec::new(), Vec::new());
+        h.gather_sorted(&mut c, &mut v);
+        assert_eq!(c.len(), 1000);
+        assert!(c.windows(2).all(|w| w[0] < w[1]));
+        assert_eq!(v[500], 500);
+    }
+
+    #[test]
+    fn complement_reset_isolates_rows() {
+        let mut h = HashComplement::<u32>::new(4);
+        h.reset();
+        h.insert(5, 1, |a, b| a + b);
+        h.reset();
+        assert!(h.is_empty());
+        h.insert(5, 3, |a, b| a + b);
+        let (mut c, mut v) = (Vec::new(), Vec::new());
+        h.gather_sorted(&mut c, &mut v);
+        assert_eq!((c, v), (vec![5], vec![3]));
+    }
+}

@@ -1,0 +1,133 @@
+//! Mask Compressed Accumulator (Section 5.4) — the paper's novel structure.
+//!
+//! Observation: an output row can never hold more entries than its mask row,
+//! so the accumulator needs only `nnz(m)` slots. Slots are addressed by the
+//! *rank* of a column within the mask row (computed by the kernel's sorted
+//! merge of `B(k,:)` against `m`), not by column id, so the arrays stay tiny
+//! and cache-resident. Only two states exist — ALLOWED and SET — because
+//! rank addressing makes NOTALLOWED structurally impossible (Figure 5).
+
+/// Rank-addressed accumulator with `SET` tracked by generation stamps.
+#[derive(Debug)]
+pub struct Mca<V> {
+    values: Vec<V>,
+    stamps: Vec<u32>,
+    gen: u32,
+}
+
+impl<V: Copy + Default> Mca<V> {
+    /// Accumulator able to hold up to `max_mask_row_nnz` ranks.
+    pub fn new(max_mask_row_nnz: usize) -> Self {
+        Mca {
+            values: vec![V::default(); max_mask_row_nnz],
+            stamps: vec![0u32; max_mask_row_nnz],
+            gen: 0,
+        }
+    }
+
+    /// Begin a new output row: `O(1)` except on generation wrap-around.
+    #[inline]
+    pub fn reset(&mut self) {
+        if self.gen == u32::MAX {
+            self.stamps.fill(0);
+            self.gen = 0;
+        }
+        self.gen += 1;
+    }
+
+    /// Insert a product at mask-rank `rank` (ALLOWED → SET on first insert).
+    #[inline(always)]
+    pub fn insert(&mut self, rank: usize, value: V, add: impl FnOnce(V, V) -> V) {
+        if self.stamps[rank] == self.gen {
+            self.values[rank] = add(self.values[rank], value);
+        } else {
+            self.values[rank] = value;
+            self.stamps[rank] = self.gen;
+        }
+    }
+
+    /// Pattern-only insert for the symbolic phase; `true` on first SET.
+    #[inline(always)]
+    pub fn mark_set(&mut self, rank: usize) -> bool {
+        if self.stamps[rank] == self.gen {
+            false
+        } else {
+            self.stamps[rank] = self.gen;
+            true
+        }
+    }
+
+    /// Whether any product was inserted at `rank` this row.
+    #[inline(always)]
+    pub fn is_set(&self, rank: usize) -> bool {
+        self.stamps[rank] == self.gen
+    }
+
+    /// Accumulated value at `rank`, if set this row.
+    #[inline(always)]
+    pub fn remove(&self, rank: usize) -> Option<V> {
+        if self.is_set(rank) {
+            Some(self.values[rank])
+        } else {
+            None
+        }
+    }
+
+    /// Capacity in ranks (diagnostic).
+    #[inline]
+    pub fn capacity(&self) -> usize {
+        self.values.len()
+    }
+
+    /// `_rank` is unused; MCA has no per-key lazy discard — the kernel's
+    /// merge already guarantees every insert is allowed. Provided to mirror
+    /// the shared accumulator interface in documentation.
+    #[inline(always)]
+    pub fn set_allowed(&mut self, _rank: usize) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_and_remove_by_rank() {
+        let mut m = Mca::<f64>::new(4);
+        m.reset();
+        assert_eq!(m.remove(0), None);
+        m.insert(2, 1.5, |a, b| a + b);
+        m.insert(2, 2.5, |a, b| a + b);
+        m.insert(0, 10.0, |a, b| a + b);
+        assert_eq!(m.remove(2), Some(4.0));
+        assert_eq!(m.remove(0), Some(10.0));
+        assert_eq!(m.remove(1), None);
+        assert_eq!(m.remove(3), None);
+    }
+
+    #[test]
+    fn reset_clears_in_constant_time() {
+        let mut m = Mca::<i32>::new(2);
+        m.reset();
+        m.insert(0, 5, |a, b| a + b);
+        m.reset();
+        assert_eq!(m.remove(0), None);
+        m.insert(0, 7, |a, b| a + b);
+        assert_eq!(m.remove(0), Some(7));
+    }
+
+    #[test]
+    fn generation_wraparound() {
+        let mut m = Mca::<i32>::new(1);
+        m.gen = u32::MAX;
+        m.reset();
+        assert_eq!(m.gen, 1);
+        assert_eq!(m.remove(0), None);
+        m.insert(0, 3, |a, b| a + b);
+        assert_eq!(m.remove(0), Some(3));
+    }
+
+    #[test]
+    fn capacity_reports_max_ranks() {
+        assert_eq!(Mca::<u8>::new(17).capacity(), 17);
+    }
+}

@@ -1,0 +1,26 @@
+//! Accumulators — the data structures that merge scaled rows (Section 5.1).
+//!
+//! A masked accumulator distinguishes three entry states:
+//!
+//! * `NOTALLOWED` — masked out; products for this key are discarded;
+//! * `ALLOWED` — present in the mask but no product inserted yet;
+//! * `SET` — at least one product inserted; holds the running value.
+//!
+//! The interface of the paper (`setAllowed` / `insert` / `remove`) is
+//! realized by [`Msa`], [`HashAccum`] and [`Mca`]; complemented-mask
+//! variants ([`MsaComplement`], [`HashComplement`]) flip the default state
+//! to `ALLOWED` and track inserted keys so the gather step need not scan
+//! the whole array.
+//!
+//! All accumulators are **generation-stamped**: preparing for the next
+//! output row is an `O(1)` counter bump rather than an `O(size)` clear,
+//! which is what makes reusing one accumulator across millions of rows
+//! viable.
+
+mod hash;
+mod mca;
+mod msa;
+
+pub use hash::{HashAccum, HashComplement};
+pub use mca::Mca;
+pub use msa::{Msa, MsaComplement};

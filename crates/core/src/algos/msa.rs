@@ -1,0 +1,195 @@
+//! MSA row kernel (paper Algorithm 2).
+
+use sparse::{CsrMatrix, Idx, Semiring};
+
+use crate::accum::{Msa, MsaComplement};
+use crate::kernel::RowKernel;
+
+/// Push-based row kernel backed by the Masked Sparse Accumulator.
+pub struct MsaKernel<S: Semiring>
+where
+    S::C: Default,
+{
+    accum: Msa<S::C>,
+    caccum: MsaComplement<S::C>,
+}
+
+impl<S: Semiring> RowKernel<S> for MsaKernel<S>
+where
+    S::C: Default,
+{
+    const SUPPORTS_COMPLEMENT: bool = true;
+
+    fn new(ncols: usize, _max_mask_row_nnz: usize) -> Self {
+        MsaKernel {
+            accum: Msa::new(ncols),
+            caccum: MsaComplement::new(ncols),
+        }
+    }
+
+    fn compute_row(
+        &mut self,
+        sr: S,
+        mcols: &[Idx],
+        acols: &[Idx],
+        avals: &[S::A],
+        b: &CsrMatrix<S::B>,
+        out_cols: &mut Vec<Idx>,
+        out_vals: &mut Vec<S::C>,
+    ) {
+        if mcols.is_empty() || acols.is_empty() {
+            return;
+        }
+        let accum = &mut self.accum;
+        accum.reset();
+        // Step 1: mark mask entries ALLOWED.
+        for &j in mcols {
+            accum.set_allowed(j);
+        }
+        // Step 2: scatter scaled rows of B.
+        for (&k, &av) in acols.iter().zip(avals) {
+            let (bc, bv) = b.row(k as usize);
+            for (&j, &bvj) in bc.iter().zip(bv) {
+                accum.insert_with(j, || sr.mul(av, bvj), |x, y| sr.add(x, y));
+            }
+        }
+        // Step 3: gather in mask order (stable — mask rows are sorted).
+        for &j in mcols {
+            if let Some(v) = accum.remove(j) {
+                out_cols.push(j);
+                out_vals.push(v);
+            }
+        }
+    }
+
+    fn count_row(
+        &mut self,
+        mcols: &[Idx],
+        acols: &[Idx],
+        _avals: &[S::A],
+        b: &CsrMatrix<S::B>,
+    ) -> usize {
+        if mcols.is_empty() || acols.is_empty() {
+            return 0;
+        }
+        let accum = &mut self.accum;
+        accum.reset();
+        for &j in mcols {
+            accum.set_allowed(j);
+        }
+        let mut count = 0usize;
+        for &k in acols {
+            let (bc, _) = b.row(k as usize);
+            for &j in bc {
+                if accum.mark_set(j) {
+                    count += 1;
+                }
+            }
+        }
+        count
+    }
+
+    fn compute_row_complemented(
+        &mut self,
+        sr: S,
+        mcols: &[Idx],
+        acols: &[Idx],
+        avals: &[S::A],
+        b: &CsrMatrix<S::B>,
+        out_cols: &mut Vec<Idx>,
+        out_vals: &mut Vec<S::C>,
+    ) {
+        if acols.is_empty() {
+            return;
+        }
+        let accum = &mut self.caccum;
+        accum.reset();
+        for &j in mcols {
+            accum.set_not_allowed(j);
+        }
+        for (&k, &av) in acols.iter().zip(avals) {
+            let (bc, bv) = b.row(k as usize);
+            for (&j, &bvj) in bc.iter().zip(bv) {
+                accum.insert_with(j, || sr.mul(av, bvj), |x, y| sr.add(x, y));
+            }
+        }
+        // Gather only the inserted keys, sorted for CSR output.
+        // Split borrow: copy keys out first (rows are short relative to B).
+        let keys = accum.sorted_inserted();
+        let start = out_cols.len();
+        out_cols.extend_from_slice(keys);
+        for idx in start..out_cols.len() {
+            out_vals.push(accum.value(out_cols[idx]));
+        }
+    }
+
+    fn count_row_complemented(
+        &mut self,
+        mcols: &[Idx],
+        acols: &[Idx],
+        _avals: &[S::A],
+        b: &CsrMatrix<S::B>,
+    ) -> usize {
+        if acols.is_empty() {
+            return 0;
+        }
+        let accum = &mut self.caccum;
+        accum.reset();
+        for &j in mcols {
+            accum.set_not_allowed(j);
+        }
+        for &k in acols {
+            let (bc, _) = b.row(k as usize);
+            for &j in bc {
+                accum.mark_set(j);
+            }
+        }
+        accum.inserted().len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernel::testutil::check_against_reference;
+    use sparse::PlusTimes;
+
+    #[test]
+    fn matches_reference_plain() {
+        check_against_reference::<MsaKernel<PlusTimes<f64>>>(false);
+    }
+
+    #[test]
+    fn matches_reference_complemented() {
+        check_against_reference::<MsaKernel<PlusTimes<f64>>>(true);
+    }
+
+    #[test]
+    fn empty_mask_row_produces_nothing() {
+        use crate::kernel::RowKernel;
+        let b = CsrMatrix::try_new(2, 2, vec![0, 1, 2], vec![0, 1], vec![1.0, 1.0]).unwrap();
+        let mut k = MsaKernel::<PlusTimes<f64>>::new(2, 2);
+        let (mut c, mut v) = (Vec::new(), Vec::new());
+        k.compute_row(
+            PlusTimes::new(),
+            &[],
+            &[0, 1],
+            &[1.0, 1.0],
+            &b,
+            &mut c,
+            &mut v,
+        );
+        assert!(c.is_empty());
+        // Complemented: empty mask allows everything.
+        k.compute_row_complemented(
+            PlusTimes::new(),
+            &[],
+            &[0, 1],
+            &[1.0, 1.0],
+            &b,
+            &mut c,
+            &mut v,
+        );
+        assert_eq!(c, vec![0, 1]);
+    }
+}

@@ -1,0 +1,370 @@
+//! High-level API: algorithm selection and dispatch.
+
+use sparse::{CscMatrix, CsrMatrix, Semiring, SparseError};
+
+use crate::algos::{ninspect, HashKernel, HeapKernel, McaKernel, MsaKernel};
+use crate::exec::{inner_driver, push_one_phase, push_two_phase};
+
+/// The Masked SpGEMM algorithm families of the paper (Section 8's scheme
+/// names, minus the 1P/2P suffix which is [`Phases`]).
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
+pub enum Algorithm {
+    /// Masked Sparse Accumulator (push; dense state/value arrays).
+    Msa,
+    /// Hash accumulator (push; open addressing, load factor 0.25).
+    Hash,
+    /// Mask Compressed Accumulator (push; `nnz(mask row)`-sized arrays).
+    /// Does not support complemented masks.
+    Mca,
+    /// Heap k-way merge with `NInspect = 1`.
+    Heap,
+    /// Heap k-way merge with `NInspect = ∞` (paper scheme `HeapDot`).
+    HeapDot,
+    /// Pull-based dot products driven by the mask (`B` accessed
+    /// column-major; converted internally unless you call
+    /// [`masked_spgemm_csc`]).
+    Inner,
+}
+
+impl Algorithm {
+    /// All algorithms, in the paper's presentation order.
+    pub const ALL: [Algorithm; 6] = [
+        Algorithm::Msa,
+        Algorithm::Hash,
+        Algorithm::Mca,
+        Algorithm::Heap,
+        Algorithm::HeapDot,
+        Algorithm::Inner,
+    ];
+
+    /// Scheme name as used in the paper's plots (e.g. `MSA`).
+    pub fn name(self) -> &'static str {
+        match self {
+            Algorithm::Msa => "MSA",
+            Algorithm::Hash => "Hash",
+            Algorithm::Mca => "MCA",
+            Algorithm::Heap => "Heap",
+            Algorithm::HeapDot => "HeapDot",
+            Algorithm::Inner => "Inner",
+        }
+    }
+
+    /// Whether the algorithm supports `C = ¬M ⊙ (A·B)`.
+    pub fn supports_complement(self) -> bool {
+        !matches!(self, Algorithm::Mca)
+    }
+}
+
+/// One-phase (numeric only) vs. two-phase (symbolic + numeric) execution.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
+pub enum Phases {
+    /// Single numeric pass with transient over-allocation.
+    One,
+    /// Symbolic nonzero count, exact allocation, then numeric pass.
+    Two,
+}
+
+impl Phases {
+    /// Both phase disciplines.
+    pub const ALL: [Phases; 2] = [Phases::One, Phases::Two];
+
+    /// Suffix as used in the paper's plots (`1P` / `2P`).
+    pub fn suffix(self) -> &'static str {
+        match self {
+            Phases::One => "1P",
+            Phases::Two => "2P",
+        }
+    }
+}
+
+/// A configured Masked SpGEMM operation, built once and run many times.
+///
+/// ```
+/// use masked_spgemm::{Algorithm, MaskedSpGemm, Phases};
+/// use sparse::{CsrMatrix, PlusPair};
+///
+/// // Count common neighbors along existing edges of a triangle graph.
+/// let tri = CsrMatrix::try_new(
+///     3, 3,
+///     vec![0, 2, 4, 6],
+///     vec![1, 2, 0, 2, 0, 1],
+///     vec![1.0f64; 6],
+/// ).unwrap();
+/// let op = MaskedSpGemm::new(Algorithm::Mca, Phases::Two);
+/// let c = op
+///     .run(PlusPair::<f64, f64, u32>::new(), &tri, &tri, &tri)
+///     .unwrap();
+/// // Every edge of the triangle closes through exactly one wedge.
+/// assert!(c.values().iter().all(|&v| v == 1));
+/// ```
+#[derive(Copy, Clone, Debug)]
+pub struct MaskedSpGemm {
+    algorithm: Algorithm,
+    phases: Phases,
+    complemented: bool,
+}
+
+impl MaskedSpGemm {
+    /// Configure an operation with a plain (non-complemented) mask.
+    pub fn new(algorithm: Algorithm, phases: Phases) -> Self {
+        MaskedSpGemm {
+            algorithm,
+            phases,
+            complemented: false,
+        }
+    }
+
+    /// Use the complement of the mask (`C = ¬M ⊙ (A·B)`).
+    pub fn complemented(mut self, yes: bool) -> Self {
+        self.complemented = yes;
+        self
+    }
+
+    /// The configured algorithm.
+    pub fn algorithm(&self) -> Algorithm {
+        self.algorithm
+    }
+
+    /// The configured phase discipline.
+    pub fn phases(&self) -> Phases {
+        self.phases
+    }
+
+    /// Scheme label as used in the paper's plots, e.g. `MSA-1P`.
+    pub fn label(&self) -> String {
+        format!("{}-{}", self.algorithm.name(), self.phases.suffix())
+    }
+
+    /// Execute `C = M ⊙ (A·B)` (or `¬M ⊙`) on the given semiring.
+    pub fn run<S, MT>(
+        &self,
+        sr: S,
+        mask: &CsrMatrix<MT>,
+        a: &CsrMatrix<S::A>,
+        b: &CsrMatrix<S::B>,
+    ) -> Result<CsrMatrix<S::C>, SparseError>
+    where
+        S: Semiring,
+        S::C: Default + Sync,
+        MT: Copy + Sync,
+    {
+        masked_spgemm(
+            self.algorithm,
+            self.phases,
+            self.complemented,
+            sr,
+            mask,
+            a,
+            b,
+        )
+    }
+}
+
+fn check_shapes<MT, A>(
+    mask: &CsrMatrix<MT>,
+    a: &CsrMatrix<A>,
+    b_shape: (usize, usize),
+) -> Result<(), SparseError> {
+    if a.ncols() != b_shape.0 {
+        return Err(SparseError::DimMismatch {
+            op: "masked_spgemm (A·B)",
+            lhs: a.shape(),
+            rhs: b_shape,
+        });
+    }
+    if mask.shape() != (a.nrows(), b_shape.1) {
+        return Err(SparseError::DimMismatch {
+            op: "masked_spgemm (mask)",
+            lhs: mask.shape(),
+            rhs: (a.nrows(), b_shape.1),
+        });
+    }
+    Ok(())
+}
+
+/// Execute a Masked SpGEMM with explicit algorithm/phase selection.
+///
+/// `B` is taken in CSR; [`Algorithm::Inner`] converts it to CSC internally
+/// (use [`masked_spgemm_csc`] to amortize that conversion across calls).
+pub fn masked_spgemm<S, MT>(
+    algorithm: Algorithm,
+    phases: Phases,
+    complemented: bool,
+    sr: S,
+    mask: &CsrMatrix<MT>,
+    a: &CsrMatrix<S::A>,
+    b: &CsrMatrix<S::B>,
+) -> Result<CsrMatrix<S::C>, SparseError>
+where
+    S: Semiring,
+    S::C: Default + Sync,
+    MT: Copy + Sync,
+{
+    check_shapes(mask, a, b.shape())?;
+    if complemented && !algorithm.supports_complement() {
+        return Err(SparseError::Unsupported(
+            "MCA does not support complemented masks",
+        ));
+    }
+    let c = match (algorithm, phases) {
+        (Algorithm::Msa, Phases::One) => {
+            push_one_phase::<S, MsaKernel<S>, MT>(sr, mask, complemented, a, b)
+        }
+        (Algorithm::Msa, Phases::Two) => {
+            push_two_phase::<S, MsaKernel<S>, MT>(sr, mask, complemented, a, b)
+        }
+        (Algorithm::Hash, Phases::One) => {
+            push_one_phase::<S, HashKernel<S>, MT>(sr, mask, complemented, a, b)
+        }
+        (Algorithm::Hash, Phases::Two) => {
+            push_two_phase::<S, HashKernel<S>, MT>(sr, mask, complemented, a, b)
+        }
+        (Algorithm::Mca, Phases::One) => {
+            push_one_phase::<S, McaKernel<S>, MT>(sr, mask, complemented, a, b)
+        }
+        (Algorithm::Mca, Phases::Two) => {
+            push_two_phase::<S, McaKernel<S>, MT>(sr, mask, complemented, a, b)
+        }
+        (Algorithm::Heap, Phases::One) => {
+            push_one_phase::<S, HeapKernel<S, { ninspect::ONE }>, MT>(sr, mask, complemented, a, b)
+        }
+        (Algorithm::Heap, Phases::Two) => {
+            push_two_phase::<S, HeapKernel<S, { ninspect::ONE }>, MT>(sr, mask, complemented, a, b)
+        }
+        (Algorithm::HeapDot, Phases::One) => {
+            push_one_phase::<S, HeapKernel<S, { ninspect::INF }>, MT>(sr, mask, complemented, a, b)
+        }
+        (Algorithm::HeapDot, Phases::Two) => {
+            push_two_phase::<S, HeapKernel<S, { ninspect::INF }>, MT>(sr, mask, complemented, a, b)
+        }
+        (Algorithm::Inner, _) => {
+            let bcsc = CscMatrix::from_csr(b);
+            inner_driver(sr, mask, complemented, a, &bcsc, phases == Phases::Two)
+        }
+    };
+    Ok(c)
+}
+
+/// [`masked_spgemm`] for callers that already hold `B` in CSC form
+/// (only meaningful for [`Algorithm::Inner`]; other algorithms convert
+/// back to CSR, which defeats the purpose — they return an error).
+pub fn masked_spgemm_csc<S, MT>(
+    algorithm: Algorithm,
+    phases: Phases,
+    complemented: bool,
+    sr: S,
+    mask: &CsrMatrix<MT>,
+    a: &CsrMatrix<S::A>,
+    b: &CscMatrix<S::B>,
+) -> Result<CsrMatrix<S::C>, SparseError>
+where
+    S: Semiring,
+    S::C: Default + Sync,
+    MT: Copy + Sync,
+{
+    check_shapes(mask, a, b.shape())?;
+    if algorithm != Algorithm::Inner {
+        return Err(SparseError::Unsupported(
+            "masked_spgemm_csc supports only Algorithm::Inner",
+        ));
+    }
+    if complemented && !algorithm.supports_complement() {
+        return Err(SparseError::Unsupported(
+            "this algorithm does not support complemented masks",
+        ));
+    }
+    Ok(inner_driver(
+        sr,
+        mask,
+        complemented,
+        a,
+        b,
+        phases == Phases::Two,
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernel::testutil::random_csr;
+    use sparse::dense::reference_masked_spgemm;
+    use sparse::{PlusPair, PlusTimes};
+
+    #[test]
+    fn all_schemes_agree_on_all_semirings() {
+        let a = random_csr(20, 20, 1, 30);
+        let b = random_csr(20, 20, 2, 30);
+        let m = random_csr(20, 20, 3, 40).pattern();
+        // plus_times
+        let sr = PlusTimes::<f64>::new();
+        let expect = reference_masked_spgemm(sr, &m, false, &a, &b);
+        for alg in Algorithm::ALL {
+            for ph in Phases::ALL {
+                let got = masked_spgemm(alg, ph, false, sr, &m, &a, &b).unwrap();
+                assert_eq!(got, expect, "{alg:?}-{ph:?}");
+            }
+        }
+        // plus_pair
+        let sp = PlusPair::<f64, f64, u32>::new();
+        let expect = reference_masked_spgemm(sp, &m, false, &a, &b);
+        for alg in Algorithm::ALL {
+            let got = masked_spgemm(alg, Phases::One, false, sp, &m, &a, &b).unwrap();
+            assert_eq!(got, expect, "{alg:?} plus_pair");
+        }
+    }
+
+    #[test]
+    fn complemented_schemes_agree() {
+        let a = random_csr(15, 15, 4, 35);
+        let b = random_csr(15, 15, 5, 35);
+        let m = random_csr(15, 15, 6, 30).pattern();
+        let sr = PlusTimes::<f64>::new();
+        let expect = reference_masked_spgemm(sr, &m, true, &a, &b);
+        for alg in Algorithm::ALL {
+            if !alg.supports_complement() {
+                assert!(masked_spgemm(alg, Phases::One, true, sr, &m, &a, &b).is_err());
+                continue;
+            }
+            for ph in Phases::ALL {
+                let got = masked_spgemm(alg, ph, true, sr, &m, &a, &b).unwrap();
+                assert_eq!(got, expect, "{alg:?}-{ph:?} complemented");
+            }
+        }
+    }
+
+    #[test]
+    fn shape_errors() {
+        let sr = PlusTimes::<f64>::new();
+        let a = CsrMatrix::<f64>::empty(2, 3);
+        let b = CsrMatrix::<f64>::empty(4, 2);
+        let m = CsrMatrix::<()>::empty(2, 2);
+        assert!(masked_spgemm(Algorithm::Msa, Phases::One, false, sr, &m, &a, &b).is_err());
+        let b = CsrMatrix::<f64>::empty(3, 2);
+        let bad_mask = CsrMatrix::<()>::empty(3, 2);
+        assert!(
+            masked_spgemm(Algorithm::Msa, Phases::One, false, sr, &bad_mask, &a, &b).is_err()
+        );
+    }
+
+    #[test]
+    fn labels() {
+        assert_eq!(MaskedSpGemm::new(Algorithm::Msa, Phases::One).label(), "MSA-1P");
+        assert_eq!(
+            MaskedSpGemm::new(Algorithm::HeapDot, Phases::Two).label(),
+            "HeapDot-2P"
+        );
+    }
+
+    #[test]
+    fn csc_entry_point() {
+        let a = random_csr(10, 10, 7, 40);
+        let b = random_csr(10, 10, 8, 40);
+        let m = random_csr(10, 10, 9, 40).pattern();
+        let sr = PlusTimes::<f64>::new();
+        let bc = CscMatrix::from_csr(&b);
+        let expect = reference_masked_spgemm(sr, &m, false, &a, &b);
+        let got = masked_spgemm_csc(Algorithm::Inner, Phases::One, false, sr, &m, &a, &bc).unwrap();
+        assert_eq!(got, expect);
+        assert!(masked_spgemm_csc(Algorithm::Msa, Phases::One, false, sr, &m, &a, &bc).is_err());
+    }
+}

@@ -1,0 +1,468 @@
+//! Parallel drivers: one-phase and two-phase row-parallel execution
+//! (Sections 4.2 and 6).
+//!
+//! Parallelism is coarse-grained across rows, as in the paper ("our
+//! algorithms do not parallelize the formation of individual rows").
+//! Rows are grouped into contiguous chunks, oversubscribed ~16× relative to
+//! the worker count so rayon's work stealing absorbs load imbalance from
+//! skewed degree distributions; each worker keeps one kernel (accumulator
+//! scratch) alive across all rows it processes.
+//!
+//! * **One phase**: each chunk computes its rows into growable thread-local
+//!   buffers; per-row counts are prefix-summed into the final row pointers
+//!   and the buffers are scattered into the output arrays in parallel.
+//!   Memory overhead: one transient copy of the output (the paper's
+//!   "allocate enough, then copy" strategy).
+//! * **Two phases**: a symbolic pass counts each row's nonzeros (pattern
+//!   only), the exact output is allocated, and the numeric pass writes rows
+//!   through a small per-thread scratch directly into their final slots.
+//!   Memory overhead: `O(rows per thread)` scratch, at the cost of doing
+//!   the traversal twice.
+
+use rayon::prelude::*;
+use sparse::{CscMatrix, CsrMatrix, Idx, Semiring};
+
+use crate::algos::inner;
+use crate::kernel::RowKernel;
+
+/// Produce rows of the output, one at a time. Implemented by the push
+/// kernels (closing over CSR `B`), by the pull `Inner` algorithm
+/// (closing over CSC `B`), and by the adaptive [`crate::hybrid`] producer;
+/// lets all of them share the drivers below.
+pub(crate) trait RowProducer<C>: Send {
+    fn compute_row(&mut self, i: usize, out_cols: &mut Vec<Idx>, out_vals: &mut Vec<C>);
+    fn count_row(&mut self, i: usize) -> usize;
+}
+
+struct PushProducer<'m, S: Semiring, K, MT> {
+    sr: S,
+    kernel: K,
+    mask: &'m CsrMatrix<MT>,
+    a: &'m CsrMatrix<S::A>,
+    b: &'m CsrMatrix<S::B>,
+    complemented: bool,
+}
+
+impl<'m, S, K, MT> RowProducer<S::C> for PushProducer<'m, S, K, MT>
+where
+    S: Semiring,
+    K: RowKernel<S>,
+    MT: Copy + Sync,
+{
+    #[inline]
+    fn compute_row(&mut self, i: usize, out_cols: &mut Vec<Idx>, out_vals: &mut Vec<S::C>) {
+        let (mc, _) = self.mask.row(i);
+        let (ac, av) = self.a.row(i);
+        if self.complemented {
+            self.kernel
+                .compute_row_complemented(self.sr, mc, ac, av, self.b, out_cols, out_vals);
+        } else {
+            self.kernel
+                .compute_row(self.sr, mc, ac, av, self.b, out_cols, out_vals);
+        }
+    }
+
+    #[inline]
+    fn count_row(&mut self, i: usize) -> usize {
+        let (mc, _) = self.mask.row(i);
+        let (ac, av) = self.a.row(i);
+        if self.complemented {
+            self.kernel.count_row_complemented(mc, ac, av, self.b)
+        } else {
+            self.kernel.count_row(mc, ac, av, self.b)
+        }
+    }
+}
+
+struct InnerProducer<'m, S: Semiring, MT> {
+    sr: S,
+    mask: &'m CsrMatrix<MT>,
+    a: &'m CsrMatrix<S::A>,
+    b: &'m CscMatrix<S::B>,
+    complemented: bool,
+}
+
+impl<'m, S, MT> RowProducer<S::C> for InnerProducer<'m, S, MT>
+where
+    S: Semiring,
+    MT: Copy + Sync,
+{
+    #[inline]
+    fn compute_row(&mut self, i: usize, out_cols: &mut Vec<Idx>, out_vals: &mut Vec<S::C>) {
+        let (mc, _) = self.mask.row(i);
+        let (ac, av) = self.a.row(i);
+        if self.complemented {
+            inner::inner_row_complemented(self.sr, mc, ac, av, self.b, out_cols, out_vals);
+        } else {
+            inner::inner_row(self.sr, mc, ac, av, self.b, out_cols, out_vals);
+        }
+    }
+
+    #[inline]
+    fn count_row(&mut self, i: usize) -> usize {
+        let (mc, _) = self.mask.row(i);
+        let (ac, _) = self.a.row(i);
+        if self.complemented {
+            inner::inner_count_row_complemented::<S>(mc, ac, self.b)
+        } else {
+            inner::inner_count_row::<S>(mc, ac, self.b)
+        }
+    }
+}
+
+/// Contiguous row ranges, oversubscribed relative to the thread count.
+fn row_chunks(nrows: usize) -> Vec<(usize, usize)> {
+    if nrows == 0 {
+        return Vec::new();
+    }
+    let target = rayon::current_num_threads().max(1) * 16;
+    let chunk = nrows.div_ceil(target).max(1);
+    (0..nrows)
+        .step_by(chunk)
+        .map(|s| (s, (s + chunk).min(nrows)))
+        .collect()
+}
+
+/// Split `buf` into mutable sub-slices at the given cumulative `bounds`
+/// (ascending, last == buf.len()).
+fn split_at_bounds<'a, T>(mut buf: &'a mut [T], bounds: &[usize]) -> Vec<&'a mut [T]> {
+    let mut out = Vec::with_capacity(bounds.len());
+    let mut prev = 0usize;
+    for &b in bounds {
+        let (head, tail) = buf.split_at_mut(b - prev);
+        out.push(head);
+        buf = tail;
+        prev = b;
+    }
+    out
+}
+
+/// One-phase driver: a single numeric pass into thread-local buffers,
+/// followed by a parallel scatter into the final CSR arrays.
+pub(crate) fn one_phase_driver<C, P, F>(nrows: usize, ncols: usize, make: F) -> CsrMatrix<C>
+where
+    C: Copy + Default + Send + Sync,
+    P: RowProducer<C>,
+    F: Fn() -> P + Sync,
+{
+    let chunks = row_chunks(nrows);
+    struct ChunkOut<C> {
+        counts: Vec<usize>,
+        cols: Vec<Idx>,
+        vals: Vec<C>,
+    }
+    let outs: Vec<ChunkOut<C>> = chunks
+        .par_iter()
+        .map(|&(s, e)| {
+            let mut producer = make();
+            let mut counts = Vec::with_capacity(e - s);
+            let mut cols = Vec::new();
+            let mut vals = Vec::new();
+            for i in s..e {
+                let before = cols.len();
+                producer.compute_row(i, &mut cols, &mut vals);
+                counts.push(cols.len() - before);
+            }
+            ChunkOut { counts, cols, vals }
+        })
+        .collect();
+
+    // Row pointers from per-row counts.
+    let mut rowptr = Vec::with_capacity(nrows + 1);
+    rowptr.push(0usize);
+    for out in &outs {
+        for &c in &out.counts {
+            rowptr.push(rowptr.last().unwrap() + c);
+        }
+    }
+    let nnz = *rowptr.last().unwrap();
+
+    // Parallel scatter of chunk buffers into the final arrays.
+    let mut colidx: Vec<Idx> = vec![0; nnz];
+    let mut values: Vec<C> = vec![C::default(); nnz];
+    let bounds: Vec<usize> = chunks.iter().map(|&(_, e)| rowptr[e]).collect();
+    let col_slices = split_at_bounds(&mut colidx, &bounds);
+    let val_slices = split_at_bounds(&mut values, &bounds);
+    outs.par_iter()
+        .zip(col_slices)
+        .zip(val_slices)
+        .for_each(|((out, cs), vs)| {
+            cs.copy_from_slice(&out.cols);
+            vs.copy_from_slice(&out.vals);
+        });
+    CsrMatrix::from_parts_unchecked(nrows, ncols, rowptr, colidx, values)
+}
+
+/// Two-phase driver: symbolic count, exact allocation, then a numeric pass
+/// that writes each row through a small scratch straight into its slot.
+pub(crate) fn two_phase_driver<C, P, F>(nrows: usize, ncols: usize, make: F) -> CsrMatrix<C>
+where
+    C: Copy + Default + Send + Sync,
+    P: RowProducer<C>,
+    F: Fn() -> P + Sync,
+{
+    let chunks = row_chunks(nrows);
+
+    // Symbolic phase.
+    let chunk_counts: Vec<Vec<usize>> = chunks
+        .par_iter()
+        .map(|&(s, e)| {
+            let mut producer = make();
+            (s..e).map(|i| producer.count_row(i)).collect()
+        })
+        .collect();
+    let mut rowptr = Vec::with_capacity(nrows + 1);
+    rowptr.push(0usize);
+    for counts in &chunk_counts {
+        for &c in counts {
+            rowptr.push(rowptr.last().unwrap() + c);
+        }
+    }
+    let nnz = *rowptr.last().unwrap();
+
+    // Numeric phase into exact storage.
+    let mut colidx: Vec<Idx> = vec![0; nnz];
+    let mut values: Vec<C> = vec![C::default(); nnz];
+    let bounds: Vec<usize> = chunks.iter().map(|&(_, e)| rowptr[e]).collect();
+    let col_slices = split_at_bounds(&mut colidx, &bounds);
+    let val_slices = split_at_bounds(&mut values, &bounds);
+    chunks
+        .par_iter()
+        .zip(col_slices)
+        .zip(val_slices)
+        .for_each(|((&(s, e), cs), vs)| {
+            let mut producer = make();
+            let mut rc: Vec<Idx> = Vec::new();
+            let mut rv: Vec<C> = Vec::new();
+            let mut cursor = 0usize;
+            for i in s..e {
+                rc.clear();
+                rv.clear();
+                producer.compute_row(i, &mut rc, &mut rv);
+                debug_assert_eq!(rc.len(), rowptr[i + 1] - rowptr[i], "symbolic/numeric mismatch at row {i}");
+                cs[cursor..cursor + rc.len()].copy_from_slice(&rc);
+                vs[cursor..cursor + rv.len()].copy_from_slice(&rv);
+                cursor += rc.len();
+            }
+            debug_assert_eq!(cursor, cs.len());
+        });
+    CsrMatrix::from_parts_unchecked(nrows, ncols, rowptr, colidx, values)
+}
+
+fn check_dims<MT, A>(mask: &CsrMatrix<MT>, a: &CsrMatrix<A>, nrows_b: usize, ncols_b: usize) {
+    assert_eq!(a.ncols(), nrows_b, "inner dimension mismatch");
+    assert_eq!(mask.nrows(), a.nrows(), "mask rows mismatch");
+    assert_eq!(mask.ncols(), ncols_b, "mask cols mismatch");
+}
+
+/// Largest mask-row nonzero count (sizes hash/MCA accumulators).
+pub fn max_mask_row_nnz<MT>(mask: &CsrMatrix<MT>) -> usize {
+    (0..mask.nrows()).map(|i| mask.row_nnz(i)).max().unwrap_or(0)
+}
+
+/// Run a push-based kernel `K` in one phase.
+pub fn push_one_phase<S, K, MT>(
+    sr: S,
+    mask: &CsrMatrix<MT>,
+    complemented: bool,
+    a: &CsrMatrix<S::A>,
+    b: &CsrMatrix<S::B>,
+) -> CsrMatrix<S::C>
+where
+    S: Semiring,
+    S::C: Default,
+    K: RowKernel<S>,
+    MT: Copy + Sync,
+{
+    check_dims(mask, a, b.nrows(), b.ncols());
+    let max_m = max_mask_row_nnz(mask);
+    let ncols = b.ncols();
+    one_phase_driver(a.nrows(), ncols, || PushProducer {
+        sr,
+        kernel: K::new(ncols, max_m),
+        mask,
+        a,
+        b,
+        complemented,
+    })
+}
+
+/// Run a push-based kernel `K` in two phases (symbolic + numeric).
+pub fn push_two_phase<S, K, MT>(
+    sr: S,
+    mask: &CsrMatrix<MT>,
+    complemented: bool,
+    a: &CsrMatrix<S::A>,
+    b: &CsrMatrix<S::B>,
+) -> CsrMatrix<S::C>
+where
+    S: Semiring,
+    S::C: Default,
+    K: RowKernel<S>,
+    MT: Copy + Sync,
+{
+    check_dims(mask, a, b.nrows(), b.ncols());
+    let max_m = max_mask_row_nnz(mask);
+    let ncols = b.ncols();
+    two_phase_driver(a.nrows(), ncols, || PushProducer {
+        sr,
+        kernel: K::new(ncols, max_m),
+        mask,
+        a,
+        b,
+        complemented,
+    })
+}
+
+/// Run the pull-based `Inner` algorithm (B in CSC) in one or two phases.
+pub fn inner_driver<S, MT>(
+    sr: S,
+    mask: &CsrMatrix<MT>,
+    complemented: bool,
+    a: &CsrMatrix<S::A>,
+    b: &CscMatrix<S::B>,
+    two_phase: bool,
+) -> CsrMatrix<S::C>
+where
+    S: Semiring,
+    S::C: Default + Sync,
+    MT: Copy + Sync,
+{
+    check_dims(mask, a, b.nrows(), b.ncols());
+    let ncols = b.ncols();
+    let make = || InnerProducer {
+        sr,
+        mask,
+        a,
+        b,
+        complemented,
+    };
+    if two_phase {
+        two_phase_driver(a.nrows(), ncols, make)
+    } else {
+        one_phase_driver(a.nrows(), ncols, make)
+    }
+}
+
+/// Build a rayon thread pool with `n` workers (strong-scaling harnesses).
+pub fn thread_pool(n: usize) -> rayon::ThreadPool {
+    rayon::ThreadPoolBuilder::new()
+        .num_threads(n)
+        .build()
+        .expect("failed to build rayon pool")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algos::{ninspect, HashKernel, HeapKernel, McaKernel, MsaKernel};
+    use crate::kernel::testutil::random_csr;
+    use sparse::dense::reference_masked_spgemm;
+    use sparse::PlusTimes;
+
+    #[test]
+    fn chunking_covers_all_rows() {
+        for nrows in [0usize, 1, 7, 100, 1023] {
+            let chunks = row_chunks(nrows);
+            let mut covered = 0usize;
+            let mut prev_end = 0usize;
+            for &(s, e) in &chunks {
+                assert_eq!(s, prev_end);
+                assert!(e > s);
+                covered += e - s;
+                prev_end = e;
+            }
+            assert_eq!(covered, nrows);
+        }
+    }
+
+    #[test]
+    fn split_bounds() {
+        let mut v = vec![0u32; 10];
+        let slices = split_at_bounds(&mut v, &[3, 3, 10]);
+        assert_eq!(slices.len(), 3);
+        assert_eq!(slices[0].len(), 3);
+        assert_eq!(slices[1].len(), 0);
+        assert_eq!(slices[2].len(), 7);
+    }
+
+    /// All drivers × kernels must agree with the dense reference.
+    #[test]
+    fn drivers_match_reference_all_kernels() {
+        let sr = PlusTimes::<f64>::new();
+        for seed in 0..3u64 {
+            let a = random_csr(33, 29, seed * 7 + 1, 25);
+            let b = random_csr(29, 41, seed * 7 + 2, 25);
+            let m = random_csr(33, 41, seed * 7 + 3, 35).pattern();
+            let bc = CscMatrix::from_csr(&b);
+            for compl in [false, true] {
+                let expect = reference_masked_spgemm(sr, &m, compl, &a, &b);
+                type S = PlusTimes<f64>;
+                let results = vec![
+                    ("msa-1p", push_one_phase::<S, MsaKernel<S>, ()>(sr, &m, compl, &a, &b)),
+                    ("msa-2p", push_two_phase::<S, MsaKernel<S>, ()>(sr, &m, compl, &a, &b)),
+                    ("hash-1p", push_one_phase::<S, HashKernel<S>, ()>(sr, &m, compl, &a, &b)),
+                    ("hash-2p", push_two_phase::<S, HashKernel<S>, ()>(sr, &m, compl, &a, &b)),
+                    (
+                        "heap1-1p",
+                        push_one_phase::<S, HeapKernel<S, { ninspect::ONE }>, ()>(
+                            sr, &m, compl, &a, &b,
+                        ),
+                    ),
+                    (
+                        "heapinf-2p",
+                        push_two_phase::<S, HeapKernel<S, { ninspect::INF }>, ()>(
+                            sr, &m, compl, &a, &b,
+                        ),
+                    ),
+                    ("inner-1p", inner_driver(sr, &m, compl, &a, &bc, false)),
+                    ("inner-2p", inner_driver(sr, &m, compl, &a, &bc, true)),
+                ];
+                for (name, got) in results {
+                    assert_eq!(got, expect, "{name} seed={seed} compl={compl}");
+                }
+                if !compl {
+                    let got = push_one_phase::<S, McaKernel<S>, ()>(sr, &m, compl, &a, &b);
+                    assert_eq!(got, expect, "mca-1p seed={seed}");
+                    let got = push_two_phase::<S, McaKernel<S>, ()>(sr, &m, compl, &a, &b);
+                    assert_eq!(got, expect, "mca-2p seed={seed}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn empty_matrices() {
+        let sr = PlusTimes::<f64>::new();
+        let a = CsrMatrix::<f64>::empty(5, 4);
+        let b = CsrMatrix::<f64>::empty(4, 3);
+        let m = CsrMatrix::<()>::empty(5, 3);
+        let c = push_one_phase::<_, MsaKernel<_>, _>(sr, &m, false, &a, &b);
+        assert_eq!(c.shape(), (5, 3));
+        assert_eq!(c.nnz(), 0);
+        let c = push_two_phase::<_, HashKernel<_>, _>(sr, &m, true, &a, &b);
+        assert_eq!(c.nnz(), 0);
+    }
+
+    #[test]
+    fn custom_thread_pool_runs_driver() {
+        let sr = PlusTimes::<f64>::new();
+        let a = random_csr(50, 50, 9, 20);
+        let b = random_csr(50, 50, 10, 20);
+        let m = random_csr(50, 50, 11, 30).pattern();
+        let expect = push_one_phase::<_, MsaKernel<_>, _>(sr, &m, false, &a, &b);
+        let pool = thread_pool(2);
+        let got = pool.install(|| push_one_phase::<_, MsaKernel<_>, _>(sr, &m, false, &a, &b));
+        assert_eq!(got, expect);
+    }
+
+    #[test]
+    #[should_panic(expected = "inner dimension mismatch")]
+    fn dim_mismatch_panics() {
+        let sr = PlusTimes::<f64>::new();
+        let a = CsrMatrix::<f64>::empty(2, 3);
+        let b = CsrMatrix::<f64>::empty(4, 2);
+        let m = CsrMatrix::<()>::empty(2, 2);
+        push_one_phase::<_, MsaKernel<_>, _>(sr, &m, false, &a, &b);
+    }
+}

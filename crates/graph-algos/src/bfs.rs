@@ -1,0 +1,203 @@
+//! Direction-optimized breadth-first search on masked SpGEVM.
+//!
+//! Masking entered sparse linear algebra through exactly this computation
+//! (paper Section 4, citing Beamer's direction-optimization and
+//! Yang et al.'s push-pull): the frontier expands as
+//! `next = ¬visited ⊙ (frontier · A)`, where the complemented mask *is* the
+//! "don't rediscover visited vertices" filter. **Push** evaluates that with
+//! a row-scatter accumulator (MSA); **pull** evaluates it with one dot
+//! product per unvisited vertex (Inner); the **auto** mode switches per
+//! level with Beamer's work heuristic.
+
+use sparse::semiring::BoolAndOr;
+use sparse::{CscMatrix, CsrMatrix, Idx, SparseVec};
+
+use masked_spgemm::{masked_spgevm, masked_spgevm_csc, Algorithm};
+
+/// Traversal direction policy.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum Direction {
+    /// Always scatter from the frontier (masked MSA SpGEVM).
+    Push,
+    /// Always gather into unvisited vertices (masked Inner SpGEVM).
+    Pull,
+    /// Switch per level: pull when the frontier's outgoing work exceeds
+    /// the number of unvisited vertices, push otherwise.
+    Auto,
+}
+
+/// Result of a BFS traversal.
+#[derive(Clone, Debug)]
+pub struct BfsResult {
+    /// Level per vertex; `-1` = unreached.
+    pub levels: Vec<i64>,
+    /// Number of expansion steps taken.
+    pub depth: usize,
+    /// Direction actually used at each level (interesting for `Auto`).
+    pub directions: Vec<Direction>,
+}
+
+/// Sorted-merge union of two ascending index lists.
+fn union_sorted(a: &[Idx], b: &[Idx]) -> Vec<Idx> {
+    let mut out = Vec::with_capacity(a.len() + b.len());
+    let (mut p, mut q) = (0usize, 0usize);
+    while p < a.len() || q < b.len() {
+        if q >= b.len() || (p < a.len() && a[p] < b[q]) {
+            out.push(a[p]);
+            p += 1;
+        } else if p >= a.len() || b[q] < a[p] {
+            out.push(b[q]);
+            q += 1;
+        } else {
+            out.push(a[p]);
+            p += 1;
+            q += 1;
+        }
+    }
+    out
+}
+
+/// BFS from `source` over the (symmetric-pattern) adjacency matrix.
+pub fn bfs(adj: &CsrMatrix<f64>, source: Idx, policy: Direction) -> BfsResult {
+    let n = adj.nrows();
+    assert_eq!(adj.ncols(), n, "adjacency must be square");
+    assert!((source as usize) < n, "source out of range");
+    let adj_bool = adj.map(|_| true);
+    let adj_csc = CscMatrix::from_csr(&adj_bool);
+    let avg_deg = if n > 0 { adj.nnz() as f64 / n as f64 } else { 0.0 };
+
+    let mut levels = vec![-1i64; n];
+    levels[source as usize] = 0;
+    let mut visited_idx: Vec<Idx> = vec![source];
+    let mut frontier = SparseVec::try_new(n, vec![source], vec![true]).expect("valid frontier");
+    let mut depth = 0usize;
+    let mut directions = Vec::new();
+
+    while !frontier.is_empty() {
+        let visited_mask =
+            SparseVec::try_new(n, visited_idx.clone(), vec![(); visited_idx.len()])
+                .expect("visited sorted");
+        let use_pull = match policy {
+            Direction::Push => false,
+            Direction::Pull => true,
+            Direction::Auto => {
+                let frontier_work = frontier.nnz() as f64 * avg_deg;
+                let unvisited = (n - visited_idx.len()) as f64;
+                frontier_work > unvisited
+            }
+        };
+        let next: SparseVec<bool> = if use_pull {
+            masked_spgevm_csc(true, BoolAndOr, &visited_mask, &frontier, &adj_csc)
+                .expect("dims agree")
+        } else {
+            masked_spgevm(Algorithm::Msa, true, BoolAndOr, &visited_mask, &frontier, &adj_bool)
+                .expect("dims agree")
+        };
+        directions.push(if use_pull {
+            Direction::Pull
+        } else {
+            Direction::Push
+        });
+        if next.is_empty() {
+            break;
+        }
+        depth += 1;
+        for (v, _) in next.iter() {
+            levels[v as usize] = depth as i64;
+        }
+        visited_idx = union_sorted(&visited_idx, next.indices());
+        frontier = next;
+    }
+    BfsResult {
+        levels,
+        depth,
+        directions,
+    }
+}
+
+/// Serial reference BFS (queue-based), for tests.
+pub fn bfs_reference(adj: &CsrMatrix<f64>, source: Idx) -> Vec<i64> {
+    let n = adj.nrows();
+    let mut levels = vec![-1i64; n];
+    levels[source as usize] = 0;
+    let mut queue = std::collections::VecDeque::from([source as usize]);
+    while let Some(v) = queue.pop_front() {
+        let (nbrs, _) = adj.row(v);
+        for &w in nbrs {
+            if levels[w as usize] < 0 {
+                levels[w as usize] = levels[v] + 1;
+                queue.push_back(w as usize);
+            }
+        }
+    }
+    levels
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use graphs::to_undirected_simple;
+
+    #[test]
+    fn union_merges() {
+        assert_eq!(union_sorted(&[1, 3, 5], &[2, 3, 6]), vec![1, 2, 3, 5, 6]);
+        assert_eq!(union_sorted(&[], &[1]), vec![1]);
+        assert_eq!(union_sorted(&[1], &[]), vec![1]);
+    }
+
+    #[test]
+    fn all_policies_match_reference() {
+        for seed in 0..3 {
+            let adj = to_undirected_simple(&graphs::erdos_renyi(200, 3.0, seed));
+            let expect = bfs_reference(&adj, 0);
+            for policy in [Direction::Push, Direction::Pull, Direction::Auto] {
+                let got = bfs(&adj, 0, policy);
+                assert_eq!(got.levels, expect, "seed={seed} {policy:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn auto_switches_direction_on_expander() {
+        // On a well-connected random graph the frontier explodes by level
+        // 2-3, which should trip the pull heuristic at least once.
+        let adj = to_undirected_simple(&graphs::erdos_renyi(2000, 8.0, 7));
+        let r = bfs(&adj, 0, Direction::Auto);
+        assert!(
+            r.directions.contains(&Direction::Pull),
+            "never pulled: {:?}",
+            r.directions
+        );
+        assert!(
+            r.directions.contains(&Direction::Push),
+            "never pushed: {:?}",
+            r.directions
+        );
+        assert_eq!(r.levels, bfs_reference(&adj, 0));
+    }
+
+    #[test]
+    fn disconnected_component_unreached() {
+        let mut coo = sparse::CooMatrix::new(5, 5);
+        coo.push(0, 1, 1.0);
+        coo.push(1, 0, 1.0);
+        coo.push(2, 3, 1.0);
+        coo.push(3, 2, 1.0);
+        let adj = coo.to_csr();
+        let r = bfs(&adj, 0, Direction::Auto);
+        assert_eq!(r.levels, vec![0, 1, -1, -1, -1]);
+        assert_eq!(r.depth, 1);
+    }
+
+    #[test]
+    fn path_graph_depth() {
+        let mut coo = sparse::CooMatrix::new(6, 6);
+        for i in 0..5u32 {
+            coo.push(i, i + 1, 1.0);
+            coo.push(i + 1, i, 1.0);
+        }
+        let r = bfs(&coo.to_csr(), 0, Direction::Push);
+        assert_eq!(r.depth, 5);
+        assert_eq!(r.levels, vec![0, 1, 2, 3, 4, 5]);
+    }
+}

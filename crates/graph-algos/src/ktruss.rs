@@ -1,0 +1,144 @@
+//! k-truss decomposition (paper Section 8.3).
+//!
+//! The k-truss of a graph is the maximal subgraph in which every edge is
+//! supported by at least `k − 2` triangles. The matrix formulation computes
+//! edge supports with one Masked SpGEMM per iteration —
+//! `S = A ⊙ (A·A)` on `plus_pair`, where the mask is the current edge set
+//! itself — prunes under-supported edges, and repeats until a fixed point.
+//! The mask gets sparser every iteration, which is why pull-based schemes
+//! shine here (paper Figure 14).
+
+use sparse::{CscMatrix, CsrMatrix, PlusPair, SparseError};
+
+use crate::scheme::Scheme;
+
+/// Outcome of a k-truss computation.
+#[derive(Clone, Debug)]
+pub struct KtrussResult {
+    /// The surviving edge set (symmetric pattern, unit values).
+    pub truss: CsrMatrix<f64>,
+    /// Masked-SpGEMM iterations until the fixed point.
+    pub iterations: usize,
+    /// Σ flops(A·A) over all iterations — numerator of the paper's GFLOPS
+    /// metric for this benchmark.
+    pub total_flops: u64,
+}
+
+/// Compute the k-truss of a simple undirected graph with the given scheme.
+///
+/// `adj` must have a symmetric pattern (as produced by
+/// [`graphs::to_undirected_simple`]).
+pub fn ktruss(scheme: Scheme, adj: &CsrMatrix<f64>, k: usize) -> Result<KtrussResult, SparseError> {
+    assert!(k >= 3, "k-truss needs k >= 3");
+    let min_support = (k - 2) as u64;
+    let sr = PlusPair::<f64, f64, u64>::new();
+    let mut current = adj.clone();
+    let mut iterations = 0usize;
+    let mut total_flops = 0u64;
+    loop {
+        iterations += 1;
+        total_flops += masked_spgemm::flops(&current, &current);
+        let csc = CscMatrix::from_csr(&current);
+        // Support of every surviving edge: common-neighbor counts masked to
+        // the current edge set.
+        let support = scheme.run(sr, &current, false, &current, &current, &csc)?;
+        // Keep edges with enough support. `support` may lack entries for
+        // edges with zero wedges — those are pruned implicitly.
+        let kept = support.filter(|_, _, &s| s >= min_support).map(|_| 1.0f64);
+        if kept.nnz() == current.nnz() {
+            return Ok(KtrussResult {
+                truss: kept,
+                iterations,
+                total_flops,
+            });
+        }
+        if kept.nnz() == 0 {
+            return Ok(KtrussResult {
+                truss: kept,
+                iterations,
+                total_flops,
+            });
+        }
+        current = kept;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reference::ktruss_reference;
+    use graphs::to_undirected_simple;
+    use masked_spgemm::{Algorithm, Phases};
+
+    fn check_all_schemes(adj: &CsrMatrix<f64>, k: usize) {
+        let expected = ktruss_reference(adj, k);
+        for s in Scheme::all_ours().into_iter().chain(Scheme::baselines()) {
+            let got = ktruss(s, adj, k).unwrap();
+            assert_eq!(
+                got.truss.pattern(),
+                expected.pattern(),
+                "{} k={k}",
+                s.label()
+            );
+        }
+    }
+
+    fn k4_plus_tail() -> CsrMatrix<f64> {
+        // K4 on {0,1,2,3} plus a pendant edge 3-4: the 3-truss is K4.
+        let mut coo = sparse::CooMatrix::new(5, 5);
+        for i in 0..4u32 {
+            for j in 0..4u32 {
+                if i != j {
+                    coo.push(i, j, 1.0);
+                }
+            }
+        }
+        coo.push(3, 4, 1.0);
+        coo.push(4, 3, 1.0);
+        coo.to_csr()
+    }
+
+    #[test]
+    fn k4_tail_3truss_is_k4() {
+        let adj = k4_plus_tail();
+        let r = ktruss(Scheme::Ours(Algorithm::Msa, Phases::One), &adj, 3).unwrap();
+        assert_eq!(r.truss.nnz(), 12); // K4 edges, both directions
+        assert!(r.truss.get(3, 4).is_none());
+        assert!(r.iterations >= 2);
+        assert!(r.total_flops > 0);
+    }
+
+    #[test]
+    fn k4_tail_5truss_is_empty() {
+        // K4 edges have support 2, so the 5-truss (needs >= 3) is empty.
+        let r = ktruss(Scheme::Ours(Algorithm::Hash, Phases::Two), &k4_plus_tail(), 5).unwrap();
+        assert_eq!(r.truss.nnz(), 0);
+    }
+
+    #[test]
+    fn all_schemes_agree_on_random_graphs() {
+        for seed in 0..2 {
+            let adj = to_undirected_simple(&graphs::erdos_renyi(40, 10.0, seed));
+            check_all_schemes(&adj, 3);
+            check_all_schemes(&adj, 4);
+        }
+    }
+
+    #[test]
+    fn triangle_free_graph_has_empty_truss() {
+        // 4-cycle has no triangles.
+        let mut coo = sparse::CooMatrix::new(4, 4);
+        for (i, j) in [(0u32, 1u32), (1, 2), (2, 3), (3, 0)] {
+            coo.push(i, j, 1.0);
+            coo.push(j, i, 1.0);
+        }
+        let r = ktruss(Scheme::Ours(Algorithm::Mca, Phases::One), &coo.to_csr(), 3).unwrap();
+        assert_eq!(r.truss.nnz(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "k >= 3")]
+    fn rejects_small_k() {
+        let _ = ktruss(Scheme::SsSaxpy, &k4_plus_tail(), 2);
+    }
+}

@@ -1,0 +1,24 @@
+#![warn(missing_docs)]
+
+//! Graph-analytics benchmarks built on Masked SpGEMM (paper Section 7):
+//! Triangle Counting, k-truss, and Betweenness Centrality, each
+//! parameterized over the [`Scheme`] (our six algorithms × 1P/2P, plus the
+//! SS:GB-like baselines) so the harnesses in `crates/bench` can sweep them.
+//!
+//! Serial textbook implementations in [`reference`] validate every
+//! benchmark end-to-end.
+
+pub mod bc;
+pub mod bfs;
+pub mod ktruss;
+pub mod reference;
+pub mod scheme;
+pub mod similarity;
+pub mod triangle;
+
+pub use bc::{betweenness_centrality, BcResult};
+pub use bfs::{bfs, BfsResult, Direction};
+pub use ktruss::{ktruss, KtrussResult};
+pub use scheme::Scheme;
+pub use similarity::masked_cosine_similarity;
+pub use triangle::{prepare_triangle_input, triangle_count};

@@ -1,0 +1,185 @@
+//! Serial textbook implementations used as oracles in tests.
+//!
+//! These are deliberately simple (adjacency walks, BFS queues) and make no
+//! use of the sparse kernels under test.
+
+use std::collections::VecDeque;
+
+use sparse::{CsrMatrix, Idx};
+
+/// Brute-force triangle count of a simple undirected graph: for every edge
+/// `(u,v)` with `u < v`, count common neighbors `w > v` (each triangle
+/// counted once).
+pub fn triangle_count_reference(adj: &CsrMatrix<f64>) -> u64 {
+    let n = adj.nrows();
+    let mut count = 0u64;
+    for u in 0..n {
+        let (nu, _) = adj.row(u);
+        for &v in nu {
+            let v = v as usize;
+            if v <= u {
+                continue;
+            }
+            let (nv, _) = adj.row(v);
+            // common neighbors w with w > v
+            let (mut p, mut q) = (0usize, 0usize);
+            while p < nu.len() && q < nv.len() {
+                match nu[p].cmp(&nv[q]) {
+                    std::cmp::Ordering::Less => p += 1,
+                    std::cmp::Ordering::Greater => q += 1,
+                    std::cmp::Ordering::Equal => {
+                        if (nu[p] as usize) > v {
+                            count += 1;
+                        }
+                        p += 1;
+                        q += 1;
+                    }
+                }
+            }
+        }
+    }
+    count
+}
+
+/// Per-edge triangle support, brute force.
+fn edge_supports(adj: &CsrMatrix<f64>) -> Vec<u64> {
+    let mut support = vec![0u64; adj.nnz()];
+    let rowptr = adj.rowptr();
+    for u in 0..adj.nrows() {
+        let (nu, _) = adj.row(u);
+        for (off, &v) in nu.iter().enumerate() {
+            let (nv, _) = adj.row(v as usize);
+            let (mut p, mut q) = (0usize, 0usize);
+            let mut c = 0u64;
+            while p < nu.len() && q < nv.len() {
+                match nu[p].cmp(&nv[q]) {
+                    std::cmp::Ordering::Less => p += 1,
+                    std::cmp::Ordering::Greater => q += 1,
+                    std::cmp::Ordering::Equal => {
+                        c += 1;
+                        p += 1;
+                        q += 1;
+                    }
+                }
+            }
+            support[rowptr[u] + off] = c;
+        }
+    }
+    support
+}
+
+/// Iterative k-truss by repeated support computation and pruning.
+pub fn ktruss_reference(adj: &CsrMatrix<f64>, k: usize) -> CsrMatrix<f64> {
+    assert!(k >= 3);
+    let min_support = (k - 2) as u64;
+    let mut current = adj.clone();
+    loop {
+        let support = edge_supports(&current);
+        // `filter` visits entries in row-major order — the same order
+        // `edge_supports` filled its vector in.
+        let mut idx = 0usize;
+        let kept = current.filter(|_, _, _| {
+            let keep = support[idx] >= min_support;
+            idx += 1;
+            keep
+        });
+        if kept.nnz() == current.nnz() || kept.nnz() == 0 {
+            return kept;
+        }
+        current = kept;
+    }
+}
+
+/// Serial Brandes betweenness centrality from the given sources
+/// (unnormalized, endpoints excluded).
+pub fn brandes_reference(adj: &CsrMatrix<f64>, sources: &[Idx]) -> Vec<f64> {
+    let n = adj.nrows();
+    let mut bc = vec![0.0f64; n];
+    for &s in sources {
+        let mut sigma = vec![0.0f64; n];
+        let mut dist = vec![-1i64; n];
+        let mut order: Vec<usize> = Vec::new();
+        let mut queue = VecDeque::new();
+        sigma[s as usize] = 1.0;
+        dist[s as usize] = 0;
+        queue.push_back(s as usize);
+        while let Some(v) = queue.pop_front() {
+            order.push(v);
+            let (nbrs, _) = adj.row(v);
+            for &w in nbrs {
+                let w = w as usize;
+                if dist[w] < 0 {
+                    dist[w] = dist[v] + 1;
+                    queue.push_back(w);
+                }
+                if dist[w] == dist[v] + 1 {
+                    sigma[w] += sigma[v];
+                }
+            }
+        }
+        let mut delta = vec![0.0f64; n];
+        for &v in order.iter().rev() {
+            let (nbrs, _) = adj.row(v);
+            for &w in nbrs {
+                let w = w as usize;
+                if dist[w] == dist[v] + 1 {
+                    delta[v] += sigma[v] / sigma[w] * (1.0 + delta[w]);
+                }
+            }
+            if v != s as usize {
+                bc[v] += delta[v];
+            }
+        }
+    }
+    bc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn k4() -> CsrMatrix<f64> {
+        let mut coo = sparse::CooMatrix::new(4, 4);
+        for i in 0..4u32 {
+            for j in 0..4u32 {
+                if i != j {
+                    coo.push(i, j, 1.0);
+                }
+            }
+        }
+        coo.to_csr()
+    }
+
+    #[test]
+    fn k4_triangles() {
+        assert_eq!(triangle_count_reference(&k4()), 4);
+    }
+
+    #[test]
+    fn k4_supports() {
+        // Every edge of K4 is in exactly 2 triangles.
+        assert!(edge_supports(&k4()).iter().all(|&s| s == 2));
+    }
+
+    #[test]
+    fn k4_is_its_own_4truss() {
+        let t = ktruss_reference(&k4(), 4);
+        assert_eq!(t.nnz(), 12);
+        let t = ktruss_reference(&k4(), 5);
+        assert_eq!(t.nnz(), 0);
+    }
+
+    #[test]
+    fn brandes_path() {
+        // Path 0-1-2: from all sources, vertex 1 carries paths (0,2) and
+        // (2,0): bc[1] = 2.
+        let mut coo = sparse::CooMatrix::new(3, 3);
+        for (i, j) in [(0u32, 1u32), (1, 2)] {
+            coo.push(i, j, 1.0);
+            coo.push(j, i, 1.0);
+        }
+        let adj = coo.to_csr();
+        let bc = brandes_reference(&adj, &[0, 1, 2]);
+        assert_eq!(bc, vec![0.0, 2.0, 0.0]);
+    }
+}

@@ -1,0 +1,104 @@
+//! Erdős-Rényi `G(n, d/n)` generator.
+//!
+//! Used by the density sweep of Figure 7: matrices and masks with a chosen
+//! expected degree and no structure. Edges are sampled per row by skipping
+//! geometrically through the column range, so generation is `O(nnz)` and
+//! trivially row-parallel.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rayon::prelude::*;
+use sparse::{CsrMatrix, Idx};
+
+/// Directed Erdős-Rényi matrix: each of the `n × n` positions holds an
+/// entry independently with probability `degree / n`, values 1.0.
+///
+/// `degree > n` is clamped to a full matrix. Deterministic in `seed`
+/// (each row derives its own RNG, so results do not depend on thread
+/// count or scheduling).
+pub fn erdos_renyi(n: usize, degree: f64, seed: u64) -> CsrMatrix<f64> {
+    assert!(n > 0, "empty graph");
+    let p = (degree / n as f64).min(1.0);
+    if p <= 0.0 {
+        return CsrMatrix::empty(n, n);
+    }
+    let rows: Vec<Vec<Idx>> = (0..n)
+        .into_par_iter()
+        .map(|i| {
+            let mut rng = StdRng::seed_from_u64(seed ^ (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+            let mut cols = Vec::new();
+            if p >= 1.0 {
+                cols.extend(0..n as Idx);
+                return cols;
+            }
+            // Geometric skipping: next gap ~ Geom(p).
+            let log1mp = (1.0 - p).ln();
+            let mut j = -1.0f64;
+            loop {
+                let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+                j += 1.0 + (u.ln() / log1mp).floor();
+                if j >= n as f64 {
+                    break;
+                }
+                cols.push(j as Idx);
+            }
+            cols
+        })
+        .collect();
+    let mut rowptr = Vec::with_capacity(n + 1);
+    rowptr.push(0usize);
+    let total: usize = rows.iter().map(|r| r.len()).sum();
+    let mut colidx = Vec::with_capacity(total);
+    for r in rows {
+        colidx.extend_from_slice(&r);
+        rowptr.push(colidx.len());
+    }
+    let values = vec![1.0f64; colidx.len()];
+    CsrMatrix::from_parts_unchecked(n, n, rowptr, colidx, values)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic() {
+        let a = erdos_renyi(100, 8.0, 42);
+        let b = erdos_renyi(100, 8.0, 42);
+        assert_eq!(a, b);
+        let c = erdos_renyi(100, 8.0, 43);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn expected_degree_roughly_met() {
+        let n = 2000;
+        let a = erdos_renyi(n, 16.0, 7);
+        let avg = a.nnz() as f64 / n as f64;
+        assert!(
+            (avg - 16.0).abs() < 1.5,
+            "average degree {avg} too far from 16"
+        );
+    }
+
+    #[test]
+    fn rows_sorted_and_in_range() {
+        let a = erdos_renyi(200, 5.0, 1);
+        for i in 0..200 {
+            let (cols, _) = a.row(i);
+            assert!(cols.windows(2).all(|w| w[0] < w[1]));
+            assert!(cols.iter().all(|&j| (j as usize) < 200));
+        }
+    }
+
+    #[test]
+    fn degree_zero_empty() {
+        assert_eq!(erdos_renyi(50, 0.0, 3).nnz(), 0);
+    }
+
+    #[test]
+    fn degree_above_n_full() {
+        let a = erdos_renyi(10, 100.0, 3);
+        assert_eq!(a.nnz(), 100);
+    }
+}

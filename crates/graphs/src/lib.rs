@@ -1,0 +1,25 @@
+#![warn(missing_docs)]
+
+//! Synthetic graph generators for the evaluation (Section 7).
+//!
+//! The paper's controlled experiments use Erdős-Rényi graphs and R-MAT
+//! graphs with Graph500 parameters; its real-world experiments use 26
+//! SuiteSparse matrices. The SuiteSparse collection is not available in
+//! this offline reproduction, so [`suite`] provides a deterministic
+//! 26-graph synthetic substitute spanning the same axes (size, density,
+//! degree skew, structure) — see DESIGN.md, substitution 1.
+//!
+//! All generators are seeded and deterministic.
+
+pub mod erdos_renyi;
+pub mod rmat;
+pub mod stats;
+pub mod structured;
+pub mod suite;
+pub mod util;
+
+pub use erdos_renyi::erdos_renyi;
+pub use rmat::{rmat, RmatParams};
+pub use structured::{grid2d, preferential_attachment, ring_lattice};
+pub use suite::{suite, SuiteGraph};
+pub use util::{relabel_by_degree, to_undirected_simple};

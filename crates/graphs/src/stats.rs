@@ -1,0 +1,131 @@
+//! Degree statistics for characterizing generated graphs (used by the
+//! `table02_suite` harness and when validating that the synthetic suite
+//! spans the intended skew axes).
+
+use sparse::CsrMatrix;
+
+/// Summary statistics of a degree sequence.
+#[derive(Clone, Debug, PartialEq)]
+pub struct DegreeStats {
+    /// Smallest degree.
+    pub min: usize,
+    /// Largest degree.
+    pub max: usize,
+    /// Mean degree.
+    pub mean: f64,
+    /// Median degree.
+    pub median: usize,
+    /// 99th-percentile degree (nearest-rank).
+    pub p99: usize,
+    /// `max / mean` — a quick skew indicator (≈1 for regular graphs,
+    /// ≫1 for power laws).
+    pub skew: f64,
+}
+
+/// Compute degree statistics over the rows of a square graph matrix.
+pub fn degree_stats<T>(a: &CsrMatrix<T>) -> DegreeStats {
+    let n = a.nrows();
+    assert!(n > 0, "empty graph");
+    let mut degs: Vec<usize> = (0..n).map(|i| a.row_nnz(i)).collect();
+    degs.sort_unstable();
+    let mean = a.nnz() as f64 / n as f64;
+    let nearest_rank = |q: f64| degs[(((q * n as f64).ceil() as usize).max(1) - 1).min(n - 1)];
+    DegreeStats {
+        min: degs[0],
+        max: degs[n - 1],
+        mean,
+        median: nearest_rank(0.5),
+        p99: nearest_rank(0.99),
+        skew: if mean > 0.0 {
+            degs[n - 1] as f64 / mean
+        } else {
+            0.0
+        },
+    }
+}
+
+/// Log-binned degree histogram: `(lower_bound, count)` per power-of-two bin
+/// (bin `k` covers degrees `[2^k, 2^(k+1))`; degree 0 has its own bin
+/// reported as lower bound 0).
+pub fn degree_histogram<T>(a: &CsrMatrix<T>) -> Vec<(usize, usize)> {
+    let mut bins: Vec<usize> = Vec::new();
+    let mut zeros = 0usize;
+    for i in 0..a.nrows() {
+        let d = a.row_nnz(i);
+        if d == 0 {
+            zeros += 1;
+            continue;
+        }
+        let k = usize::BITS as usize - 1 - d.leading_zeros() as usize;
+        if bins.len() <= k {
+            bins.resize(k + 1, 0);
+        }
+        bins[k] += 1;
+    }
+    let mut out = Vec::new();
+    if zeros > 0 {
+        out.push((0, zeros));
+    }
+    for (k, &c) in bins.iter().enumerate() {
+        if c > 0 {
+            out.push((1 << k, c));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::erdos_renyi::erdos_renyi;
+    use crate::rmat::{rmat, RmatParams};
+    use crate::structured::ring_lattice;
+
+    #[test]
+    fn regular_graph_has_no_skew() {
+        let g = ring_lattice(64, 3);
+        let s = degree_stats(&g);
+        assert_eq!(s.min, 6);
+        assert_eq!(s.max, 6);
+        assert_eq!(s.median, 6);
+        assert!((s.skew - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rmat_skew_exceeds_er_skew() {
+        let er = erdos_renyi(1 << 10, 16.0, 1);
+        let rm = rmat(10, RmatParams::default(), 1);
+        let s_er = degree_stats(&er);
+        let s_rm = degree_stats(&rm);
+        assert!(
+            s_rm.skew > 2.0 * s_er.skew,
+            "rmat skew {} vs er skew {}",
+            s_rm.skew,
+            s_er.skew
+        );
+        assert!(s_rm.p99 > s_rm.median);
+    }
+
+    #[test]
+    fn histogram_partitions_vertices() {
+        let g = rmat(9, RmatParams::default(), 2);
+        let h = degree_histogram(&g);
+        let total: usize = h.iter().map(|&(_, c)| c).sum();
+        assert_eq!(total, g.nrows());
+        // Bins sorted by lower bound.
+        assert!(h.windows(2).all(|w| w[0].0 < w[1].0));
+    }
+
+    #[test]
+    fn histogram_zero_bin() {
+        let g = sparse::CsrMatrix::<f64>::empty(5, 5);
+        assert_eq!(degree_histogram(&g), vec![(0, 5)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty graph")]
+    fn stats_reject_zero_rows() {
+        let g = sparse::CsrMatrix::<f64>::empty(0, 0);
+        let _ = degree_stats(&g);
+    }
+}

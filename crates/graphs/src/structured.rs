@@ -1,0 +1,135 @@
+//! Structured generators: 2-D grids, ring lattices, and preferential
+//! attachment. Together with Erdős-Rényi and R-MAT these span the axes of
+//! the SuiteSparse suite the paper evaluates on — locality (grids,
+//! lattices), skew (preferential attachment), and randomness (ER).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use sparse::{CooMatrix, CsrMatrix, Idx};
+
+/// 5-point-stencil 2-D grid graph on `rows × cols` vertices
+/// (4-neighborhood, undirected, no self loops). Models mesh-like matrices
+/// with strong locality and bounded degree.
+pub fn grid2d(rows: usize, cols: usize) -> CsrMatrix<f64> {
+    let n = rows * cols;
+    let id = |r: usize, c: usize| (r * cols + c) as Idx;
+    let mut coo = CooMatrix::new(n, n);
+    for r in 0..rows {
+        for c in 0..cols {
+            if c + 1 < cols {
+                coo.push(id(r, c), id(r, c + 1), 1.0);
+                coo.push(id(r, c + 1), id(r, c), 1.0);
+            }
+            if r + 1 < rows {
+                coo.push(id(r, c), id(r + 1, c), 1.0);
+                coo.push(id(r + 1, c), id(r, c), 1.0);
+            }
+        }
+    }
+    coo.to_csr()
+}
+
+/// Ring lattice: every vertex connects to its `k` nearest neighbors on each
+/// side (undirected). Small-world substrate with uniform degree `2k`.
+pub fn ring_lattice(n: usize, k: usize) -> CsrMatrix<f64> {
+    assert!(2 * k < n, "ring lattice requires 2k < n");
+    let mut coo = CooMatrix::new(n, n);
+    for i in 0..n {
+        for d in 1..=k {
+            let j = (i + d) % n;
+            coo.push(i as Idx, j as Idx, 1.0);
+            coo.push(j as Idx, i as Idx, 1.0);
+        }
+    }
+    coo.to_csr_with(|a, _| *a)
+}
+
+/// Barabási-Albert-style preferential attachment: each new vertex attaches
+/// `m` edges to existing vertices chosen proportionally to their current
+/// degree. Produces the heavy-tailed degree distributions typical of web
+/// and social graphs. Undirected, deterministic in `seed`.
+pub fn preferential_attachment(n: usize, m: usize, seed: u64) -> CsrMatrix<f64> {
+    assert!(n > m && m >= 1, "need n > m >= 1");
+    let mut rng = StdRng::seed_from_u64(seed);
+    // Repeated-endpoint list trick: picking a uniform element of `targets`
+    // is degree-proportional sampling.
+    let mut targets: Vec<Idx> = Vec::with_capacity(2 * n * m);
+    let mut coo = CooMatrix::new(n, n);
+    // Seed clique over the first m+1 vertices.
+    for i in 0..=m {
+        for j in 0..i {
+            coo.push(i as Idx, j as Idx, 1.0);
+            coo.push(j as Idx, i as Idx, 1.0);
+            targets.push(i as Idx);
+            targets.push(j as Idx);
+        }
+    }
+    for v in (m + 1)..n {
+        let mut chosen: Vec<Idx> = Vec::with_capacity(m);
+        while chosen.len() < m {
+            let t = targets[rng.gen_range(0..targets.len())];
+            if t != v as Idx && !chosen.contains(&t) {
+                chosen.push(t);
+            }
+        }
+        for &t in &chosen {
+            coo.push(v as Idx, t, 1.0);
+            coo.push(t, v as Idx, 1.0);
+            targets.push(v as Idx);
+            targets.push(t);
+        }
+    }
+    coo.to_csr_with(|a, _| *a)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sparse::triangular::is_pattern_symmetric;
+
+    #[test]
+    fn grid_degrees() {
+        let g = grid2d(3, 4);
+        assert_eq!(g.shape(), (12, 12));
+        assert!(is_pattern_symmetric(&g));
+        // Corner has degree 2, interior degree 4.
+        assert_eq!(g.row_nnz(0), 2);
+        assert_eq!(g.row_nnz(5), 4); // (1,1) interior
+        // Edge count: 2*(3*3 + 2*4) = ... horizontal 3*3=9, vertical 2*4=8 -> 17 edges -> 34 nnz
+        assert_eq!(g.nnz(), 34);
+    }
+
+    #[test]
+    fn ring_uniform_degree() {
+        let g = ring_lattice(10, 2);
+        assert!(is_pattern_symmetric(&g));
+        for i in 0..10 {
+            assert_eq!(g.row_nnz(i), 4, "vertex {i}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "2k < n")]
+    fn ring_rejects_overfull() {
+        ring_lattice(4, 2);
+    }
+
+    #[test]
+    fn pa_heavy_tail_and_symmetric() {
+        let g = preferential_attachment(500, 3, 11);
+        assert!(is_pattern_symmetric(&g));
+        let max = (0..500).map(|i| g.row_nnz(i)).max().unwrap();
+        let avg = g.nnz() as f64 / 500.0;
+        assert!(max as f64 > 3.0 * avg, "max {max} avg {avg}");
+        // Determinism.
+        assert_eq!(g, preferential_attachment(500, 3, 11));
+    }
+
+    #[test]
+    fn pa_no_self_loops() {
+        let g = preferential_attachment(100, 2, 5);
+        for i in 0..100 {
+            assert!(g.get(i, i as Idx).is_none(), "self loop at {i}");
+        }
+    }
+}

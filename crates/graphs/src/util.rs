@@ -1,0 +1,49 @@
+//! Graph matrix utilities shared by the benchmarks.
+
+use sparse::degree::degree_sort_perm;
+use sparse::permute::permute_symmetric;
+use sparse::triangular::{remove_diagonal, symmetrize};
+use sparse::CsrMatrix;
+
+/// Turn an arbitrary square matrix into a simple undirected graph:
+/// symmetrize the pattern, drop self loops, set all values to 1.0.
+pub fn to_undirected_simple(a: &CsrMatrix<f64>) -> CsrMatrix<f64> {
+    let sym = symmetrize(a);
+    remove_diagonal(&sym).map(|_| 1.0)
+}
+
+/// Relabel vertices in non-increasing degree order (paper Section 8.2,
+/// required for the `sum(L .* L²)` triangle-counting formulation to be
+/// fast). Returns the permuted matrix.
+pub fn relabel_by_degree(a: &CsrMatrix<f64>) -> CsrMatrix<f64> {
+    let perm = degree_sort_perm(a);
+    permute_symmetric(a, &perm)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rmat::{rmat, RmatParams};
+    use sparse::triangular::is_pattern_symmetric;
+    use sparse::Idx;
+
+    #[test]
+    fn undirected_simple_properties() {
+        let a = rmat(7, RmatParams::default(), 3);
+        let u = to_undirected_simple(&a);
+        assert!(is_pattern_symmetric(&u));
+        for i in 0..u.nrows() {
+            assert!(u.get(i, i as Idx).is_none());
+        }
+        assert!(u.values().iter().all(|&v| v == 1.0));
+    }
+
+    #[test]
+    fn relabel_sorts_degrees() {
+        let a = to_undirected_simple(&rmat(7, RmatParams::default(), 4));
+        let r = relabel_by_degree(&a);
+        assert_eq!(r.nnz(), a.nnz());
+        let degs: Vec<usize> = (0..r.nrows()).map(|i| r.row_nnz(i)).collect();
+        assert!(degs.windows(2).all(|w| w[0] >= w[1]), "not non-increasing");
+    }
+}

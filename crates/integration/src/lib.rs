@@ -1,0 +1,1 @@
+//! Integration-test anchor crate; the tests live in the repository-level `tests/` directory (see `Cargo.toml` `[[test]]` entries).

@@ -1,0 +1,133 @@
+//! Terminal renditions of the paper's plot types: line charts (GFLOPS vs
+//! scale, performance profiles) and heat maps (Figure 7's best-scheme
+//! grid). No plotting dependencies — output goes straight to stdout and
+//! into EXPERIMENTS.md.
+
+/// Render series as a fixed-size ASCII line chart. Each series is a list of
+/// `(x, y)` points; all series share axes. Returns a multi-line string.
+pub fn line_chart(
+    title: &str,
+    series: &[(String, Vec<(f64, f64)>)],
+    width: usize,
+    height: usize,
+) -> String {
+    let mut out = format!("## {title}\n");
+    let pts: Vec<(f64, f64)> = series.iter().flat_map(|(_, p)| p.iter().copied()).collect();
+    if pts.is_empty() {
+        out.push_str("(no data)\n");
+        return out;
+    }
+    let (xmin, xmax) = min_max(pts.iter().map(|p| p.0));
+    let (ymin, ymax) = min_max(pts.iter().map(|p| p.1));
+    let yspan = if ymax > ymin { ymax - ymin } else { 1.0 };
+    let xspan = if xmax > xmin { xmax - xmin } else { 1.0 };
+    let mut grid = vec![vec![b' '; width]; height];
+    let marks: &[u8] = b"*o+x#@%&$~^=";
+    for (si, (_, points)) in series.iter().enumerate() {
+        let mark = marks[si % marks.len()];
+        for &(x, y) in points {
+            let cx = (((x - xmin) / xspan) * (width - 1) as f64).round() as usize;
+            let cy = (((y - ymin) / yspan) * (height - 1) as f64).round() as usize;
+            let row = height - 1 - cy.min(height - 1);
+            grid[row][cx.min(width - 1)] = mark;
+        }
+    }
+    out.push_str(&format!("y: {ymin:.3} .. {ymax:.3}\n"));
+    for row in grid {
+        out.push('|');
+        out.push_str(std::str::from_utf8(&row).expect("ascii"));
+        out.push('\n');
+    }
+    out.push('+');
+    out.push_str(&"-".repeat(width));
+    out.push('\n');
+    out.push_str(&format!("x: {xmin:.3} .. {xmax:.3}\n"));
+    for (si, (name, _)) in series.iter().enumerate() {
+        out.push_str(&format!(
+            "  {} = {}\n",
+            marks[si % marks.len()] as char,
+            name
+        ));
+    }
+    out
+}
+
+/// Render a labeled heat map of categorical cells (Figure 7: which scheme
+/// wins at each (mask degree, input degree) point). `cell(r, c)` returns a
+/// single display character.
+pub fn category_grid(
+    title: &str,
+    row_labels: &[String],
+    col_labels: &[String],
+    cell: impl Fn(usize, usize) -> char,
+) -> String {
+    let mut out = format!("## {title}\n");
+    let rw = row_labels.iter().map(|l| l.len()).max().unwrap_or(1);
+    // Header: one character per column, labels printed vertically compact.
+    out.push_str(&format!("{:>rw$} ", ""));
+    for c in col_labels {
+        out.push_str(&format!("{c:>6}"));
+    }
+    out.push('\n');
+    for (r, rl) in row_labels.iter().enumerate() {
+        out.push_str(&format!("{rl:>rw$} "));
+        for c in 0..col_labels.len() {
+            out.push_str(&format!("{:>6}", cell(r, c)));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+fn min_max(vals: impl Iterator<Item = f64>) -> (f64, f64) {
+    let mut mn = f64::INFINITY;
+    let mut mx = f64::NEG_INFINITY;
+    for v in vals {
+        mn = mn.min(v);
+        mx = mx.max(v);
+    }
+    (mn, mx)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chart_contains_marks_and_legend() {
+        let s = vec![
+            ("up".to_string(), vec![(0.0, 0.0), (1.0, 1.0), (2.0, 2.0)]),
+            ("down".to_string(), vec![(0.0, 2.0), (2.0, 0.0)]),
+        ];
+        let c = line_chart("test", &s, 20, 8);
+        assert!(c.contains("## test"));
+        assert!(c.contains('*'));
+        assert!(c.contains('o'));
+        assert!(c.contains("up"));
+        assert!(c.lines().count() > 10);
+    }
+
+    #[test]
+    fn chart_handles_empty() {
+        let c = line_chart("empty", &[], 10, 4);
+        assert!(c.contains("(no data)"));
+    }
+
+    #[test]
+    fn chart_handles_constant_series() {
+        let s = vec![("flat".to_string(), vec![(1.0, 5.0), (2.0, 5.0)])];
+        let c = line_chart("flat", &s, 10, 4);
+        assert!(c.contains('*'));
+    }
+
+    #[test]
+    fn grid_renders_cells() {
+        let rows = vec!["r1".to_string(), "r2".to_string()];
+        let cols = vec!["c1".to_string(), "c2".to_string(), "c3".to_string()];
+        let g = category_grid("grid", &rows, &cols, |r, c| {
+            char::from_digit((r * 3 + c) as u32, 10).unwrap()
+        });
+        assert!(g.contains("r1"));
+        assert!(g.contains('5'));
+    }
+}

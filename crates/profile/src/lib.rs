@@ -1,0 +1,18 @@
+#![warn(missing_docs)]
+
+//! Measurement substrate for the benchmark harnesses.
+//!
+//! * [`timer`] — wall-clock measurement with warmup and best-of-N repeats;
+//! * [`perf_profile`] — Dolan-Moré performance profiles [20], the plot type
+//!   of the paper's Figures 8, 9, 12, 13, 16;
+//! * [`table`] — CSV emission and fixed-width console tables;
+//! * [`ascii`] — terminal line charts and heat maps so every figure has a
+//!   visual rendition without a plotting stack.
+
+pub mod ascii;
+pub mod perf_profile;
+pub mod table;
+pub mod timer;
+
+pub use perf_profile::{PerfProfile, ProfileMatrix};
+pub use timer::{best_of, time_once, Measurement};

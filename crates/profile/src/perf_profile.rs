@@ -1,0 +1,237 @@
+//! Dolan-Moré performance profiles (the paper's Figures 8/9/12/13/16).
+//!
+//! Given a matrix of runtimes `t[case][scheme]`, scheme `s`'s profile is
+//! the cumulative distribution `ρ_s(τ) = |{cases : t[case][s] ≤ τ·min_case}| / ncases`
+//! — at `x = τ`, the fraction of cases where the scheme is within a factor
+//! `τ` of the best scheme. The closer a curve hugs the y-axis, the better.
+
+/// Runtimes for `cases × schemes`, with `None` = scheme failed/excluded on
+/// that case (treated as infinitely slow).
+#[derive(Clone, Debug)]
+pub struct ProfileMatrix {
+    /// Case (graph) names, row labels.
+    pub cases: Vec<String>,
+    /// Scheme names, column labels.
+    pub schemes: Vec<String>,
+    /// `times[case][scheme]` in seconds.
+    pub times: Vec<Vec<Option<f64>>>,
+}
+
+impl ProfileMatrix {
+    /// Empty matrix with the given scheme labels.
+    pub fn new(schemes: Vec<String>) -> Self {
+        ProfileMatrix {
+            cases: Vec::new(),
+            schemes,
+            times: Vec::new(),
+        }
+    }
+
+    /// Append one case's runtimes (must match the scheme count).
+    pub fn push_case(&mut self, case: impl Into<String>, times: Vec<Option<f64>>) {
+        assert_eq!(times.len(), self.schemes.len(), "scheme count mismatch");
+        self.cases.push(case.into());
+        self.times.push(times);
+    }
+
+    /// Per-case minimum runtime (the denominator of the ratios).
+    fn case_best(&self, case: usize) -> Option<f64> {
+        self.times[case]
+            .iter()
+            .flatten()
+            .copied()
+            .fold(None, |acc: Option<f64>, t| {
+                Some(acc.map_or(t, |a| a.min(t)))
+            })
+    }
+
+    /// Compute the performance profile.
+    pub fn profile(&self) -> PerfProfile {
+        let nschemes = self.schemes.len();
+        let mut ratios: Vec<Vec<f64>> = vec![Vec::new(); nschemes];
+        for case in 0..self.cases.len() {
+            let Some(best) = self.case_best(case) else {
+                continue; // every scheme failed: case is uninformative
+            };
+            for (s, t) in self.times[case].iter().enumerate() {
+                ratios[s].push(match t {
+                    Some(t) => t / best,
+                    None => f64::INFINITY,
+                });
+            }
+        }
+        for r in &mut ratios {
+            r.sort_by(|a, b| a.partial_cmp(b).expect("ratios are not NaN"));
+        }
+        PerfProfile {
+            schemes: self.schemes.clone(),
+            ratios,
+        }
+    }
+
+    /// Emit the raw matrix as CSV (`case,scheme1,scheme2,...`).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("case");
+        for s in &self.schemes {
+            out.push(',');
+            out.push_str(s);
+        }
+        out.push('\n');
+        for (case, times) in self.cases.iter().zip(&self.times) {
+            out.push_str(case);
+            for t in times {
+                out.push(',');
+                match t {
+                    Some(t) => out.push_str(&format!("{t:.6e}")),
+                    None => out.push_str("NA"),
+                }
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// A computed performance profile: per scheme, the sorted runtime ratios.
+#[derive(Clone, Debug)]
+pub struct PerfProfile {
+    /// Scheme names.
+    pub schemes: Vec<String>,
+    /// Sorted `t/t_best` ratios per scheme (∞ = failed case).
+    pub ratios: Vec<Vec<f64>>,
+}
+
+impl PerfProfile {
+    /// `ρ_s(τ)`: fraction of cases where scheme `s` is within factor `τ` of
+    /// the best.
+    pub fn fraction_within(&self, scheme: usize, tau: f64) -> f64 {
+        let r = &self.ratios[scheme];
+        if r.is_empty() {
+            return 0.0;
+        }
+        let count = r.partition_point(|&x| x <= tau);
+        count as f64 / r.len() as f64
+    }
+
+    /// Fraction of cases where the scheme is the (possibly tied) fastest —
+    /// `ρ_s(1)`, the number the paper quotes ("MSA-1P outperforms all other
+    /// algorithms for 65% of the test cases").
+    pub fn win_rate(&self, scheme: usize) -> f64 {
+        self.fraction_within(scheme, 1.0 + 1e-12)
+    }
+
+    /// Index of the scheme with the highest win rate.
+    pub fn best_scheme(&self) -> usize {
+        (0..self.schemes.len())
+            .max_by(|&a, &b| {
+                self.win_rate(a)
+                    .partial_cmp(&self.win_rate(b))
+                    .expect("win rates are not NaN")
+            })
+            .expect("at least one scheme")
+    }
+
+    /// Sampled curve for plotting: `(τ, ρ_s(τ))` points for each scheme at
+    /// the given τ values.
+    pub fn curves(&self, taus: &[f64]) -> Vec<Vec<(f64, f64)>> {
+        (0..self.schemes.len())
+            .map(|s| {
+                taus.iter()
+                    .map(|&t| (t, self.fraction_within(s, t)))
+                    .collect()
+            })
+            .collect()
+    }
+
+    /// CSV rendition: `tau,scheme1,...` rows over the τ grid the paper uses
+    /// (1.0 to 2.4).
+    pub fn to_csv(&self) -> String {
+        let taus: Vec<f64> = (0..=56).map(|i| 1.0 + i as f64 * 0.025).collect();
+        let mut out = String::from("tau");
+        for s in &self.schemes {
+            out.push(',');
+            out.push_str(s);
+        }
+        out.push('\n');
+        for &tau in &taus {
+            out.push_str(&format!("{tau:.3}"));
+            for s in 0..self.schemes.len() {
+                out.push_str(&format!(",{:.4}", self.fraction_within(s, tau)));
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> ProfileMatrix {
+        let mut m = ProfileMatrix::new(vec!["fast".into(), "slow".into(), "flaky".into()]);
+        m.push_case("g1", vec![Some(1.0), Some(2.0), None]);
+        m.push_case("g2", vec![Some(2.0), Some(2.0), Some(4.0)]);
+        m.push_case("g3", vec![Some(3.0), Some(1.5), Some(3.0)]);
+        m
+    }
+
+    #[test]
+    fn win_rates() {
+        let p = sample().profile();
+        // "fast" is best on g1 and tied-best on g2 -> 2/3.
+        assert!((p.win_rate(0) - 2.0 / 3.0).abs() < 1e-9);
+        // "slow" tied-best on g2, best on g3 -> 2/3.
+        assert!((p.win_rate(1) - 2.0 / 3.0).abs() < 1e-9);
+        assert_eq!(p.win_rate(2), 0.0);
+    }
+
+    #[test]
+    fn fraction_is_monotone_in_tau() {
+        let p = sample().profile();
+        for s in 0..3 {
+            let mut prev = 0.0;
+            for tau in [1.0, 1.2, 1.5, 2.0, 3.0, 10.0] {
+                let f = p.fraction_within(s, tau);
+                assert!(f >= prev, "scheme {s} not monotone at tau={tau}");
+                prev = f;
+            }
+        }
+    }
+
+    #[test]
+    fn failed_cases_never_reach_one() {
+        let p = sample().profile();
+        assert!(p.fraction_within(2, 1e9) < 1.0, "flaky failed one case");
+        assert!((p.fraction_within(0, 1e9) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn all_failed_case_is_skipped() {
+        let mut m = ProfileMatrix::new(vec!["a".into(), "b".into()]);
+        m.push_case("dead", vec![None, None]);
+        m.push_case("ok", vec![Some(1.0), Some(2.0)]);
+        let p = m.profile();
+        assert_eq!(p.ratios[0].len(), 1);
+        assert_eq!(p.win_rate(0), 1.0);
+    }
+
+    #[test]
+    fn csv_shapes() {
+        let m = sample();
+        let csv = m.to_csv();
+        assert!(csv.starts_with("case,fast,slow,flaky\n"));
+        assert_eq!(csv.lines().count(), 4);
+        assert!(csv.contains("NA"));
+        let pcsv = m.profile().to_csv();
+        assert!(pcsv.starts_with("tau,"));
+        assert!(pcsv.lines().count() > 50);
+    }
+
+    #[test]
+    fn best_scheme_selection() {
+        let p = sample().profile();
+        let b = p.best_scheme();
+        assert!(b == 0 || b == 1);
+    }
+}

@@ -1,0 +1,128 @@
+//! CSV emission and fixed-width console tables for harness output.
+
+use std::fmt::Write as _;
+use std::fs;
+use std::path::Path;
+
+/// A simple row-oriented table with string cells.
+#[derive(Clone, Debug, Default)]
+pub struct Table {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Table with the given column headers.
+    pub fn new(header: &[&str]) -> Self {
+        Table {
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append a row (must match the header width).
+    pub fn push(&mut self, row: Vec<String>) {
+        assert_eq!(row.len(), self.header.len(), "column count mismatch");
+        self.rows.push(row);
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True when no data rows were added.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Render as CSV.
+    pub fn to_csv(&self) -> String {
+        let mut out = self.header.join(",");
+        out.push('\n');
+        for r in &self.rows {
+            out.push_str(&r.join(","));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Render as an aligned console table.
+    pub fn to_console(&self) -> String {
+        let ncols = self.header.len();
+        let mut widths: Vec<usize> = self.header.iter().map(|h| h.len()).collect();
+        for r in &self.rows {
+            for (c, cell) in r.iter().enumerate() {
+                widths[c] = widths[c].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        for (c, h) in self.header.iter().enumerate() {
+            let _ = write!(out, "{:>w$}  ", h, w = widths[c]);
+        }
+        out.push('\n');
+        let total: usize = widths.iter().sum::<usize>() + 2 * ncols;
+        out.push_str(&"-".repeat(total));
+        out.push('\n');
+        for r in &self.rows {
+            for (c, cell) in r.iter().enumerate() {
+                let _ = write!(out, "{:>w$}  ", cell, w = widths[c]);
+            }
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Write the CSV rendition to `path`, creating parent directories.
+    pub fn write_csv(&self, path: impl AsRef<Path>) -> std::io::Result<()> {
+        if let Some(parent) = path.as_ref().parent() {
+            fs::create_dir_all(parent)?;
+        }
+        fs::write(path, self.to_csv())
+    }
+}
+
+/// Write arbitrary text to `path`, creating parent directories.
+pub fn write_text(path: impl AsRef<Path>, text: &str) -> std::io::Result<()> {
+    if let Some(parent) = path.as_ref().parent() {
+        fs::create_dir_all(parent)?;
+    }
+    fs::write(path, text)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn csv_and_console() {
+        let mut t = Table::new(&["name", "value"]);
+        t.push(vec!["alpha".into(), "1".into()]);
+        t.push(vec!["b".into(), "22".into()]);
+        assert_eq!(t.len(), 2);
+        let csv = t.to_csv();
+        assert_eq!(csv, "name,value\nalpha,1\nb,22\n");
+        let con = t.to_console();
+        assert!(con.contains("alpha"));
+        assert!(con.lines().count() == 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "column count mismatch")]
+    fn row_width_checked() {
+        let mut t = Table::new(&["a"]);
+        t.push(vec!["1".into(), "2".into()]);
+    }
+
+    #[test]
+    fn write_creates_dirs() {
+        let dir = std::env::temp_dir().join("profile_table_test");
+        let _ = std::fs::remove_dir_all(&dir);
+        let path = dir.join("sub/out.csv");
+        let mut t = Table::new(&["x"]);
+        t.push(vec!["1".into()]);
+        t.write_csv(&path).unwrap();
+        assert!(path.exists());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

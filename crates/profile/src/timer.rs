@@ -1,0 +1,82 @@
+//! Wall-clock timing helpers.
+
+use std::time::{Duration, Instant};
+
+/// A single timed run: the result and its wall-clock duration.
+#[derive(Clone, Copy, Debug)]
+pub struct Measurement {
+    /// Best (minimum) duration across the timed repeats.
+    pub best: Duration,
+    /// Mean duration across the timed repeats.
+    pub mean: Duration,
+    /// Number of timed repeats.
+    pub reps: usize,
+}
+
+impl Measurement {
+    /// Best time in seconds.
+    pub fn secs(&self) -> f64 {
+        self.best.as_secs_f64()
+    }
+}
+
+/// Time one execution of `f`, returning its result and duration.
+pub fn time_once<T>(f: impl FnOnce() -> T) -> (T, Duration) {
+    let start = Instant::now();
+    let out = f();
+    (out, start.elapsed())
+}
+
+/// Run `f` once for warmup, then `reps` timed repetitions; report best and
+/// mean. Minimum-of-N is the conventional noise filter for memory-bound
+/// kernels (any slowdown is interference, never the kernel being "lucky").
+pub fn best_of<T>(reps: usize, mut f: impl FnMut() -> T) -> (T, Measurement) {
+    assert!(reps > 0);
+    let mut out = f(); // warmup (also produces the returned value)
+    let mut best = Duration::MAX;
+    let mut total = Duration::ZERO;
+    for _ in 0..reps {
+        let (o, d) = time_once(&mut f);
+        out = o;
+        best = best.min(d);
+        total += d;
+    }
+    (
+        out,
+        Measurement {
+            best,
+            mean: total / reps as u32,
+            reps,
+        },
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn time_once_measures_something() {
+        let (v, d) = time_once(|| (0..10_000).sum::<u64>());
+        assert_eq!(v, 49_995_000);
+        assert!(d.as_nanos() > 0);
+    }
+
+    #[test]
+    fn best_of_reports_min_and_mean() {
+        let mut calls = 0u32;
+        let (_, m) = best_of(3, || {
+            calls += 1;
+            std::hint::black_box(42)
+        });
+        assert_eq!(calls, 4); // warmup + 3
+        assert_eq!(m.reps, 3);
+        assert!(m.best <= m.mean);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_reps_rejected() {
+        let _ = best_of(0, || ());
+    }
+}

@@ -1,0 +1,160 @@
+//! Coordinate-format matrices, mainly as an ingestion format
+//! (Matrix Market files, graph generators emit edges as triplets).
+
+use crate::csr::CsrMatrix;
+use crate::error::SparseError;
+use crate::index::{Idx, MAX_DIM};
+
+/// A sparse matrix as a list of `(row, col, value)` triplets.
+///
+/// Triplets may be unsorted and may contain duplicates; converting to CSR
+/// sorts and combines them.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct CooMatrix<T> {
+    nrows: usize,
+    ncols: usize,
+    triplets: Vec<(Idx, Idx, T)>,
+}
+
+impl<T> CooMatrix<T> {
+    /// An empty `nrows × ncols` COO matrix.
+    pub fn new(nrows: usize, ncols: usize) -> Self {
+        assert!(
+            nrows <= MAX_DIM && ncols <= MAX_DIM,
+            "dimension exceeds u32 index space"
+        );
+        CooMatrix {
+            nrows,
+            ncols,
+            triplets: Vec::new(),
+        }
+    }
+
+    /// Append a triplet. Panics if out of range (generator-side bug).
+    #[inline]
+    pub fn push(&mut self, i: Idx, j: Idx, v: T) {
+        assert!(
+            (i as usize) < self.nrows && (j as usize) < self.ncols,
+            "triplet ({i},{j}) out of range {}x{}",
+            self.nrows,
+            self.ncols
+        );
+        self.triplets.push((i, j, v));
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn nrows(&self) -> usize {
+        self.nrows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn ncols(&self) -> usize {
+        self.ncols
+    }
+
+    /// Number of stored triplets (before duplicate combination).
+    #[inline]
+    pub fn nnz(&self) -> usize {
+        self.triplets.len()
+    }
+
+    /// The raw triplets.
+    #[inline]
+    pub fn triplets(&self) -> &[(Idx, Idx, T)] {
+        &self.triplets
+    }
+
+    /// Reserve capacity for `additional` more triplets.
+    pub fn reserve(&mut self, additional: usize) {
+        self.triplets.reserve(additional);
+    }
+}
+
+impl<T: Clone> CooMatrix<T> {
+    /// Build from an existing triplet list.
+    pub fn from_triplets(
+        nrows: usize,
+        ncols: usize,
+        triplets: Vec<(Idx, Idx, T)>,
+    ) -> Result<Self, SparseError> {
+        if nrows > MAX_DIM || ncols > MAX_DIM {
+            return Err(SparseError::DimensionTooLarge {
+                dim: nrows.max(ncols),
+            });
+        }
+        for &(i, j, _) in &triplets {
+            if (i as usize) >= nrows || (j as usize) >= ncols {
+                return Err(SparseError::IndexOutOfRange {
+                    row: i as usize,
+                    index: j,
+                    dim: if (i as usize) >= nrows { nrows } else { ncols },
+                });
+            }
+        }
+        Ok(CooMatrix {
+            nrows,
+            ncols,
+            triplets,
+        })
+    }
+
+    /// Convert to CSR, combining duplicate entries with `combine`.
+    pub fn to_csr_with(&self, combine: impl FnMut(&T, &T) -> T) -> CsrMatrix<T> {
+        CsrMatrix::from_triplets(self.nrows, self.ncols, &self.triplets, combine)
+            .expect("COO invariants guarantee in-range triplets")
+    }
+
+    /// Convert to CSR, keeping the last value among duplicates.
+    pub fn to_csr(&self) -> CsrMatrix<T> {
+        self.to_csr_with(|_, b| b.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_and_convert() {
+        let mut c = CooMatrix::new(3, 3);
+        c.push(2, 1, 4.0);
+        c.push(0, 0, 1.0);
+        c.push(0, 2, 2.0);
+        c.push(2, 0, 3.0);
+        let m = c.to_csr();
+        assert_eq!(m.nnz(), 4);
+        assert_eq!(m.get(0, 0), Some(&1.0));
+        assert_eq!(m.get(2, 1), Some(&4.0));
+    }
+
+    #[test]
+    fn duplicates_combined() {
+        let c =
+            CooMatrix::from_triplets(2, 2, vec![(0, 0, 1.0), (0, 0, 5.0), (1, 1, 2.0)]).unwrap();
+        let m = c.to_csr_with(|a, b| a + b);
+        assert_eq!(m.nnz(), 2);
+        assert_eq!(m.get(0, 0), Some(&6.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn push_out_of_range_panics() {
+        let mut c = CooMatrix::new(2, 2);
+        c.push(2, 0, 1.0);
+    }
+
+    #[test]
+    fn from_triplets_validates() {
+        assert!(CooMatrix::from_triplets(2, 2, vec![(0u32, 9u32, 1.0)]).is_err());
+    }
+
+    #[test]
+    fn empty_to_csr() {
+        let c = CooMatrix::<f32>::new(4, 4);
+        let m = c.to_csr();
+        assert_eq!(m.nnz(), 0);
+        assert_eq!(m.shape(), (4, 4));
+    }
+}

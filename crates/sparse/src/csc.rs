@@ -1,0 +1,274 @@
+//! Compressed Sparse Column matrices.
+//!
+//! Used by the pull-based `Inner` algorithm (Section 4.1): `A` is traversed
+//! row-major (CSR) and `B` column-major (CSC), so each masked dot product
+//! walks two sorted index streams.
+
+use crate::csr::{validate_structure, CsrMatrix};
+use crate::error::SparseError;
+use crate::index::Idx;
+
+/// A sparse matrix in Compressed Sparse Column format.
+///
+/// Same invariants as [`CsrMatrix`] with rows and columns exchanged:
+/// `colptr.len() == ncols + 1` and row indices within each column are
+/// strictly increasing.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CscMatrix<T> {
+    nrows: usize,
+    ncols: usize,
+    colptr: Vec<usize>,
+    rowidx: Vec<Idx>,
+    values: Vec<T>,
+}
+
+impl<T> CscMatrix<T> {
+    /// Construct from raw parts, validating all structural invariants.
+    pub fn try_new(
+        nrows: usize,
+        ncols: usize,
+        colptr: Vec<usize>,
+        rowidx: Vec<Idx>,
+        values: Vec<T>,
+    ) -> Result<Self, SparseError> {
+        validate_structure(ncols, nrows, &colptr, &rowidx, values.len())?;
+        Ok(CscMatrix {
+            nrows,
+            ncols,
+            colptr,
+            rowidx,
+            values,
+        })
+    }
+
+    /// Construct from raw parts without validation (checked in debug builds).
+    pub fn from_parts_unchecked(
+        nrows: usize,
+        ncols: usize,
+        colptr: Vec<usize>,
+        rowidx: Vec<Idx>,
+        values: Vec<T>,
+    ) -> Self {
+        debug_assert!(
+            validate_structure(ncols, nrows, &colptr, &rowidx, values.len()).is_ok(),
+            "invalid CSC structure"
+        );
+        CscMatrix {
+            nrows,
+            ncols,
+            colptr,
+            rowidx,
+            values,
+        }
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn nrows(&self) -> usize {
+        self.nrows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn ncols(&self) -> usize {
+        self.ncols
+    }
+
+    /// `(nrows, ncols)`.
+    #[inline]
+    pub fn shape(&self) -> (usize, usize) {
+        (self.nrows, self.ncols)
+    }
+
+    /// Number of stored entries.
+    #[inline]
+    pub fn nnz(&self) -> usize {
+        self.rowidx.len()
+    }
+
+    /// Column pointer array (`ncols + 1` entries).
+    #[inline]
+    pub fn colptr(&self) -> &[usize] {
+        &self.colptr
+    }
+
+    /// Row indices of all stored entries, column-major.
+    #[inline]
+    pub fn rowidx(&self) -> &[Idx] {
+        &self.rowidx
+    }
+
+    /// Values of all stored entries, column-major.
+    #[inline]
+    pub fn values(&self) -> &[T] {
+        &self.values
+    }
+
+    /// Row indices and values of column `j`.
+    #[inline]
+    pub fn col(&self, j: usize) -> (&[Idx], &[T]) {
+        let (s, e) = (self.colptr[j], self.colptr[j + 1]);
+        (&self.rowidx[s..e], &self.values[s..e])
+    }
+
+    /// Number of stored entries in column `j`.
+    #[inline]
+    pub fn col_nnz(&self, j: usize) -> usize {
+        self.colptr[j + 1] - self.colptr[j]
+    }
+
+    /// Iterate over all stored entries as `(row, col, &value)`, column-major.
+    pub fn iter(&self) -> impl Iterator<Item = (Idx, usize, &T)> + '_ {
+        (0..self.ncols).flat_map(move |j| {
+            let (rows, vals) = self.col(j);
+            rows.iter().zip(vals).map(move |(&i, v)| (i, j, v))
+        })
+    }
+}
+
+impl<T: Clone> CscMatrix<T> {
+    /// Convert a CSR matrix to CSC (a transpose-copy; `O(nnz + dims)`).
+    pub fn from_csr(a: &CsrMatrix<T>) -> Self {
+        let (nrows, ncols) = a.shape();
+        let nnz = a.nnz();
+        let mut colptr = vec![0usize; ncols + 1];
+        for &j in a.colidx() {
+            colptr[j as usize + 1] += 1;
+        }
+        for j in 0..ncols {
+            colptr[j + 1] += colptr[j];
+        }
+        let mut cursor = colptr.clone();
+        let mut rowidx: Vec<Idx> = vec![0; nnz];
+        let mut values: Vec<Option<T>> = vec![None; nnz];
+        for i in 0..nrows {
+            let (cols, vals) = a.row(i);
+            for (&j, v) in cols.iter().zip(vals) {
+                let p = cursor[j as usize];
+                rowidx[p] = i as Idx;
+                values[p] = Some(v.clone());
+                cursor[j as usize] += 1;
+            }
+        }
+        let values: Vec<T> = values
+            .into_iter()
+            .map(|v| v.expect("every slot written"))
+            .collect();
+        // Row-major traversal fills each column in increasing row order, so
+        // the CSC invariant holds by construction.
+        CscMatrix {
+            nrows,
+            ncols,
+            colptr,
+            rowidx,
+            values,
+        }
+    }
+
+    /// Convert to CSR (transpose-copy back).
+    pub fn to_csr(&self) -> CsrMatrix<T> {
+        let nnz = self.nnz();
+        let mut rowptr = vec![0usize; self.nrows + 1];
+        for &i in &self.rowidx {
+            rowptr[i as usize + 1] += 1;
+        }
+        for i in 0..self.nrows {
+            rowptr[i + 1] += rowptr[i];
+        }
+        let mut cursor = rowptr.clone();
+        let mut colidx: Vec<Idx> = vec![0; nnz];
+        let mut values: Vec<Option<T>> = vec![None; nnz];
+        for j in 0..self.ncols {
+            let (rows, vals) = self.col(j);
+            for (&i, v) in rows.iter().zip(vals) {
+                let p = cursor[i as usize];
+                colidx[p] = j as Idx;
+                values[p] = Some(v.clone());
+                cursor[i as usize] += 1;
+            }
+        }
+        let values: Vec<T> = values
+            .into_iter()
+            .map(|v| v.expect("every slot written"))
+            .collect();
+        CsrMatrix::from_parts_unchecked(self.nrows, self.ncols, rowptr, colidx, values)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_csr() -> CsrMatrix<f64> {
+        // [1 0 2]
+        // [0 0 0]
+        // [3 4 0]
+        CsrMatrix::try_new(
+            3,
+            3,
+            vec![0, 2, 2, 4],
+            vec![0, 2, 0, 1],
+            vec![1.0, 2.0, 3.0, 4.0],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn csr_to_csc_roundtrip() {
+        let a = small_csr();
+        let c = CscMatrix::from_csr(&a);
+        assert_eq!(c.nnz(), 4);
+        assert_eq!(c.col(0), (&[0u32, 2][..], &[1.0, 3.0][..]));
+        assert_eq!(c.col(1), (&[2u32][..], &[4.0][..]));
+        assert_eq!(c.col(2), (&[0u32][..], &[2.0][..]));
+        let back = c.to_csr();
+        assert_eq!(back, a);
+    }
+
+    #[test]
+    fn rectangular_roundtrip() {
+        // 2x4 matrix
+        let a = CsrMatrix::try_new(
+            2,
+            4,
+            vec![0, 3, 4],
+            vec![0, 1, 3, 2],
+            vec![1, 2, 3, 4],
+        )
+        .unwrap();
+        let c = CscMatrix::from_csr(&a);
+        assert_eq!(c.shape(), (2, 4));
+        assert_eq!(c.col_nnz(0), 1);
+        assert_eq!(c.col_nnz(2), 1);
+        assert_eq!(c.to_csr(), a);
+    }
+
+    #[test]
+    fn csc_iter_column_major() {
+        let a = small_csr();
+        let c = CscMatrix::from_csr(&a);
+        let entries: Vec<(Idx, usize, f64)> = c.iter().map(|(i, j, &v)| (i, j, v)).collect();
+        assert_eq!(
+            entries,
+            vec![(0, 0, 1.0), (2, 0, 3.0), (2, 1, 4.0), (0, 2, 2.0)]
+        );
+    }
+
+    #[test]
+    fn csc_validation() {
+        assert!(CscMatrix::<f64>::try_new(2, 2, vec![0, 1], vec![0], vec![1.0]).is_err());
+        assert!(
+            CscMatrix::<f64>::try_new(2, 2, vec![0, 1, 2], vec![0, 3], vec![1.0, 2.0]).is_err()
+        );
+    }
+
+    #[test]
+    fn empty_columns() {
+        let a = CsrMatrix::<i32>::empty(3, 5);
+        let c = CscMatrix::from_csr(&a);
+        assert_eq!(c.nnz(), 0);
+        for j in 0..5 {
+            assert_eq!(c.col_nnz(j), 0);
+        }
+    }
+}

@@ -1,0 +1,556 @@
+//! Compressed Sparse Row matrices — the primary format of this workspace.
+//!
+//! The paper uses CSR for both inputs, the mask, and the output of every
+//! push-based algorithm (Section 2.1). Rows store strictly increasing column
+//! indices; all kernels rely on that invariant, which [`CsrMatrix::try_new`]
+//! enforces.
+
+use crate::error::SparseError;
+use crate::index::{exclusive_prefix_sum, Idx, MAX_DIM};
+
+/// A sparse matrix in Compressed Sparse Row format.
+///
+/// Invariants (checked by [`CsrMatrix::try_new`], assumed everywhere else):
+/// * `rowptr.len() == nrows + 1`, `rowptr[0] == 0`, non-decreasing,
+///   `rowptr[nrows] == colidx.len() == values.len()`;
+/// * within each row, column indices are strictly increasing and `< ncols`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CsrMatrix<T> {
+    nrows: usize,
+    ncols: usize,
+    rowptr: Vec<usize>,
+    colidx: Vec<Idx>,
+    values: Vec<T>,
+}
+
+/// Validate CSR/CSC structural invariants. Shared by both formats
+/// (`dim_major` = number of rows for CSR, columns for CSC).
+pub(crate) fn validate_structure(
+    dim_major: usize,
+    dim_minor: usize,
+    ptr: &[usize],
+    idx: &[Idx],
+    values_len: usize,
+) -> Result<(), SparseError> {
+    if dim_minor > MAX_DIM || dim_major > MAX_DIM {
+        return Err(SparseError::DimensionTooLarge {
+            dim: dim_minor.max(dim_major),
+        });
+    }
+    if ptr.len() != dim_major + 1 {
+        return Err(SparseError::RowPtrLength {
+            expected: dim_major + 1,
+            got: ptr.len(),
+        });
+    }
+    if ptr[0] != 0 {
+        return Err(SparseError::RowPtrStart);
+    }
+    for i in 0..dim_major {
+        if ptr[i] > ptr[i + 1] {
+            return Err(SparseError::RowPtrNotMonotone { row: i });
+        }
+    }
+    if ptr[dim_major] != idx.len() {
+        return Err(SparseError::RowPtrEnd {
+            expected: idx.len(),
+            got: ptr[dim_major],
+        });
+    }
+    if values_len != idx.len() {
+        return Err(SparseError::ValueLength {
+            expected: idx.len(),
+            got: values_len,
+        });
+    }
+    for i in 0..dim_major {
+        let row = &idx[ptr[i]..ptr[i + 1]];
+        let mut prev: Option<Idx> = None;
+        for &j in row {
+            if (j as usize) >= dim_minor {
+                return Err(SparseError::IndexOutOfRange {
+                    row: i,
+                    index: j,
+                    dim: dim_minor,
+                });
+            }
+            if let Some(p) = prev {
+                if j <= p {
+                    return Err(SparseError::UnsortedRow { row: i });
+                }
+            }
+            prev = Some(j);
+        }
+    }
+    Ok(())
+}
+
+impl<T> CsrMatrix<T> {
+    /// Construct from raw parts, validating all structural invariants.
+    pub fn try_new(
+        nrows: usize,
+        ncols: usize,
+        rowptr: Vec<usize>,
+        colidx: Vec<Idx>,
+        values: Vec<T>,
+    ) -> Result<Self, SparseError> {
+        validate_structure(nrows, ncols, &rowptr, &colidx, values.len())?;
+        Ok(CsrMatrix {
+            nrows,
+            ncols,
+            rowptr,
+            colidx,
+            values,
+        })
+    }
+
+    /// Construct from raw parts without validation.
+    ///
+    /// The invariants are checked with `debug_assert!` in debug builds;
+    /// violating them in release builds yields incorrect results (but no
+    /// undefined behaviour — all kernels use checked or slice-bounded
+    /// indexing).
+    pub fn from_parts_unchecked(
+        nrows: usize,
+        ncols: usize,
+        rowptr: Vec<usize>,
+        colidx: Vec<Idx>,
+        values: Vec<T>,
+    ) -> Self {
+        debug_assert!(
+            validate_structure(nrows, ncols, &rowptr, &colidx, values.len()).is_ok(),
+            "invalid CSR structure"
+        );
+        CsrMatrix {
+            nrows,
+            ncols,
+            rowptr,
+            colidx,
+            values,
+        }
+    }
+
+    /// An `nrows × ncols` matrix with no stored entries.
+    pub fn empty(nrows: usize, ncols: usize) -> Self {
+        CsrMatrix {
+            nrows,
+            ncols,
+            rowptr: vec![0; nrows + 1],
+            colidx: Vec::new(),
+            values: Vec::new(),
+        }
+    }
+
+    /// Build from an iterator of rows, each row a (sorted, strictly
+    /// increasing) list of `(column, value)` pairs.
+    pub fn from_rows<I, R>(nrows: usize, ncols: usize, rows: I) -> Result<Self, SparseError>
+    where
+        I: IntoIterator<Item = R>,
+        R: IntoIterator<Item = (Idx, T)>,
+    {
+        let mut rowptr = Vec::with_capacity(nrows + 1);
+        rowptr.push(0usize);
+        let mut colidx = Vec::new();
+        let mut values = Vec::new();
+        for row in rows {
+            for (j, v) in row {
+                colidx.push(j);
+                values.push(v);
+            }
+            rowptr.push(colidx.len());
+        }
+        if rowptr.len() != nrows + 1 {
+            return Err(SparseError::RowPtrLength {
+                expected: nrows + 1,
+                got: rowptr.len(),
+            });
+        }
+        Self::try_new(nrows, ncols, rowptr, colidx, values)
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn nrows(&self) -> usize {
+        self.nrows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn ncols(&self) -> usize {
+        self.ncols
+    }
+
+    /// `(nrows, ncols)`.
+    #[inline]
+    pub fn shape(&self) -> (usize, usize) {
+        (self.nrows, self.ncols)
+    }
+
+    /// Number of stored entries.
+    #[inline]
+    pub fn nnz(&self) -> usize {
+        self.colidx.len()
+    }
+
+    /// Row pointer array (`nrows + 1` entries).
+    #[inline]
+    pub fn rowptr(&self) -> &[usize] {
+        &self.rowptr
+    }
+
+    /// Column indices of all stored entries, row-major.
+    #[inline]
+    pub fn colidx(&self) -> &[Idx] {
+        &self.colidx
+    }
+
+    /// Values of all stored entries, row-major.
+    #[inline]
+    pub fn values(&self) -> &[T] {
+        &self.values
+    }
+
+    /// Mutable values (pattern is immutable; values may be updated in place).
+    #[inline]
+    pub fn values_mut(&mut self) -> &mut [T] {
+        &mut self.values
+    }
+
+    /// Column indices and values of row `i`.
+    #[inline]
+    pub fn row(&self, i: usize) -> (&[Idx], &[T]) {
+        let (s, e) = (self.rowptr[i], self.rowptr[i + 1]);
+        (&self.colidx[s..e], &self.values[s..e])
+    }
+
+    /// Number of stored entries in row `i`.
+    #[inline]
+    pub fn row_nnz(&self, i: usize) -> usize {
+        self.rowptr[i + 1] - self.rowptr[i]
+    }
+
+    /// Iterate over all stored entries as `(row, col, &value)`.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, Idx, &T)> + '_ {
+        (0..self.nrows).flat_map(move |i| {
+            let (cols, vals) = self.row(i);
+            cols.iter().zip(vals).map(move |(&j, v)| (i, j, v))
+        })
+    }
+
+    /// Value at `(i, j)` via binary search within the row, if stored.
+    pub fn get(&self, i: usize, j: Idx) -> Option<&T> {
+        let (cols, vals) = self.row(i);
+        cols.binary_search(&j).ok().map(|p| &vals[p])
+    }
+
+    /// Decompose into `(nrows, ncols, rowptr, colidx, values)`.
+    pub fn into_parts(self) -> (usize, usize, Vec<usize>, Vec<Idx>, Vec<T>) {
+        (
+            self.nrows,
+            self.ncols,
+            self.rowptr,
+            self.colidx,
+            self.values,
+        )
+    }
+
+    /// Apply `f` to every stored value, keeping the pattern.
+    pub fn map<U>(&self, mut f: impl FnMut(&T) -> U) -> CsrMatrix<U> {
+        CsrMatrix {
+            nrows: self.nrows,
+            ncols: self.ncols,
+            rowptr: self.rowptr.clone(),
+            colidx: self.colidx.clone(),
+            values: self.values.iter().map(&mut f).collect(),
+        }
+    }
+
+    /// The pattern of this matrix with unit values.
+    pub fn pattern(&self) -> CsrMatrix<()> {
+        self.map(|_| ())
+    }
+
+    /// Keep only entries for which `keep(row, col, &value)` returns true.
+    pub fn filter(&self, mut keep: impl FnMut(usize, Idx, &T) -> bool) -> CsrMatrix<T>
+    where
+        T: Clone,
+    {
+        let mut rowptr = Vec::with_capacity(self.nrows + 1);
+        rowptr.push(0usize);
+        let mut colidx = Vec::new();
+        let mut values = Vec::new();
+        for i in 0..self.nrows {
+            let (cols, vals) = self.row(i);
+            for (&j, v) in cols.iter().zip(vals) {
+                if keep(i, j, v) {
+                    colidx.push(j);
+                    values.push(v.clone());
+                }
+            }
+            rowptr.push(colidx.len());
+        }
+        CsrMatrix {
+            nrows: self.nrows,
+            ncols: self.ncols,
+            rowptr,
+            colidx,
+            values,
+        }
+    }
+
+    /// True if the two matrices have identical shape and pattern
+    /// (ignores values).
+    pub fn same_pattern<U>(&self, other: &CsrMatrix<U>) -> bool {
+        self.nrows == other.nrows
+            && self.ncols == other.ncols
+            && self.rowptr == other.rowptr
+            && self.colidx == other.colidx
+    }
+}
+
+impl<T: Clone> CsrMatrix<T> {
+    /// Build from (possibly duplicated, unsorted) triplets; duplicates are
+    /// combined with `combine`.
+    pub fn from_triplets(
+        nrows: usize,
+        ncols: usize,
+        triplets: &[(Idx, Idx, T)],
+        mut combine: impl FnMut(&T, &T) -> T,
+    ) -> Result<Self, SparseError> {
+        if nrows > MAX_DIM || ncols > MAX_DIM {
+            return Err(SparseError::DimensionTooLarge {
+                dim: nrows.max(ncols),
+            });
+        }
+        for &(i, j, _) in triplets {
+            if (i as usize) >= nrows || (j as usize) >= ncols {
+                return Err(SparseError::IndexOutOfRange {
+                    row: i as usize,
+                    index: j,
+                    dim: if (i as usize) >= nrows { nrows } else { ncols },
+                });
+            }
+        }
+        // Counting sort by row, then sort each row by column and combine
+        // duplicates.
+        let mut counts = vec![0usize; nrows + 1];
+        for &(i, _, _) in triplets {
+            counts[i as usize] += 1;
+        }
+        let total = exclusive_prefix_sum(&mut counts[..nrows]);
+        counts[nrows] = total;
+        let rowstart = counts; // exclusive offsets per row, last = nnz
+        let mut cursor = rowstart.clone();
+        let mut cols: Vec<Idx> = vec![0; total];
+        let mut vals: Vec<Option<T>> = vec![None; total];
+        for (i, j, v) in triplets {
+            let p = cursor[*i as usize];
+            cols[p] = *j;
+            vals[p] = Some(v.clone());
+            cursor[*i as usize] += 1;
+        }
+        let mut rowptr = Vec::with_capacity(nrows + 1);
+        rowptr.push(0usize);
+        let mut colidx: Vec<Idx> = Vec::with_capacity(total);
+        let mut values: Vec<T> = Vec::with_capacity(total);
+        let mut scratch: Vec<(Idx, T)> = Vec::new();
+        for i in 0..nrows {
+            scratch.clear();
+            for p in rowstart[i]..rowstart[i + 1] {
+                scratch.push((cols[p], vals[p].take().expect("filled above")));
+            }
+            scratch.sort_unstable_by_key(|&(j, _)| j);
+            for (j, v) in scratch.drain(..) {
+                if let Some(&last_j) = colidx.last() {
+                    if colidx.len() > rowptr[i] && last_j == j {
+                        let lv = values.last_mut().expect("nonempty");
+                        *lv = combine(lv, &v);
+                        continue;
+                    }
+                }
+                colidx.push(j);
+                values.push(v);
+            }
+            rowptr.push(colidx.len());
+        }
+        Ok(CsrMatrix {
+            nrows,
+            ncols,
+            rowptr,
+            colidx,
+            values,
+        })
+    }
+
+    /// The `n × n` identity-pattern matrix with `value` on the diagonal.
+    pub fn diagonal(n: usize, value: T) -> Self {
+        CsrMatrix {
+            nrows: n,
+            ncols: n,
+            rowptr: (0..=n).collect(),
+            colidx: (0..n as Idx).collect(),
+            values: vec![value; n],
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> CsrMatrix<f64> {
+        // [1 0 2]
+        // [0 0 0]
+        // [3 4 0]
+        CsrMatrix::try_new(
+            3,
+            3,
+            vec![0, 2, 2, 4],
+            vec![0, 2, 0, 1],
+            vec![1.0, 2.0, 3.0, 4.0],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn accessors() {
+        let m = small();
+        assert_eq!(m.shape(), (3, 3));
+        assert_eq!(m.nnz(), 4);
+        assert_eq!(m.row_nnz(0), 2);
+        assert_eq!(m.row_nnz(1), 0);
+        assert_eq!(m.row(2), (&[0u32, 1][..], &[3.0, 4.0][..]));
+        assert_eq!(m.get(0, 2), Some(&2.0));
+        assert_eq!(m.get(0, 1), None);
+    }
+
+    #[test]
+    fn iter_yields_all_entries() {
+        let m = small();
+        let entries: Vec<(usize, Idx, f64)> = m.iter().map(|(i, j, &v)| (i, j, v)).collect();
+        assert_eq!(
+            entries,
+            vec![(0, 0, 1.0), (0, 2, 2.0), (2, 0, 3.0), (2, 1, 4.0)]
+        );
+    }
+
+    #[test]
+    fn validation_rejects_bad_rowptr_len() {
+        let err = CsrMatrix::<f64>::try_new(2, 2, vec![0, 1], vec![0], vec![1.0]).unwrap_err();
+        assert!(matches!(err, SparseError::RowPtrLength { .. }));
+    }
+
+    #[test]
+    fn validation_rejects_nonmonotone() {
+        let err =
+            CsrMatrix::<f64>::try_new(2, 2, vec![0, 1, 0], vec![0], vec![1.0]).unwrap_err();
+        assert!(matches!(err, SparseError::RowPtrNotMonotone { .. }));
+    }
+
+    #[test]
+    fn validation_rejects_bad_start() {
+        let err =
+            CsrMatrix::<f64>::try_new(1, 2, vec![1, 1], vec![], vec![]).unwrap_err();
+        assert!(matches!(err, SparseError::RowPtrStart));
+    }
+
+    #[test]
+    fn validation_rejects_bad_end() {
+        let err =
+            CsrMatrix::<f64>::try_new(1, 2, vec![0, 2], vec![0], vec![1.0]).unwrap_err();
+        assert!(matches!(err, SparseError::RowPtrEnd { .. }));
+    }
+
+    #[test]
+    fn validation_rejects_out_of_range_index() {
+        let err =
+            CsrMatrix::<f64>::try_new(1, 2, vec![0, 1], vec![5], vec![1.0]).unwrap_err();
+        assert!(matches!(err, SparseError::IndexOutOfRange { .. }));
+    }
+
+    #[test]
+    fn validation_rejects_unsorted_and_duplicate() {
+        let err = CsrMatrix::<f64>::try_new(1, 3, vec![0, 2], vec![2, 1], vec![1.0, 2.0])
+            .unwrap_err();
+        assert!(matches!(err, SparseError::UnsortedRow { .. }));
+        let err = CsrMatrix::<f64>::try_new(1, 3, vec![0, 2], vec![1, 1], vec![1.0, 2.0])
+            .unwrap_err();
+        assert!(matches!(err, SparseError::UnsortedRow { .. }));
+    }
+
+    #[test]
+    fn validation_rejects_value_len_mismatch() {
+        let err = CsrMatrix::<f64>::try_new(1, 3, vec![0, 1], vec![1], vec![]).unwrap_err();
+        assert!(matches!(err, SparseError::ValueLength { .. }));
+    }
+
+    #[test]
+    fn from_triplets_sorts_and_combines() {
+        let t = vec![
+            (2u32, 1u32, 4.0f64),
+            (0, 2, 2.0),
+            (2, 0, 3.0),
+            (0, 0, 1.0),
+            (0, 2, 10.0), // duplicate, combined by +
+        ];
+        let m = CsrMatrix::from_triplets(3, 3, &t, |a, b| a + b).unwrap();
+        assert_eq!(m.nnz(), 4);
+        assert_eq!(m.get(0, 2), Some(&12.0));
+        assert_eq!(m.get(2, 1), Some(&4.0));
+        // rows sorted
+        for i in 0..3 {
+            let (cols, _) = m.row(i);
+            assert!(cols.windows(2).all(|w| w[0] < w[1]));
+        }
+    }
+
+    #[test]
+    fn from_triplets_rejects_out_of_range() {
+        let t = vec![(5u32, 0u32, 1.0f64)];
+        assert!(CsrMatrix::from_triplets(3, 3, &t, |a, _| *a).is_err());
+    }
+
+    #[test]
+    fn from_rows_builder() {
+        let m =
+            CsrMatrix::from_rows(2, 4, vec![vec![(0u32, 1i64), (3, 2)], vec![]]).unwrap();
+        assert_eq!(m.nnz(), 2);
+        assert_eq!(m.row_nnz(1), 0);
+        assert_eq!(m.get(0, 3), Some(&2));
+    }
+
+    #[test]
+    fn filter_keeps_subset() {
+        let m = small();
+        let f = m.filter(|_, _, &v| v > 2.0);
+        assert_eq!(f.nnz(), 2);
+        assert_eq!(f.get(2, 0), Some(&3.0));
+        assert_eq!(f.get(0, 0), None);
+    }
+
+    #[test]
+    fn map_and_pattern() {
+        let m = small();
+        let doubled = m.map(|&v| v * 2.0);
+        assert!(m.same_pattern(&doubled));
+        assert_eq!(doubled.get(2, 1), Some(&8.0));
+        let p = m.pattern();
+        assert!(m.same_pattern(&p));
+    }
+
+    #[test]
+    fn diagonal_matrix() {
+        let d = CsrMatrix::diagonal(3, 7u32);
+        assert_eq!(d.nnz(), 3);
+        assert_eq!(d.get(1, 1), Some(&7));
+        assert_eq!(d.get(0, 1), None);
+    }
+
+    #[test]
+    fn empty_matrix() {
+        let m = CsrMatrix::<f32>::empty(4, 2);
+        assert_eq!(m.nnz(), 0);
+        assert_eq!(m.shape(), (4, 2));
+        assert_eq!(m.iter().count(), 0);
+    }
+}

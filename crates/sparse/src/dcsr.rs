@@ -1,0 +1,266 @@
+//! Doubly-Compressed Sparse Row (DCSR) — the hypersparse format of Buluç &
+//! Gilbert [10], referenced by the paper (Sections 2.1 and 3:
+//! SuiteSparse:GraphBLAS stores hypersparse matrices as DCSR/DCSC).
+//!
+//! When most rows are empty (`nnz ≪ nrows`), CSR's `nrows + 1` row-pointer
+//! array dominates the footprint and row iteration wastes time on empties.
+//! DCSR stores pointers only for the nonempty rows plus a list of their
+//! row ids. Iterative algorithms whose frontier shrinks (k-truss late
+//! iterations, BC frontiers) are exactly where hypersparsity appears.
+
+use crate::csr::CsrMatrix;
+use crate::error::SparseError;
+use crate::index::Idx;
+
+/// A sparse matrix storing only its nonempty rows.
+#[derive(Clone, Debug, PartialEq)]
+pub struct DcsrMatrix<T> {
+    nrows: usize,
+    ncols: usize,
+    /// Ids of nonempty rows, strictly increasing.
+    rowids: Vec<Idx>,
+    /// `rowptr[k]..rowptr[k+1]` bounds row `rowids[k]`'s entries.
+    rowptr: Vec<usize>,
+    colidx: Vec<Idx>,
+    values: Vec<T>,
+}
+
+impl<T> DcsrMatrix<T> {
+    /// Number of rows (including empty ones).
+    #[inline]
+    pub fn nrows(&self) -> usize {
+        self.nrows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn ncols(&self) -> usize {
+        self.ncols
+    }
+
+    /// Number of stored entries.
+    #[inline]
+    pub fn nnz(&self) -> usize {
+        self.colidx.len()
+    }
+
+    /// Number of nonempty rows.
+    #[inline]
+    pub fn nnzr(&self) -> usize {
+        self.rowids.len()
+    }
+
+    /// Ids of the nonempty rows, ascending.
+    #[inline]
+    pub fn rowids(&self) -> &[Idx] {
+        &self.rowids
+    }
+
+    /// The `k`-th nonempty row: `(row id, column indices, values)`.
+    #[inline]
+    pub fn compressed_row(&self, k: usize) -> (Idx, &[Idx], &[T]) {
+        let (s, e) = (self.rowptr[k], self.rowptr[k + 1]);
+        (self.rowids[k], &self.colidx[s..e], &self.values[s..e])
+    }
+
+    /// Row `i` by id (binary search over the nonempty rows); empty slice if
+    /// the row stores nothing.
+    pub fn row(&self, i: usize) -> (&[Idx], &[T]) {
+        match self.rowids.binary_search(&(i as Idx)) {
+            Ok(k) => {
+                let (_, c, v) = self.compressed_row(k);
+                (c, v)
+            }
+            Err(_) => (&[], &[]),
+        }
+    }
+
+    /// Iterate all entries as `(row, col, &value)`.
+    pub fn iter(&self) -> impl Iterator<Item = (Idx, Idx, &T)> + '_ {
+        (0..self.nnzr()).flat_map(move |k| {
+            let (i, cols, vals) = self.compressed_row(k);
+            cols.iter().zip(vals).map(move |(&j, v)| (i, j, v))
+        })
+    }
+
+    /// Fraction of rows that are nonempty (hypersparse when ≪ 1).
+    pub fn row_occupancy(&self) -> f64 {
+        if self.nrows == 0 {
+            return 0.0;
+        }
+        self.nnzr() as f64 / self.nrows as f64
+    }
+}
+
+impl<T: Clone> DcsrMatrix<T> {
+    /// Compress a CSR matrix (drops empty-row pointers).
+    pub fn from_csr(a: &CsrMatrix<T>) -> Self {
+        let mut rowids = Vec::new();
+        let mut rowptr = vec![0usize];
+        let mut colidx = Vec::with_capacity(a.nnz());
+        let mut values = Vec::with_capacity(a.nnz());
+        for i in 0..a.nrows() {
+            let (cols, vals) = a.row(i);
+            if cols.is_empty() {
+                continue;
+            }
+            rowids.push(i as Idx);
+            colidx.extend_from_slice(cols);
+            values.extend(vals.iter().cloned());
+            rowptr.push(colidx.len());
+        }
+        DcsrMatrix {
+            nrows: a.nrows(),
+            ncols: a.ncols(),
+            rowids,
+            rowptr,
+            colidx,
+            values,
+        }
+    }
+
+    /// Expand back to CSR.
+    pub fn to_csr(&self) -> CsrMatrix<T> {
+        let mut rowptr = vec![0usize; self.nrows + 1];
+        for k in 0..self.nnzr() {
+            let i = self.rowids[k] as usize;
+            rowptr[i + 1] = self.rowptr[k + 1] - self.rowptr[k];
+        }
+        for i in 0..self.nrows {
+            rowptr[i + 1] += rowptr[i];
+        }
+        CsrMatrix::from_parts_unchecked(
+            self.nrows,
+            self.ncols,
+            rowptr,
+            self.colidx.clone(),
+            self.values.clone(),
+        )
+    }
+
+    /// Construct from raw parts with validation.
+    pub fn try_new(
+        nrows: usize,
+        ncols: usize,
+        rowids: Vec<Idx>,
+        rowptr: Vec<usize>,
+        colidx: Vec<Idx>,
+        values: Vec<T>,
+    ) -> Result<Self, SparseError> {
+        if rowptr.len() != rowids.len() + 1 {
+            return Err(SparseError::RowPtrLength {
+                expected: rowids.len() + 1,
+                got: rowptr.len(),
+            });
+        }
+        let mut prev: Option<Idx> = None;
+        for &i in &rowids {
+            if (i as usize) >= nrows {
+                return Err(SparseError::IndexOutOfRange {
+                    row: i as usize,
+                    index: i,
+                    dim: nrows,
+                });
+            }
+            if let Some(p) = prev {
+                if i <= p {
+                    return Err(SparseError::UnsortedRow { row: i as usize });
+                }
+            }
+            prev = Some(i);
+        }
+        crate::csr::validate_structure(rowids.len(), ncols, &rowptr, &colidx, values.len())?;
+        // Nonempty-row invariant: no zero-length compressed rows.
+        for k in 0..rowids.len() {
+            if rowptr[k] == rowptr[k + 1] {
+                return Err(SparseError::Unsupported("DCSR stores only nonempty rows"));
+            }
+        }
+        Ok(DcsrMatrix {
+            nrows,
+            ncols,
+            rowids,
+            rowptr,
+            colidx,
+            values,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hypersparse() -> CsrMatrix<f64> {
+        // 1000 rows, entries only in rows 3 and 997.
+        let mut rowptr = vec![0usize; 1001];
+        for i in 4..=997 {
+            rowptr[i] = 2;
+        }
+        for p in rowptr.iter_mut().skip(998) {
+            *p = 3;
+        }
+        CsrMatrix::try_new(1000, 10, rowptr, vec![1, 5, 0], vec![1.0, 2.0, 3.0]).unwrap()
+    }
+
+    #[test]
+    fn compression_roundtrip() {
+        let a = hypersparse();
+        let d = DcsrMatrix::from_csr(&a);
+        assert_eq!(d.nnzr(), 2);
+        assert_eq!(d.rowids(), &[3, 997]);
+        assert_eq!(d.nnz(), 3);
+        assert!(d.row_occupancy() < 0.01);
+        assert_eq!(d.to_csr(), a);
+    }
+
+    #[test]
+    fn row_access_by_id() {
+        let d = DcsrMatrix::from_csr(&hypersparse());
+        assert_eq!(d.row(3).0, &[1, 5]);
+        assert_eq!(d.row(997).0, &[0]);
+        assert_eq!(d.row(500).0.len(), 0);
+    }
+
+    #[test]
+    fn iter_covers_all() {
+        let d = DcsrMatrix::from_csr(&hypersparse());
+        let entries: Vec<(Idx, Idx, f64)> = d.iter().map(|(i, j, &v)| (i, j, v)).collect();
+        assert_eq!(entries, vec![(3, 1, 1.0), (3, 5, 2.0), (997, 0, 3.0)]);
+    }
+
+    #[test]
+    fn validation_rejects_empty_compressed_rows() {
+        let err = DcsrMatrix::<f64>::try_new(
+            10,
+            10,
+            vec![2, 5],
+            vec![0, 0, 1],
+            vec![1],
+            vec![1.0],
+        )
+        .unwrap_err();
+        assert!(matches!(err, SparseError::Unsupported(_)));
+    }
+
+    #[test]
+    fn validation_rejects_unsorted_rowids() {
+        assert!(DcsrMatrix::<f64>::try_new(
+            10,
+            10,
+            vec![5, 2],
+            vec![0, 1, 2],
+            vec![1, 1],
+            vec![1.0, 1.0],
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn empty_matrix() {
+        let d = DcsrMatrix::from_csr(&CsrMatrix::<f64>::empty(8, 8));
+        assert_eq!(d.nnzr(), 0);
+        assert_eq!(d.nnz(), 0);
+        assert_eq!(d.to_csr(), CsrMatrix::<f64>::empty(8, 8));
+    }
+}

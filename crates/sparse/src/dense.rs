@@ -1,0 +1,220 @@
+//! A minimal dense matrix, used as the oracle in tests and for
+//! reference (naïve) masked multiplication.
+//!
+//! Dense storage is row-major `Vec<Option<T>>`: `None` models "no stored
+//! entry", distinguishing structural zeros from explicit numeric zeros the
+//! way GraphBLAS does.
+
+use crate::csr::CsrMatrix;
+use crate::index::Idx;
+use crate::semiring::Semiring;
+
+/// Row-major dense matrix over `Option<T>` (None = no entry).
+#[derive(Clone, Debug, PartialEq)]
+pub struct DenseMatrix<T> {
+    nrows: usize,
+    ncols: usize,
+    data: Vec<Option<T>>,
+}
+
+impl<T: Copy> DenseMatrix<T> {
+    /// An all-empty matrix.
+    pub fn new(nrows: usize, ncols: usize) -> Self {
+        DenseMatrix {
+            nrows,
+            ncols,
+            data: vec![None; nrows * ncols],
+        }
+    }
+
+    /// Number of rows.
+    pub fn nrows(&self) -> usize {
+        self.nrows
+    }
+
+    /// Number of columns.
+    pub fn ncols(&self) -> usize {
+        self.ncols
+    }
+
+    /// Entry at `(i, j)`.
+    #[inline]
+    pub fn get(&self, i: usize, j: usize) -> Option<T> {
+        self.data[i * self.ncols + j]
+    }
+
+    /// Set entry at `(i, j)`.
+    #[inline]
+    pub fn set(&mut self, i: usize, j: usize, v: Option<T>) {
+        self.data[i * self.ncols + j] = v;
+    }
+
+    /// Number of present entries.
+    pub fn nnz(&self) -> usize {
+        self.data.iter().filter(|v| v.is_some()).count()
+    }
+
+    /// Expand a CSR matrix to dense.
+    pub fn from_csr(a: &CsrMatrix<T>) -> Self {
+        let mut d = DenseMatrix::new(a.nrows(), a.ncols());
+        for (i, j, &v) in a.iter() {
+            d.set(i, j as usize, Some(v));
+        }
+        d
+    }
+
+    /// Collapse to CSR (present entries only, rows sorted by construction).
+    pub fn to_csr(&self) -> CsrMatrix<T> {
+        let mut rowptr = Vec::with_capacity(self.nrows + 1);
+        rowptr.push(0usize);
+        let mut colidx: Vec<Idx> = Vec::new();
+        let mut values: Vec<T> = Vec::new();
+        for i in 0..self.nrows {
+            for j in 0..self.ncols {
+                if let Some(v) = self.get(i, j) {
+                    colidx.push(j as Idx);
+                    values.push(v);
+                }
+            }
+            rowptr.push(colidx.len());
+        }
+        CsrMatrix::from_parts_unchecked(self.nrows, self.ncols, rowptr, colidx, values)
+    }
+}
+
+/// Reference masked SpGEMM: `C = M ⊙ (A·B)` (or `¬M ⊙ (A·B)` when
+/// `complemented`), computed entry-by-entry with triple loops.
+///
+/// This is the oracle every parallel algorithm is tested against. Products
+/// contributing to one output entry are combined in increasing `k`, matching
+/// the deterministic order of all kernels.
+pub fn reference_masked_spgemm<S, MT>(
+    semiring: S,
+    mask: &CsrMatrix<MT>,
+    complemented: bool,
+    a: &CsrMatrix<S::A>,
+    b: &CsrMatrix<S::B>,
+) -> CsrMatrix<S::C>
+where
+    S: Semiring,
+    MT: Copy,
+{
+    assert_eq!(a.ncols(), b.nrows(), "inner dimension mismatch");
+    assert_eq!(mask.nrows(), a.nrows(), "mask row mismatch");
+    assert_eq!(mask.ncols(), b.ncols(), "mask col mismatch");
+    let da = DenseMatrix::from_csr(a);
+    let db = DenseMatrix::from_csr(b);
+    let dm = DenseMatrix::from_csr(mask);
+    let mut out = DenseMatrix::<S::C>::new(a.nrows(), b.ncols());
+    for i in 0..a.nrows() {
+        for j in 0..b.ncols() {
+            let in_mask = dm.get(i, j).is_some();
+            if in_mask == complemented {
+                continue;
+            }
+            let mut acc: Option<S::C> = None;
+            for k in 0..a.ncols() {
+                if let (Some(av), Some(bv)) = (da.get(i, k), db.get(k, j)) {
+                    let p = semiring.mul(av, bv);
+                    acc = Some(match acc {
+                        None => p,
+                        Some(x) => semiring.add(x, p),
+                    });
+                }
+            }
+            out.set(i, j, acc);
+        }
+    }
+    out.to_csr()
+}
+
+/// Reference plain (unmasked) SpGEMM, for baseline validation.
+pub fn reference_spgemm<S>(semiring: S, a: &CsrMatrix<S::A>, b: &CsrMatrix<S::B>) -> CsrMatrix<S::C>
+where
+    S: Semiring,
+{
+    // Build an all-ones mask and reuse the masked reference.
+    let nrows = a.nrows();
+    let ncols = b.ncols();
+    let mut m = DenseMatrix::<()>::new(nrows, ncols);
+    for i in 0..nrows {
+        for j in 0..ncols {
+            m.set(i, j, Some(()));
+        }
+    }
+    reference_masked_spgemm(semiring, &m.to_csr(), false, a, b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::semiring::{PlusPair, PlusTimes};
+
+    fn a() -> CsrMatrix<f64> {
+        // [1 2]
+        // [0 3]
+        CsrMatrix::try_new(2, 2, vec![0, 2, 3], vec![0, 1, 1], vec![1.0, 2.0, 3.0]).unwrap()
+    }
+
+    fn b() -> CsrMatrix<f64> {
+        // [4 0]
+        // [5 6]
+        CsrMatrix::try_new(2, 2, vec![0, 1, 3], vec![0, 0, 1], vec![4.0, 5.0, 6.0]).unwrap()
+    }
+
+    #[test]
+    fn dense_roundtrip() {
+        let m = a();
+        let d = DenseMatrix::from_csr(&m);
+        assert_eq!(d.nnz(), 3);
+        assert_eq!(d.to_csr(), m);
+    }
+
+    #[test]
+    fn reference_full_product() {
+        // A*B = [14 12; 15 18]
+        let c = reference_spgemm(PlusTimes::<f64>::new(), &a(), &b());
+        assert_eq!(c.get(0, 0), Some(&14.0));
+        assert_eq!(c.get(0, 1), Some(&12.0));
+        assert_eq!(c.get(1, 0), Some(&15.0));
+        assert_eq!(c.get(1, 1), Some(&18.0));
+    }
+
+    #[test]
+    fn reference_masked_keeps_only_mask_entries() {
+        // mask = {(0,1), (1,0)}
+        let m = CsrMatrix::try_new(2, 2, vec![0, 1, 2], vec![1, 0], vec![(), ()]).unwrap();
+        let c = reference_masked_spgemm(PlusTimes::<f64>::new(), &m, false, &a(), &b());
+        assert_eq!(c.nnz(), 2);
+        assert_eq!(c.get(0, 1), Some(&12.0));
+        assert_eq!(c.get(1, 0), Some(&15.0));
+    }
+
+    #[test]
+    fn reference_complemented_mask() {
+        let m = CsrMatrix::try_new(2, 2, vec![0, 1, 2], vec![1, 0], vec![(), ()]).unwrap();
+        let c = reference_masked_spgemm(PlusTimes::<f64>::new(), &m, true, &a(), &b());
+        assert_eq!(c.nnz(), 2);
+        assert_eq!(c.get(0, 0), Some(&14.0));
+        assert_eq!(c.get(1, 1), Some(&18.0));
+    }
+
+    #[test]
+    fn mask_entry_without_product_produces_no_output() {
+        // A row 1 has only column 1; kill B row 1 so (1,0) gets no product.
+        let b2 =
+            CsrMatrix::try_new(2, 2, vec![0, 1, 1], vec![0], vec![4.0]).unwrap();
+        let m = CsrMatrix::try_new(2, 2, vec![0, 1, 2], vec![1, 0], vec![(), ()]).unwrap();
+        let c = reference_masked_spgemm(PlusTimes::<f64>::new(), &m, false, &a(), &b2);
+        assert_eq!(c.nnz(), 0);
+    }
+
+    #[test]
+    fn reference_plus_pair_counts_intersections() {
+        let m = CsrMatrix::try_new(2, 2, vec![0, 2, 4], vec![0, 1, 0, 1], vec![(); 4]).unwrap();
+        let c = reference_masked_spgemm(PlusPair::<f64, f64, u32>::new(), &m, false, &a(), &b());
+        // row0 of A has cols {0,1}; col0 of B has rows {0,1} -> 2 pairs
+        assert_eq!(c.get(0, 0), Some(&2));
+        assert_eq!(c.get(1, 0), Some(&1));
+    }
+}

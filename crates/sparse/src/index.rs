@@ -1,0 +1,60 @@
+//! Index type used throughout the workspace.
+//!
+//! Column/row indices are 32-bit, halving the memory traffic of the
+//! index streams relative to `usize` on 64-bit targets (the kernels in this
+//! workspace are memory-bound, so index width matters). Row pointers remain
+//! `usize` so matrices with more than 2^32 nonzeros are representable.
+
+/// Row/column index type. 32 bits: matrices up to 2^32-1 rows/columns.
+pub type Idx = u32;
+
+/// Maximum dimension representable by [`Idx`].
+pub const MAX_DIM: usize = u32::MAX as usize;
+
+/// Convert a `usize` dimension or index into [`Idx`], panicking on overflow.
+///
+/// Overflow here is a programming error (the builder validates dimensions),
+/// hence a panic rather than a `Result`.
+#[inline]
+pub fn to_idx(x: usize) -> Idx {
+    debug_assert!(x <= MAX_DIM, "index {x} exceeds u32 range");
+    x as Idx
+}
+
+/// Exclusive prefix sum in place: `out[i] = sum(counts[..i])`, returns total.
+///
+/// Used to turn per-row nonzero counts into CSR row pointers.
+pub fn exclusive_prefix_sum(counts: &mut [usize]) -> usize {
+    let mut acc = 0usize;
+    for c in counts.iter_mut() {
+        let v = *c;
+        *c = acc;
+        acc += v;
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prefix_sum_basic() {
+        let mut v = vec![2, 0, 3, 1];
+        let total = exclusive_prefix_sum(&mut v);
+        assert_eq!(total, 6);
+        assert_eq!(v, vec![0, 2, 2, 5]);
+    }
+
+    #[test]
+    fn prefix_sum_empty() {
+        let mut v: Vec<usize> = vec![];
+        assert_eq!(exclusive_prefix_sum(&mut v), 0);
+    }
+
+    #[test]
+    fn to_idx_roundtrip() {
+        assert_eq!(to_idx(0), 0u32);
+        assert_eq!(to_idx(12345), 12345u32);
+    }
+}

@@ -1,0 +1,232 @@
+//! Matrix Market (`.mtx`) I/O.
+//!
+//! The paper's real-graph suite comes from the SuiteSparse collection in
+//! Matrix Market format; this module lets users run the harnesses on their
+//! own downloaded `.mtx` files. Supports the `coordinate` format with
+//! `real` / `integer` / `pattern` fields and `general` / `symmetric`
+//! symmetry.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::path::Path;
+
+use crate::coo::CooMatrix;
+use crate::csr::CsrMatrix;
+use crate::error::SparseError;
+use crate::index::Idx;
+
+/// Parsed Matrix Market header.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MmHeader {
+    /// Values are `pattern` (all 1.0) rather than numeric.
+    pub pattern: bool,
+    /// File stores only one triangle; mirror entries on read.
+    pub symmetric: bool,
+}
+
+fn parse_header(line: &str) -> Result<MmHeader, SparseError> {
+    let toks: Vec<&str> = line.split_whitespace().collect();
+    let err = |msg: &str| SparseError::Parse {
+        line: 1,
+        msg: msg.to_string(),
+    };
+    if toks.len() < 5 || !toks[0].eq_ignore_ascii_case("%%MatrixMarket") {
+        return Err(err("missing %%MatrixMarket banner"));
+    }
+    if !toks[1].eq_ignore_ascii_case("matrix") || !toks[2].eq_ignore_ascii_case("coordinate") {
+        return Err(err("only 'matrix coordinate' supported"));
+    }
+    let pattern = match toks[3].to_ascii_lowercase().as_str() {
+        "real" | "integer" | "double" => false,
+        "pattern" => true,
+        other => {
+            return Err(err(&format!("unsupported field type '{other}'")));
+        }
+    };
+    let symmetric = match toks[4].to_ascii_lowercase().as_str() {
+        "general" => false,
+        "symmetric" => true,
+        other => {
+            return Err(err(&format!("unsupported symmetry '{other}'")));
+        }
+    };
+    Ok(MmHeader { pattern, symmetric })
+}
+
+/// Read a Matrix Market stream into COO (f64 values; pattern files get 1.0).
+pub fn read_matrix_market<R: Read>(reader: R) -> Result<CooMatrix<f64>, SparseError> {
+    let buf = BufReader::new(reader);
+    let mut lines = buf.lines().enumerate();
+
+    let header = loop {
+        match lines.next() {
+            Some((_, Ok(l))) if l.trim().is_empty() => continue,
+            Some((_, Ok(l))) => break parse_header(&l)?,
+            Some((n, Err(e))) => {
+                return Err(SparseError::Parse {
+                    line: n + 1,
+                    msg: e.to_string(),
+                })
+            }
+            None => {
+                return Err(SparseError::Parse {
+                    line: 0,
+                    msg: "empty file".into(),
+                })
+            }
+        }
+    };
+
+    // Size line: first non-comment, non-empty line after the banner.
+    let (mut nrows, mut ncols, mut nnz) = (0usize, 0usize, 0usize);
+    let mut got_size = false;
+    let mut coo: Option<CooMatrix<f64>> = None;
+    for (n, line) in lines {
+        let line = line.map_err(|e| SparseError::Parse {
+            line: n + 1,
+            msg: e.to_string(),
+        })?;
+        let t = line.trim();
+        if t.is_empty() || t.starts_with('%') {
+            continue;
+        }
+        let toks: Vec<&str> = t.split_whitespace().collect();
+        let perr = |msg: String| SparseError::Parse {
+            line: n + 1,
+            msg,
+        };
+        if !got_size {
+            if toks.len() != 3 {
+                return Err(perr("size line must have 3 fields".into()));
+            }
+            nrows = toks[0].parse().map_err(|e| perr(format!("{e}")))?;
+            ncols = toks[1].parse().map_err(|e| perr(format!("{e}")))?;
+            nnz = toks[2].parse().map_err(|e| perr(format!("{e}")))?;
+            let mut c = CooMatrix::new(nrows, ncols);
+            c.reserve(if header.symmetric { 2 * nnz } else { nnz });
+            coo = Some(c);
+            got_size = true;
+            continue;
+        }
+        let coo = coo.as_mut().expect("set with got_size");
+        let need = if header.pattern { 2 } else { 3 };
+        if toks.len() < need {
+            return Err(perr(format!("entry line needs {need} fields")));
+        }
+        let i: usize = toks[0].parse().map_err(|e| perr(format!("{e}")))?;
+        let j: usize = toks[1].parse().map_err(|e| perr(format!("{e}")))?;
+        if i < 1 || i > nrows || j < 1 || j > ncols {
+            return Err(perr(format!("entry ({i},{j}) out of bounds")));
+        }
+        let v: f64 = if header.pattern {
+            1.0
+        } else {
+            toks[2].parse().map_err(|e| perr(format!("{e}")))?
+        };
+        let (i, j) = ((i - 1) as Idx, (j - 1) as Idx);
+        coo.push(i, j, v);
+        if header.symmetric && i != j {
+            coo.push(j, i, v);
+        }
+    }
+    let coo = coo.ok_or(SparseError::Parse {
+        line: 0,
+        msg: "missing size line".into(),
+    })?;
+    if !header.symmetric && coo.nnz() != nnz {
+        return Err(SparseError::Parse {
+            line: 0,
+            msg: format!("expected {nnz} entries, found {}", coo.nnz()),
+        });
+    }
+    Ok(coo)
+}
+
+/// Read a `.mtx` file into CSR (duplicates summed).
+pub fn read_matrix_market_file<P: AsRef<Path>>(path: P) -> Result<CsrMatrix<f64>, SparseError> {
+    let f = std::fs::File::open(path)?;
+    Ok(read_matrix_market(f)?.to_csr_with(|a, b| a + b))
+}
+
+/// Write a CSR matrix as `matrix coordinate real general`.
+pub fn write_matrix_market<W: Write>(w: &mut W, a: &CsrMatrix<f64>) -> Result<(), SparseError> {
+    writeln!(w, "%%MatrixMarket matrix coordinate real general")?;
+    writeln!(w, "{} {} {}", a.nrows(), a.ncols(), a.nnz())?;
+    for (i, j, v) in a.iter() {
+        writeln!(w, "{} {} {}", i + 1, j + 1, v)?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_general_real() {
+        let text = "%%MatrixMarket matrix coordinate real general\n\
+                    % a comment\n\
+                    2 3 3\n\
+                    1 1 1.5\n\
+                    2 3 -2.0\n\
+                    1 2 4.0\n";
+        let m = read_matrix_market(text.as_bytes()).unwrap().to_csr();
+        assert_eq!(m.shape(), (2, 3));
+        assert_eq!(m.nnz(), 3);
+        assert_eq!(m.get(0, 0), Some(&1.5));
+        assert_eq!(m.get(1, 2), Some(&-2.0));
+    }
+
+    #[test]
+    fn parse_pattern_symmetric() {
+        let text = "%%MatrixMarket matrix coordinate pattern symmetric\n\
+                    3 3 2\n\
+                    2 1\n\
+                    3 3\n";
+        let m = read_matrix_market(text.as_bytes()).unwrap().to_csr();
+        // (1,0) mirrored to (0,1); diagonal (2,2) not duplicated.
+        assert_eq!(m.nnz(), 3);
+        assert_eq!(m.get(0, 1), Some(&1.0));
+        assert_eq!(m.get(1, 0), Some(&1.0));
+        assert_eq!(m.get(2, 2), Some(&1.0));
+    }
+
+    #[test]
+    fn roundtrip_write_read() {
+        let a = CsrMatrix::try_new(
+            2,
+            2,
+            vec![0, 1, 2],
+            vec![1, 0],
+            vec![3.25, -1.0],
+        )
+        .unwrap();
+        let mut out = Vec::new();
+        write_matrix_market(&mut out, &a).unwrap();
+        let b = read_matrix_market(&out[..]).unwrap().to_csr();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn rejects_bad_banner() {
+        assert!(read_matrix_market("not a banner\n1 1 0\n".as_bytes()).is_err());
+    }
+
+    #[test]
+    fn rejects_array_format() {
+        assert!(
+            read_matrix_market("%%MatrixMarket matrix array real general\n".as_bytes()).is_err()
+        );
+    }
+
+    #[test]
+    fn rejects_out_of_bounds_entry() {
+        let text = "%%MatrixMarket matrix coordinate real general\n2 2 1\n3 1 1.0\n";
+        assert!(read_matrix_market(text.as_bytes()).is_err());
+    }
+
+    #[test]
+    fn rejects_wrong_count() {
+        let text = "%%MatrixMarket matrix coordinate real general\n2 2 2\n1 1 1.0\n";
+        assert!(read_matrix_market(text.as_bytes()).is_err());
+    }
+}

@@ -1,0 +1,97 @@
+//! Symmetric permutation (vertex relabeling) of square matrices.
+
+use rayon::prelude::*;
+
+use crate::csr::CsrMatrix;
+use crate::degree::invert_perm;
+use crate::ewise::assemble_rows;
+use crate::index::Idx;
+
+/// Symmetric permutation `P·A·Pᵀ` of a square matrix, with `perm[new] = old`:
+/// new row `i` is old row `perm[i]` with columns relabeled through the
+/// inverse permutation and re-sorted.
+pub fn permute_symmetric<T: Copy + Send + Sync>(a: &CsrMatrix<T>, perm: &[Idx]) -> CsrMatrix<T> {
+    assert_eq!(a.nrows(), a.ncols(), "symmetric permutation needs square");
+    assert_eq!(perm.len(), a.nrows(), "permutation length mismatch");
+    let inv = invert_perm(perm);
+    let rows: Vec<(Vec<Idx>, Vec<T>)> = (0..a.nrows())
+        .into_par_iter()
+        .map(|new_i| {
+            let old_i = perm[new_i] as usize;
+            let (cols, vals) = a.row(old_i);
+            let mut pairs: Vec<(Idx, T)> = cols
+                .iter()
+                .zip(vals)
+                .map(|(&j, &v)| (inv[j as usize], v))
+                .collect();
+            pairs.sort_unstable_by_key(|&(j, _)| j);
+            let (c, v): (Vec<Idx>, Vec<T>) = pairs.into_iter().unzip();
+            (c, v)
+        })
+        .collect();
+    assemble_rows(a.nrows(), a.ncols(), rows)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dense::DenseMatrix;
+
+    #[test]
+    fn permute_roundtrip_identity() {
+        let a = CsrMatrix::try_new(
+            3,
+            3,
+            vec![0, 2, 2, 4],
+            vec![0, 2, 0, 1],
+            vec![1, 2, 3, 4],
+        )
+        .unwrap();
+        let id: Vec<Idx> = (0..3).collect();
+        assert_eq!(permute_symmetric(&a, &id), a);
+    }
+
+    #[test]
+    fn permute_matches_dense() {
+        let a = CsrMatrix::try_new(
+            3,
+            3,
+            vec![0, 2, 3, 5],
+            vec![0, 2, 1, 0, 2],
+            vec![1, 2, 3, 4, 5],
+        )
+        .unwrap();
+        let perm: Vec<Idx> = vec![2, 0, 1]; // new0=old2, new1=old0, new2=old1
+        let p = permute_symmetric(&a, &perm);
+        let da = DenseMatrix::from_csr(&a);
+        let dp = DenseMatrix::from_csr(&p);
+        for new_i in 0..3 {
+            for new_j in 0..3 {
+                assert_eq!(
+                    dp.get(new_i, new_j),
+                    da.get(perm[new_i] as usize, perm[new_j] as usize),
+                    "mismatch at ({new_i},{new_j})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn permute_preserves_nnz_and_sorting() {
+        let a = CsrMatrix::try_new(
+            4,
+            4,
+            vec![0, 2, 4, 5, 7],
+            vec![1, 3, 0, 2, 3, 0, 1],
+            vec![1u8; 7],
+        )
+        .unwrap();
+        let perm: Vec<Idx> = vec![3, 1, 0, 2];
+        let p = permute_symmetric(&a, &perm);
+        assert_eq!(p.nnz(), a.nnz());
+        for i in 0..4 {
+            let (cols, _) = p.row(i);
+            assert!(cols.windows(2).all(|w| w[0] < w[1]));
+        }
+    }
+}

@@ -1,0 +1,74 @@
+//! Reductions over stored values.
+//!
+//! Triangle counting finishes with a full reduction `sum(C)`; k-truss uses
+//! per-row reductions for support statistics.
+
+use rayon::prelude::*;
+
+use crate::csr::CsrMatrix;
+
+/// Reduce all stored values with a commutative, associative `op`, starting
+/// from `init` per partition (`init` must be the identity of `op`).
+pub fn reduce_all<T, F>(a: &CsrMatrix<T>, init: T, op: F) -> T
+where
+    T: Copy + Send + Sync,
+    F: Fn(T, T) -> T + Sync + Send,
+{
+    a.values()
+        .par_iter()
+        .copied()
+        .reduce(|| init, |x, y| op(x, y))
+}
+
+/// Sum of all stored values (arithmetic).
+pub fn sum_all<T>(a: &CsrMatrix<T>) -> T
+where
+    T: Copy + Send + Sync + std::ops::Add<Output = T> + Default,
+{
+    reduce_all(a, T::default(), |x, y| x + y)
+}
+
+/// Per-row reduction: `out[i] = fold(op, init, values in row i)`.
+pub fn reduce_rows<T, F>(a: &CsrMatrix<T>, init: T, op: F) -> Vec<T>
+where
+    T: Copy + Send + Sync,
+    F: Fn(T, T) -> T + Sync,
+{
+    (0..a.nrows())
+        .into_par_iter()
+        .map(|i| {
+            let (_, vals) = a.row(i);
+            vals.iter().fold(init, |acc, &v| op(acc, v))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn m() -> CsrMatrix<i64> {
+        CsrMatrix::try_new(3, 3, vec![0, 2, 2, 4], vec![0, 2, 0, 1], vec![1, 2, 3, 4]).unwrap()
+    }
+
+    #[test]
+    fn sum() {
+        assert_eq!(sum_all(&m()), 10);
+    }
+
+    #[test]
+    fn max_reduce() {
+        assert_eq!(reduce_all(&m(), i64::MIN, |x, y| x.max(y)), 4);
+    }
+
+    #[test]
+    fn row_sums() {
+        assert_eq!(reduce_rows(&m(), 0, |x, y| x + y), vec![3, 0, 7]);
+    }
+
+    #[test]
+    fn empty_sum_is_default() {
+        let e = CsrMatrix::<i64>::empty(2, 2);
+        assert_eq!(sum_all(&e), 0);
+    }
+}

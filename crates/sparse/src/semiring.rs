@@ -1,0 +1,281 @@
+//! Semiring abstraction in the GraphBLAS style.
+//!
+//! The paper expresses Masked SpGEMM on an arbitrary semiring and uses the
+//! arithmetic semiring in its exposition; the benchmark applications use
+//! `plus_pair` (triangle counting, k-truss) and `plus_times` over floats
+//! (betweenness centrality). The kernels in `masked-spgemm` are generic over
+//! this trait, so all of those (and user-defined semirings) work unchanged.
+//!
+//! The multiply may take inputs of different types than the output
+//! (`A`, `B` → `C`), mirroring `GrB_Semiring`. An additive identity is not
+//! required: output entries exist iff at least one product contributed to
+//! them (structural semantics), so accumulation always starts from the first
+//! product rather than from zero.
+
+use std::marker::PhantomData;
+use std::ops::{Add, Mul};
+
+/// A semiring `(C, add)` with multiply `A × B → C`.
+///
+/// `add` must be associative and commutative for the parallel and
+/// merge-based kernels to produce deterministic results (all kernels in this
+/// workspace combine products of a single output entry in a deterministic
+/// order, so floating-point `+` is acceptable in practice).
+pub trait Semiring: Copy + Send + Sync {
+    /// Element type of the left input matrix.
+    type A: Copy + Send + Sync;
+    /// Element type of the right input matrix.
+    type B: Copy + Send + Sync;
+    /// Element type of the output matrix.
+    type C: Copy + Send + Sync;
+
+    /// Semiring multiply.
+    fn mul(&self, a: Self::A, b: Self::B) -> Self::C;
+    /// Semiring add (monoid operation on `C`).
+    fn add(&self, x: Self::C, y: Self::C) -> Self::C;
+}
+
+/// Scalars with multiplicative identity, used by [`PlusPair`].
+pub trait One: Copy {
+    /// The multiplicative identity.
+    fn one() -> Self;
+}
+
+macro_rules! impl_one {
+    ($($t:ty => $v:expr),* $(,)?) => {
+        $(impl One for $t { #[inline] fn one() -> Self { $v } })*
+    };
+}
+impl_one!(u8 => 1, u16 => 1, u32 => 1, u64 => 1, usize => 1,
+          i8 => 1, i16 => 1, i32 => 1, i64 => 1, isize => 1,
+          f32 => 1.0, f64 => 1.0);
+
+/// The arithmetic semiring `(+, ×)` over a numeric type `T`.
+#[derive(Copy, Clone, Debug, Default)]
+pub struct PlusTimes<T>(PhantomData<T>);
+
+impl<T> PlusTimes<T> {
+    /// Construct the arithmetic semiring.
+    pub fn new() -> Self {
+        PlusTimes(PhantomData)
+    }
+}
+
+impl<T> Semiring for PlusTimes<T>
+where
+    T: Copy + Send + Sync + Add<Output = T> + Mul<Output = T>,
+{
+    type A = T;
+    type B = T;
+    type C = T;
+
+    #[inline(always)]
+    fn mul(&self, a: T, b: T) -> T {
+        a * b
+    }
+
+    #[inline(always)]
+    fn add(&self, x: T, y: T) -> T {
+        x + y
+    }
+}
+
+/// The `plus_pair` semiring: `mul(a,b) = 1`, `add = +`.
+///
+/// Counts the number of contributing products per output entry — the
+/// workhorse of triangle counting and k-truss support computation, where
+/// `C(i,j)` must equal `|A(i,:) ∩ B(:,j)|`.
+#[derive(Copy, Clone, Debug, Default)]
+pub struct PlusPair<A, B, C = u32>(PhantomData<(A, B, C)>);
+
+impl<A, B, C> PlusPair<A, B, C> {
+    /// Construct the `plus_pair` semiring.
+    pub fn new() -> Self {
+        PlusPair(PhantomData)
+    }
+}
+
+impl<A, B, C> Semiring for PlusPair<A, B, C>
+where
+    A: Copy + Send + Sync,
+    B: Copy + Send + Sync,
+    C: Copy + Send + Sync + One + Add<Output = C>,
+{
+    type A = A;
+    type B = B;
+    type C = C;
+
+    #[inline(always)]
+    fn mul(&self, _a: A, _b: B) -> C {
+        C::one()
+    }
+
+    #[inline(always)]
+    fn add(&self, x: C, y: C) -> C {
+        x + y
+    }
+}
+
+/// The `plus_first` semiring: `mul(a,b) = a`, `add = +`.
+#[derive(Copy, Clone, Debug, Default)]
+pub struct PlusFirst<A, B = A>(PhantomData<(A, B)>);
+
+impl<A, B> PlusFirst<A, B> {
+    /// Construct the `plus_first` semiring.
+    pub fn new() -> Self {
+        PlusFirst(PhantomData)
+    }
+}
+
+impl<A, B> Semiring for PlusFirst<A, B>
+where
+    A: Copy + Send + Sync + Add<Output = A>,
+    B: Copy + Send + Sync,
+{
+    type A = A;
+    type B = B;
+    type C = A;
+
+    #[inline(always)]
+    fn mul(&self, a: A, _b: B) -> A {
+        a
+    }
+
+    #[inline(always)]
+    fn add(&self, x: A, y: A) -> A {
+        x + y
+    }
+}
+
+/// The `plus_second` semiring: `mul(a,b) = b`, `add = +`.
+///
+/// Betweenness centrality's forward sweep uses this to propagate path counts
+/// through an unweighted (pattern) adjacency matrix.
+#[derive(Copy, Clone, Debug, Default)]
+pub struct PlusSecond<A, B>(PhantomData<(A, B)>);
+
+impl<A, B> PlusSecond<A, B> {
+    /// Construct the `plus_second` semiring.
+    pub fn new() -> Self {
+        PlusSecond(PhantomData)
+    }
+}
+
+impl<A, B> Semiring for PlusSecond<A, B>
+where
+    A: Copy + Send + Sync,
+    B: Copy + Send + Sync + Add<Output = B>,
+{
+    type A = A;
+    type B = B;
+    type C = B;
+
+    #[inline(always)]
+    fn mul(&self, _a: A, b: B) -> B {
+        b
+    }
+
+    #[inline(always)]
+    fn add(&self, x: B, y: B) -> B {
+        x + y
+    }
+}
+
+/// The tropical `(min, +)` semiring, e.g. for all-pairs shortest paths.
+#[derive(Copy, Clone, Debug, Default)]
+pub struct MinPlus<T>(PhantomData<T>);
+
+impl<T> MinPlus<T> {
+    /// Construct the tropical semiring.
+    pub fn new() -> Self {
+        MinPlus(PhantomData)
+    }
+}
+
+impl<T> Semiring for MinPlus<T>
+where
+    T: Copy + Send + Sync + Add<Output = T> + PartialOrd,
+{
+    type A = T;
+    type B = T;
+    type C = T;
+
+    #[inline(always)]
+    fn mul(&self, a: T, b: T) -> T {
+        a + b
+    }
+
+    #[inline(always)]
+    fn add(&self, x: T, y: T) -> T {
+        if y < x {
+            y
+        } else {
+            x
+        }
+    }
+}
+
+/// The boolean `(or, and)` semiring — reachability / BFS frontiers.
+#[derive(Copy, Clone, Debug, Default)]
+pub struct BoolAndOr;
+
+impl Semiring for BoolAndOr {
+    type A = bool;
+    type B = bool;
+    type C = bool;
+
+    #[inline(always)]
+    fn mul(&self, a: bool, b: bool) -> bool {
+        a && b
+    }
+
+    #[inline(always)]
+    fn add(&self, x: bool, y: bool) -> bool {
+        x || y
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plus_times_f64() {
+        let s = PlusTimes::<f64>::new();
+        assert_eq!(s.mul(2.0, 3.0), 6.0);
+        assert_eq!(s.add(2.0, 3.0), 5.0);
+    }
+
+    #[test]
+    fn plus_pair_counts() {
+        let s = PlusPair::<f64, f64, u32>::new();
+        assert_eq!(s.mul(123.0, -7.0), 1u32);
+        assert_eq!(s.add(1, 1), 2);
+    }
+
+    #[test]
+    fn plus_first_second() {
+        let f = PlusFirst::<i64, i64>::new();
+        assert_eq!(f.mul(4, 9), 4);
+        let s = PlusSecond::<i64, f64>::new();
+        assert_eq!(s.mul(4, 9.5), 9.5);
+        assert_eq!(s.add(1.0, 2.0), 3.0);
+    }
+
+    #[test]
+    fn min_plus() {
+        let s = MinPlus::<u64>::new();
+        assert_eq!(s.mul(2, 3), 5);
+        assert_eq!(s.add(7, 4), 4);
+        assert_eq!(s.add(4, 7), 4);
+    }
+
+    #[test]
+    fn bool_and_or() {
+        let s = BoolAndOr;
+        assert!(s.mul(true, true));
+        assert!(!s.mul(true, false));
+        assert!(s.add(false, true));
+        assert!(!s.add(false, false));
+    }
+}

@@ -1,0 +1,175 @@
+//! Sparse vectors — the `u`, `m`, `v` of the paper's Masked SpGEVM framing
+//! (Section 5 describes every algorithm as a masked sparse vector-matrix
+//! product; `masked_spgemm::spgevm` exposes that operation directly, e.g.
+//! for frontier-based traversals).
+
+use crate::error::SparseError;
+use crate::index::{Idx, MAX_DIM};
+
+/// A sparse vector: sorted indices + values, with an explicit dimension.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SparseVec<T> {
+    dim: usize,
+    idx: Vec<Idx>,
+    vals: Vec<T>,
+}
+
+impl<T> SparseVec<T> {
+    /// Construct from sorted parts, validating the invariants
+    /// (strictly increasing, in-range indices; matching lengths).
+    pub fn try_new(dim: usize, idx: Vec<Idx>, vals: Vec<T>) -> Result<Self, SparseError> {
+        if dim > MAX_DIM {
+            return Err(SparseError::DimensionTooLarge { dim });
+        }
+        if idx.len() != vals.len() {
+            return Err(SparseError::ValueLength {
+                expected: idx.len(),
+                got: vals.len(),
+            });
+        }
+        let mut prev: Option<Idx> = None;
+        for &j in &idx {
+            if (j as usize) >= dim {
+                return Err(SparseError::IndexOutOfRange {
+                    row: 0,
+                    index: j,
+                    dim,
+                });
+            }
+            if let Some(p) = prev {
+                if j <= p {
+                    return Err(SparseError::UnsortedRow { row: 0 });
+                }
+            }
+            prev = Some(j);
+        }
+        Ok(SparseVec { dim, idx, vals })
+    }
+
+    /// The empty vector of the given dimension.
+    pub fn empty(dim: usize) -> Self {
+        SparseVec {
+            dim,
+            idx: Vec::new(),
+            vals: Vec::new(),
+        }
+    }
+
+    /// Dimension (number of addressable positions).
+    #[inline]
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Number of stored entries.
+    #[inline]
+    pub fn nnz(&self) -> usize {
+        self.idx.len()
+    }
+
+    /// True when no entries are stored.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.idx.is_empty()
+    }
+
+    /// Sorted indices of stored entries.
+    #[inline]
+    pub fn indices(&self) -> &[Idx] {
+        &self.idx
+    }
+
+    /// Values of stored entries (parallel to [`SparseVec::indices`]).
+    #[inline]
+    pub fn values(&self) -> &[T] {
+        &self.vals
+    }
+
+    /// Value at `j` via binary search.
+    pub fn get(&self, j: Idx) -> Option<&T> {
+        self.idx.binary_search(&j).ok().map(|p| &self.vals[p])
+    }
+
+    /// Iterate `(index, &value)` pairs in index order.
+    pub fn iter(&self) -> impl Iterator<Item = (Idx, &T)> + '_ {
+        self.idx.iter().copied().zip(self.vals.iter())
+    }
+
+    /// Pattern-only copy.
+    pub fn pattern(&self) -> SparseVec<()> {
+        SparseVec {
+            dim: self.dim,
+            idx: self.idx.clone(),
+            vals: vec![(); self.idx.len()],
+        }
+    }
+
+    /// Decompose into `(dim, indices, values)`.
+    pub fn into_parts(self) -> (usize, Vec<Idx>, Vec<T>) {
+        (self.dim, self.idx, self.vals)
+    }
+}
+
+impl<T: Clone> SparseVec<T> {
+    /// Build from unsorted `(index, value)` pairs; duplicates combined with
+    /// `combine`.
+    pub fn from_pairs(
+        dim: usize,
+        mut pairs: Vec<(Idx, T)>,
+        combine: impl Fn(&T, &T) -> T,
+    ) -> Result<Self, SparseError> {
+        pairs.sort_by_key(|&(j, _)| j);
+        let mut idx: Vec<Idx> = Vec::with_capacity(pairs.len());
+        let mut vals: Vec<T> = Vec::with_capacity(pairs.len());
+        for (j, v) in pairs {
+            if Some(&j) == idx.last() {
+                let lv = vals.last_mut().expect("nonempty");
+                *lv = combine(lv, &v);
+            } else {
+                idx.push(j);
+                vals.push(v);
+            }
+        }
+        SparseVec::try_new(dim, idx, vals)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_access() {
+        let v = SparseVec::try_new(10, vec![1, 4, 7], vec![1.0, 2.0, 3.0]).unwrap();
+        assert_eq!(v.dim(), 10);
+        assert_eq!(v.nnz(), 3);
+        assert_eq!(v.get(4), Some(&2.0));
+        assert_eq!(v.get(5), None);
+        let pairs: Vec<(Idx, f64)> = v.iter().map(|(j, &x)| (j, x)).collect();
+        assert_eq!(pairs, vec![(1, 1.0), (4, 2.0), (7, 3.0)]);
+    }
+
+    #[test]
+    fn validation() {
+        assert!(SparseVec::try_new(3, vec![0, 5], vec![1, 2]).is_err()); // range
+        assert!(SparseVec::try_new(5, vec![2, 1], vec![1, 2]).is_err()); // order
+        assert!(SparseVec::try_new(5, vec![2, 2], vec![1, 2]).is_err()); // dup
+        assert!(SparseVec::try_new(5, vec![2], vec![1, 2]).is_err()); // len
+    }
+
+    #[test]
+    fn from_pairs_sorts_and_combines() {
+        let v = SparseVec::from_pairs(8, vec![(5, 1.0), (2, 2.0), (5, 10.0)], |a, b| a + b)
+            .unwrap();
+        assert_eq!(v.indices(), &[2, 5]);
+        assert_eq!(v.values(), &[2.0, 11.0]);
+    }
+
+    #[test]
+    fn empty_and_pattern() {
+        let e = SparseVec::<f64>::empty(4);
+        assert!(e.is_empty());
+        let v = SparseVec::try_new(4, vec![3], vec![9.0]).unwrap();
+        assert_eq!(v.pattern().indices(), &[3]);
+    }
+}

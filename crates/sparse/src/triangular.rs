@@ -1,0 +1,130 @@
+//! Triangular extraction.
+//!
+//! Triangle counting (Section 8.2) operates on the strictly lower-triangular
+//! part `L` of the (degree-relabeled) adjacency matrix, counting
+//! `sum(L .* (L·L))`.
+
+use crate::csr::CsrMatrix;
+use crate::index::Idx;
+
+/// Strictly lower-triangular part: entries with `col < row`.
+pub fn tril<T: Clone>(a: &CsrMatrix<T>) -> CsrMatrix<T> {
+    a.filter(|i, j, _| (j as usize) < i)
+}
+
+/// Lower-triangular part including the diagonal: entries with `col <= row`.
+pub fn tril_diag<T: Clone>(a: &CsrMatrix<T>) -> CsrMatrix<T> {
+    a.filter(|i, j, _| (j as usize) <= i)
+}
+
+/// Strictly upper-triangular part: entries with `col > row`.
+pub fn triu<T: Clone>(a: &CsrMatrix<T>) -> CsrMatrix<T> {
+    a.filter(|i, j, _| (j as usize) > i)
+}
+
+/// Remove diagonal entries.
+pub fn remove_diagonal<T: Clone>(a: &CsrMatrix<T>) -> CsrMatrix<T> {
+    a.filter(|i, j, _| (j as usize) != i)
+}
+
+/// True if the pattern is symmetric (`A(i,j)` stored iff `A(j,i)` stored).
+pub fn is_pattern_symmetric<T>(a: &CsrMatrix<T>) -> bool {
+    if a.nrows() != a.ncols() {
+        return false;
+    }
+    for i in 0..a.nrows() {
+        let (cols, _) = a.row(i);
+        for &j in cols {
+            if a.get(j as usize, i as Idx).is_none() {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+/// Symmetrize a pattern: `A ∪ Aᵀ` (values from `A` where present, otherwise
+/// from `Aᵀ`). Used to turn directed generator output into undirected graphs.
+pub fn symmetrize<T: Copy + Send + Sync>(a: &CsrMatrix<T>) -> CsrMatrix<T> {
+    let t = crate::transpose::transpose(a);
+    crate::ewise::ewise_union(a, &t, |x, _| *x, |x| *x, |y| *y)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn square() -> CsrMatrix<i32> {
+        // [1 2 0]
+        // [3 4 5]
+        // [0 6 7]
+        CsrMatrix::try_new(
+            3,
+            3,
+            vec![0, 2, 5, 7],
+            vec![0, 1, 0, 1, 2, 1, 2],
+            vec![1, 2, 3, 4, 5, 6, 7],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn tril_strict() {
+        let l = tril(&square());
+        assert_eq!(l.nnz(), 2);
+        assert_eq!(l.get(1, 0), Some(&3));
+        assert_eq!(l.get(2, 1), Some(&6));
+    }
+
+    #[test]
+    fn tril_with_diag() {
+        let l = tril_diag(&square());
+        assert_eq!(l.nnz(), 5);
+        assert_eq!(l.get(0, 0), Some(&1));
+        assert_eq!(l.get(2, 2), Some(&7));
+    }
+
+    #[test]
+    fn triu_strict() {
+        let u = triu(&square());
+        assert_eq!(u.nnz(), 2);
+        assert_eq!(u.get(0, 1), Some(&2));
+        assert_eq!(u.get(1, 2), Some(&5));
+    }
+
+    #[test]
+    fn diag_removal() {
+        let d = remove_diagonal(&square());
+        assert_eq!(d.nnz(), 4);
+        assert_eq!(d.get(1, 1), None);
+    }
+
+    #[test]
+    fn tril_triu_diag_partition() {
+        let a = square();
+        assert_eq!(
+            tril(&a).nnz() + triu(&a).nnz() + (a.nnz() - remove_diagonal(&a).nnz()),
+            a.nnz()
+        );
+    }
+
+    #[test]
+    fn symmetry_check() {
+        // Directed: edge (0,1) without (1,0).
+        let a = CsrMatrix::try_new(2, 2, vec![0, 1, 1], vec![1], vec![9]).unwrap();
+        assert!(!is_pattern_symmetric(&a));
+        let s = symmetrize(&a);
+        assert!(is_pattern_symmetric(&s));
+        // Union keeps the original value where present and fills the
+        // transposed position from Aᵀ.
+        assert_eq!(s.get(0, 1), Some(&9));
+        assert_eq!(s.get(1, 0), Some(&9));
+    }
+
+    #[test]
+    fn square_pattern_is_symmetric() {
+        assert!(is_pattern_symmetric(&square()));
+        assert!(!is_pattern_symmetric(&CsrMatrix::<i32>::empty(2, 3)));
+
+    }
+}

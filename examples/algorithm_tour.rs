@@ -1,0 +1,70 @@
+//! A tour of the density regimes of Figure 7: which algorithm wins where,
+//! and why, demonstrated live on three Erdős-Rényi configurations.
+//!
+//! Run with `cargo run --release --example algorithm_tour -p masked-spgemm`.
+
+use graphs::erdos_renyi;
+use masked_spgemm::{masked_spgemm, Algorithm, Phases};
+use sparse::{CsrMatrix, PlusTimes};
+use std::time::{Duration, Instant};
+
+fn time_all(
+    mask: &CsrMatrix<f64>,
+    a: &CsrMatrix<f64>,
+    b: &CsrMatrix<f64>,
+) -> Vec<(Algorithm, Duration)> {
+    let sr = PlusTimes::<f64>::new();
+    let mut out = Vec::new();
+    for alg in Algorithm::ALL {
+        // warmup + timed
+        let _ = masked_spgemm(alg, Phases::One, false, sr, mask, a, b).unwrap();
+        let t0 = Instant::now();
+        let c = masked_spgemm(alg, Phases::One, false, sr, mask, a, b).unwrap();
+        let dt = t0.elapsed();
+        std::hint::black_box(c.nnz());
+        out.push((alg, dt));
+    }
+    out.sort_by_key(|&(_, d)| d);
+    out
+}
+
+fn show(name: &str, explanation: &str, deg_inputs: f64, deg_mask: f64) {
+    let n = 1 << 12;
+    let a = erdos_renyi(n, deg_inputs, 1);
+    let b = erdos_renyi(n, deg_inputs, 2);
+    let m = erdos_renyi(n, deg_mask, 3);
+    println!("\n--- {name}: deg(A,B) = {deg_inputs}, deg(M) = {deg_mask} ---");
+    println!("{explanation}");
+    for (rank, (alg, dt)) in time_all(&m, &a, &b).into_iter().enumerate() {
+        let marker = if rank == 0 { "  <- winner" } else { "" };
+        println!("  {:<8} {:>10.2?}{marker}", alg.name(), dt);
+    }
+}
+
+fn main() {
+    println!("Masked SpGEMM algorithm regimes (n = 4096, Erdős-Rényi):");
+
+    show(
+        "sparse mask",
+        "Mask is ~100x sparser than the inputs: a pull-based dot product \
+         per unmasked entry avoids almost all of flops(A·B).",
+        64.0,
+        1.0,
+    );
+
+    show(
+        "comparable density",
+        "Mask and inputs comparable: push-based accumulators (MSA/Hash/MCA) \
+         amortize row formation across many kept outputs.",
+        16.0,
+        16.0,
+    );
+
+    show(
+        "sparse inputs, dense mask",
+        "Inputs much sparser than the mask: the k-way heap merge streams \
+         short rows without touching an accumulator at all.",
+        2.0,
+        512.0,
+    );
+}

@@ -1,0 +1,50 @@
+//! Batch betweenness centrality on a preferential-attachment graph.
+//!
+//! Exercises both mask polarities of Masked SpGEMM: the forward BFS uses a
+//! complemented mask (don't rediscover visited vertices), the backward
+//! dependency sweep a plain one. Hubs of the power-law graph should surface
+//! with the highest centrality.
+//!
+//! Run with `cargo run --release --example betweenness -p masked-spgemm`.
+
+use graph_algos::{betweenness_centrality, Scheme};
+use graphs::preferential_attachment;
+use masked_spgemm::{Algorithm, Phases};
+use sparse::Idx;
+
+fn main() {
+    let n = 2000;
+    let adj = preferential_attachment(n, 3, 99);
+    println!("preferential-attachment graph: {} vertices, {} edges", n, adj.nnz() / 2);
+
+    // One batch of 64 sources, spread deterministically.
+    let sources: Vec<Idx> = (0..64).map(|i| ((i * 2654435761usize) % n) as Idx).collect();
+    let scheme = Scheme::Ours(Algorithm::Msa, Phases::One);
+    let r = betweenness_centrality(scheme, &adj, &sources).expect("MSA supports complement");
+    println!(
+        "scheme {}: batch {} sources, BFS depth {}",
+        scheme.label(),
+        r.batch,
+        r.depth
+    );
+
+    // Report the ten most central vertices alongside their degree: in a
+    // preferential-attachment graph these are overwhelmingly the old hubs.
+    let mut ranked: Vec<(usize, f64)> = r.centrality.iter().copied().enumerate().collect();
+    ranked.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("no NaN"));
+    println!("top 10 by betweenness (vertex, score, degree):");
+    for &(v, score) in ranked.iter().take(10) {
+        println!("  v{v:<6} {score:>12.1}   deg {}", adj.row_nnz(v));
+    }
+
+    // Cross-check a second scheme end to end.
+    let r2 = betweenness_centrality(Scheme::SsSaxpy, &adj, &sources).expect("supported");
+    let max_diff = r
+        .centrality
+        .iter()
+        .zip(&r2.centrality)
+        .map(|(a, b)| (a - b).abs())
+        .fold(0.0f64, f64::max)
+        ;
+    println!("max |MSA-1P − SS:SAXPY| over all vertices: {max_diff:.2e}");
+}

@@ -1,0 +1,47 @@
+//! k-truss peeling: how a graph's dense cores survive increasing k.
+//!
+//! Each k-truss run is a loop of `A ⊙ (A·A)` Masked SpGEMMs (support
+//! computation) and prunes; the mask shrinks every iteration, which is the
+//! regime where pull-based algorithms start to pay off (paper Section 8.3).
+//!
+//! Run with `cargo run --release --example ktruss_peeling -p masked-spgemm`.
+
+use graph_algos::{ktruss, Scheme};
+use graphs::{rmat, to_undirected_simple, RmatParams};
+use masked_spgemm::{Algorithm, Phases};
+use std::time::Instant;
+
+fn main() {
+    let adj = to_undirected_simple(&rmat(10, RmatParams::default(), 21));
+    println!(
+        "R-MAT scale 10: {} vertices, {} edges",
+        adj.nrows(),
+        adj.nnz() / 2
+    );
+
+    let scheme = Scheme::Ours(Algorithm::Msa, Phases::One);
+    println!("k-truss peeling with {} :", scheme.label());
+    println!("{:>3} {:>10} {:>6} {:>14} {:>10}", "k", "edges", "iters", "flops", "time");
+    for k in 3..=8 {
+        let t0 = Instant::now();
+        let r = ktruss(scheme, &adj, k).expect("plain mask");
+        println!(
+            "{:>3} {:>10} {:>6} {:>14} {:>10.2?}",
+            k,
+            r.truss.nnz() / 2,
+            r.iterations,
+            r.total_flops,
+            t0.elapsed()
+        );
+        if r.truss.nnz() == 0 {
+            println!("graph fully peeled at k = {k}");
+            break;
+        }
+    }
+
+    // The same decomposition with a pull-based scheme must agree.
+    let a = ktruss(scheme, &adj, 4).expect("plain mask");
+    let b = ktruss(Scheme::Ours(Algorithm::Inner, Phases::One), &adj, 4).expect("plain mask");
+    assert_eq!(a.truss.pattern(), b.truss.pattern());
+    println!("MSA-1P and Inner-1P agree on the 4-truss ✓");
+}

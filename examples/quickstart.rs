@@ -1,0 +1,63 @@
+//! Quickstart: compute a masked sparse product `C = M ⊙ (A·B)`.
+//!
+//! Run with `cargo run --release --example quickstart -p masked-spgemm`.
+
+use masked_spgemm::{masked_spgemm, Algorithm, Phases};
+use sparse::{CsrMatrix, PlusTimes};
+
+fn main() {
+    // A small 4x4 example.
+    //     A           B           M (pattern)
+    // [1 . 2 .]   [. 5 . .]   [x . . x]
+    // [. 3 . .]   [6 . 7 .]   [. x . .]
+    // [. . . 4]   [. 8 . .]   [. . x .]
+    // [5 . 6 .]   [9 . . 1]   [x x . .]
+    let a = CsrMatrix::try_new(
+        4,
+        4,
+        vec![0, 2, 3, 4, 6],
+        vec![0, 2, 1, 3, 0, 2],
+        vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0],
+    )
+    .expect("valid CSR");
+    let b = CsrMatrix::try_new(
+        4,
+        4,
+        vec![0, 1, 3, 4, 6],
+        vec![1, 0, 2, 1, 0, 3],
+        vec![5.0, 6.0, 7.0, 8.0, 9.0, 1.0],
+    )
+    .expect("valid CSR");
+    let mask = CsrMatrix::try_new(
+        4,
+        4,
+        vec![0, 2, 3, 4, 6],
+        vec![0, 3, 1, 2, 0, 1],
+        vec![(); 6],
+    )
+    .expect("valid CSR");
+
+    println!("A·B restricted to the mask, with every algorithm:");
+    let sr = PlusTimes::<f64>::new();
+    for alg in Algorithm::ALL {
+        let c = masked_spgemm(alg, Phases::One, false, sr, &mask, &a, &b)
+            .expect("dimensions agree");
+        println!("  {:<8} -> {} stored entries", alg.name(), c.nnz());
+        for (i, j, v) in c.iter() {
+            println!("      C({i},{j}) = {v}");
+        }
+    }
+
+    // The complemented mask computes everything *outside* M instead.
+    let c = masked_spgemm(Algorithm::Msa, Phases::One, true, sr, &mask, &a, &b)
+        .expect("dimensions agree");
+    println!("complemented mask -> {} stored entries", c.nnz());
+
+    // Two-phase execution trades a symbolic pass for exact allocation.
+    let c2 = masked_spgemm(Algorithm::Hash, Phases::Two, false, sr, &mask, &a, &b)
+        .expect("dimensions agree");
+    println!(
+        "two-phase Hash agrees with one-phase MSA: {}",
+        c2 == masked_spgemm(Algorithm::Msa, Phases::One, false, sr, &mask, &a, &b).unwrap()
+    );
+}

@@ -1,0 +1,122 @@
+//! End-to-end application tests: the three paper benchmarks run on suite
+//! graphs and agree with serial textbook references across schemes.
+
+use graph_algos::reference::{brandes_reference, ktruss_reference, triangle_count_reference};
+use graph_algos::{
+    betweenness_centrality, ktruss, prepare_triangle_input, triangle_count, Scheme,
+};
+use masked_spgemm::{Algorithm, Phases};
+use sparse::{CscMatrix, Idx};
+
+fn small_suite_graphs() -> Vec<(String, sparse::CsrMatrix<f64>)> {
+    graphs::suite()
+        .into_iter()
+        .filter(|g| g.nvertices() <= 1 << 10)
+        .map(|g| (g.name.to_string(), g.build()))
+        .collect()
+}
+
+#[test]
+fn triangle_counts_match_reference_on_suite() {
+    let schemes = [
+        Scheme::Ours(Algorithm::Msa, Phases::One),
+        Scheme::Ours(Algorithm::Mca, Phases::Two),
+        Scheme::Ours(Algorithm::Inner, Phases::One),
+        Scheme::SsSaxpy,
+    ];
+    for (name, adj) in small_suite_graphs() {
+        let expect = triangle_count_reference(&adj);
+        let l = prepare_triangle_input(&adj);
+        let lc = CscMatrix::from_csr(&l);
+        for s in schemes {
+            assert_eq!(
+                triangle_count(s, &l, &lc).unwrap(),
+                expect,
+                "{name} with {}",
+                s.label()
+            );
+        }
+    }
+}
+
+#[test]
+fn ktruss_matches_reference_on_suite() {
+    for (name, adj) in small_suite_graphs().into_iter().take(4) {
+        for k in [3usize, 5] {
+            let expect = ktruss_reference(&adj, k);
+            let got = ktruss(Scheme::Ours(Algorithm::Msa, Phases::One), &adj, k).unwrap();
+            assert_eq!(
+                got.truss.pattern(),
+                expect.pattern(),
+                "{name} k={k}"
+            );
+        }
+    }
+}
+
+#[test]
+fn ktruss_flops_identical_across_schemes() {
+    // The pruning sequence is scheme-independent, so the flop accounting
+    // (the Figure 14 numerator) must be too.
+    let adj = graphs::to_undirected_simple(&graphs::erdos_renyi(256, 12.0, 4));
+    let a = ktruss(Scheme::Ours(Algorithm::Msa, Phases::One), &adj, 5).unwrap();
+    let b = ktruss(Scheme::Ours(Algorithm::Inner, Phases::Two), &adj, 5).unwrap();
+    let c = ktruss(Scheme::SsDot, &adj, 5).unwrap();
+    assert_eq!(a.total_flops, b.total_flops);
+    assert_eq!(a.total_flops, c.total_flops);
+    assert_eq!(a.iterations, b.iterations);
+}
+
+#[test]
+fn bc_matches_brandes_on_suite() {
+    for (name, adj) in small_suite_graphs().into_iter().take(3) {
+        let n = adj.nrows();
+        let sources: Vec<Idx> = (0..8).map(|i| ((i * 997) % n) as Idx).collect();
+        let expect = brandes_reference(&adj, &sources);
+        for s in [
+            Scheme::Ours(Algorithm::Msa, Phases::One),
+            Scheme::Ours(Algorithm::Hash, Phases::Two),
+            Scheme::SsSaxpy,
+        ] {
+            let got = betweenness_centrality(s, &adj, &sources).unwrap();
+            for (v, (x, y)) in got.centrality.iter().zip(&expect).enumerate() {
+                assert!(
+                    (x - y).abs() < 1e-6 * (1.0 + y.abs()),
+                    "{name} {} vertex {v}: {x} vs {y}",
+                    s.label()
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn bc_batch_decomposes_over_sources() {
+    // Centrality from a batch equals the sum of per-source runs.
+    let adj = graphs::to_undirected_simple(&graphs::erdos_renyi(64, 5.0, 9));
+    let s = Scheme::Ours(Algorithm::Msa, Phases::One);
+    let sources: Vec<Idx> = vec![1, 5, 9];
+    let whole = betweenness_centrality(s, &adj, &sources).unwrap();
+    let mut summed = vec![0.0f64; adj.nrows()];
+    for &src in &sources {
+        let one = betweenness_centrality(s, &adj, &[src]).unwrap();
+        for (acc, v) in summed.iter_mut().zip(&one.centrality) {
+            *acc += v;
+        }
+    }
+    for (v, (x, y)) in whole.centrality.iter().zip(&summed).enumerate() {
+        assert!((x - y).abs() < 1e-9, "vertex {v}: {x} vs {y}");
+    }
+}
+
+#[test]
+fn tc_scheme_census_agrees_everywhere() {
+    // Every scheme (ours + baselines) on one mid-size skewed graph.
+    let adj = graphs::to_undirected_simple(&graphs::rmat(9, graphs::RmatParams::default(), 3));
+    let expect = triangle_count_reference(&adj);
+    let l = prepare_triangle_input(&adj);
+    let lc = CscMatrix::from_csr(&l);
+    for s in Scheme::all_ours().into_iter().chain(Scheme::baselines()) {
+        assert_eq!(triangle_count(s, &l, &lc).unwrap(), expect, "{}", s.label());
+    }
+}

@@ -1,0 +1,156 @@
+//! Cross-crate equivalence: every Masked SpGEMM implementation in the
+//! workspace — 12 variants of ours plus the baselines — must produce
+//! bit-identical CSR output on randomized instances of varying shape,
+//! density and semiring, in both mask polarities.
+
+use graph_algos::Scheme;
+use masked_spgemm::{Algorithm, Phases};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use sparse::dense::reference_masked_spgemm;
+use sparse::{CscMatrix, CsrMatrix, Idx, PlusPair, PlusTimes, Semiring};
+
+/// Random rectangular CSR with integer-valued f64 entries (so that
+/// floating-point addition is exact and order-independent).
+fn random_csr(nrows: usize, ncols: usize, density: f64, rng: &mut StdRng) -> CsrMatrix<f64> {
+    let mut rowptr = vec![0usize];
+    let mut cols: Vec<Idx> = Vec::new();
+    let mut vals = Vec::new();
+    for _ in 0..nrows {
+        for j in 0..ncols {
+            if rng.gen::<f64>() < density {
+                cols.push(j as Idx);
+                vals.push(rng.gen_range(1..100) as f64);
+            }
+        }
+        rowptr.push(cols.len());
+    }
+    CsrMatrix::try_new(nrows, ncols, rowptr, cols, vals).unwrap()
+}
+
+fn all_schemes() -> Vec<Scheme> {
+    Scheme::all_ours()
+        .into_iter()
+        .chain(Scheme::baselines())
+        .collect()
+}
+
+fn check_instance<S>(sr: S, n: usize, k: usize, m: usize, da: f64, dm: f64, seed: u64)
+where
+    S: Semiring<A = f64, B = f64>,
+    S::C: Default + Send + Sync + std::fmt::Debug + PartialEq,
+{
+    let mut rng = StdRng::seed_from_u64(seed);
+    let a = random_csr(n, k, da, &mut rng);
+    let b = random_csr(k, m, da, &mut rng);
+    let mask = random_csr(n, m, dm, &mut rng).pattern();
+    let b_csc = CscMatrix::from_csr(&b);
+    for compl in [false, true] {
+        let expect = reference_masked_spgemm(sr, &mask, compl, &a, &b);
+        for s in all_schemes() {
+            if compl && !s.supports_complement() {
+                continue;
+            }
+            let got = s.run(sr, &mask, compl, &a, &b, &b_csc).unwrap();
+            assert_eq!(
+                got,
+                expect,
+                "{} on ({n}x{k})·({k}x{m}) da={da} dm={dm} seed={seed} compl={compl}",
+                s.label()
+            );
+        }
+    }
+}
+
+#[test]
+fn equivalence_square_medium() {
+    for seed in 0..4 {
+        check_instance(PlusTimes::<f64>::new(), 48, 48, 48, 0.15, 0.2, seed);
+    }
+}
+
+#[test]
+fn equivalence_rectangular() {
+    check_instance(PlusTimes::<f64>::new(), 30, 50, 20, 0.2, 0.3, 11);
+    check_instance(PlusTimes::<f64>::new(), 50, 10, 60, 0.25, 0.15, 12);
+    check_instance(PlusTimes::<f64>::new(), 1, 40, 40, 0.3, 0.3, 13);
+    check_instance(PlusTimes::<f64>::new(), 40, 40, 1, 0.3, 0.9, 14);
+}
+
+#[test]
+fn equivalence_density_extremes() {
+    // Nearly dense inputs, sparse mask (Inner's regime).
+    check_instance(PlusTimes::<f64>::new(), 32, 32, 32, 0.7, 0.05, 21);
+    // Sparse inputs, dense mask (Heap's regime).
+    check_instance(PlusTimes::<f64>::new(), 32, 32, 32, 0.05, 0.8, 22);
+    // Both nearly empty.
+    check_instance(PlusTimes::<f64>::new(), 32, 32, 32, 0.02, 0.02, 23);
+}
+
+#[test]
+fn equivalence_plus_pair_semiring() {
+    for seed in 30..33 {
+        check_instance(PlusPair::<f64, f64, u32>::new(), 36, 36, 36, 0.2, 0.25, seed);
+    }
+}
+
+#[test]
+fn equivalence_on_graph_inputs() {
+    // Masked squaring of real generator output (the TC inner loop).
+    let adj = graphs::to_undirected_simple(&graphs::rmat(8, graphs::RmatParams::default(), 5));
+    let l = graph_algos::prepare_triangle_input(&adj);
+    let lc = CscMatrix::from_csr(&l);
+    let sr = PlusPair::<f64, f64, u64>::new();
+    let expect = reference_masked_spgemm(sr, &l, false, &l, &l);
+    for s in all_schemes() {
+        let got = s.run(sr, &l, false, &l, &l, &lc).unwrap();
+        assert_eq!(got, expect, "{}", s.label());
+    }
+}
+
+#[test]
+fn one_phase_two_phase_bitwise_identical() {
+    // Beyond matching the reference, 1P and 2P of the same algorithm must
+    // produce identical buffers (rowptr included).
+    let mut rng = StdRng::seed_from_u64(77);
+    let a = random_csr(64, 64, 0.12, &mut rng);
+    let b = random_csr(64, 64, 0.12, &mut rng);
+    let mask = random_csr(64, 64, 0.2, &mut rng).pattern();
+    let b_csc = CscMatrix::from_csr(&b);
+    let sr = PlusTimes::<f64>::new();
+    for alg in Algorithm::ALL {
+        for compl in [false, true] {
+            if compl && !alg.supports_complement() {
+                continue;
+            }
+            let one = Scheme::Ours(alg, Phases::One)
+                .run(sr, &mask, compl, &a, &b, &b_csc)
+                .unwrap();
+            let two = Scheme::Ours(alg, Phases::Two)
+                .run(sr, &mask, compl, &a, &b, &b_csc)
+                .unwrap();
+            assert_eq!(one.rowptr(), two.rowptr(), "{alg:?} compl={compl}");
+            assert_eq!(one.colidx(), two.colidx(), "{alg:?} compl={compl}");
+            assert_eq!(one.values(), two.values(), "{alg:?} compl={compl}");
+        }
+    }
+}
+
+#[test]
+fn results_independent_of_thread_count() {
+    let mut rng = StdRng::seed_from_u64(88);
+    let a = random_csr(100, 100, 0.08, &mut rng);
+    let b = random_csr(100, 100, 0.08, &mut rng);
+    let mask = random_csr(100, 100, 0.15, &mut rng).pattern();
+    let b_csc = CscMatrix::from_csr(&b);
+    let sr = PlusTimes::<f64>::new();
+    let s = Scheme::Ours(Algorithm::Msa, Phases::One);
+    let baseline = s.run(sr, &mask, false, &a, &b, &b_csc).unwrap();
+    for threads in [1usize, 2, 4, 7] {
+        let pool = masked_spgemm::thread_pool(threads);
+        let got = pool
+            .install(|| s.run(sr, &mask, false, &a, &b, &b_csc))
+            .unwrap();
+        assert_eq!(got, baseline, "threads={threads}");
+    }
+}

@@ -1,0 +1,89 @@
+//! Cross-crate plumbing: Matrix Market round trips of generated graphs,
+//! suite determinism, and metric/profile glue used by the harnesses.
+
+use profile::ProfileMatrix;
+use sparse::io::{read_matrix_market, write_matrix_market};
+use sparse::triangular::is_pattern_symmetric;
+use sparse::CsrMatrix;
+
+#[test]
+fn generated_graphs_roundtrip_through_matrix_market() {
+    for (name, m) in [
+        ("er", graphs::erdos_renyi(64, 6.0, 1)),
+        (
+            "rmat",
+            graphs::to_undirected_simple(&graphs::rmat(6, graphs::RmatParams::default(), 2)),
+        ),
+        ("grid", graphs::grid2d(5, 7)),
+    ] {
+        let mut buf = Vec::new();
+        write_matrix_market(&mut buf, &m).unwrap();
+        let back = read_matrix_market(&buf[..]).unwrap().to_csr();
+        assert_eq!(m, back, "{name}");
+    }
+}
+
+#[test]
+fn suite_members_are_simple_undirected_and_deterministic() {
+    for g in graphs::suite() {
+        if g.nvertices() > 1 << 12 {
+            continue;
+        }
+        let m = g.build();
+        assert_eq!(m.nrows(), m.ncols(), "{}", g.name);
+        assert!(is_pattern_symmetric(&m), "{}", g.name);
+        for i in 0..m.nrows() {
+            assert!(m.get(i, i as u32).is_none(), "{} self loop", g.name);
+        }
+        assert_eq!(m, g.build(), "{} nondeterministic", g.name);
+    }
+}
+
+#[test]
+fn profile_matrix_pipeline_matches_hand_computation() {
+    // Simulate a fig08-style pipeline: 3 cases, 2 schemes.
+    let mut pm = ProfileMatrix::new(vec!["A".into(), "B".into()]);
+    pm.push_case("g1", vec![Some(1.0), Some(3.0)]);
+    pm.push_case("g2", vec![Some(2.0), Some(1.0)]);
+    pm.push_case("g3", vec![Some(5.0), Some(5.0)]);
+    let p = pm.profile();
+    assert!((p.win_rate(0) - 2.0 / 3.0).abs() < 1e-12);
+    assert!((p.win_rate(1) - 2.0 / 3.0).abs() < 1e-12);
+    // A is within 2x of best on g1 (1x), g2 (2x), g3 (1x) -> 1.0
+    assert!((p.fraction_within(0, 2.0) - 1.0).abs() < 1e-12);
+    // B within 2x on g2, g3 only -> 2/3 at tau < 3
+    assert!((p.fraction_within(1, 2.9) - 2.0 / 3.0).abs() < 1e-12);
+}
+
+#[test]
+fn flops_metrics_consistent_on_graph() {
+    let adj = graphs::to_undirected_simple(&graphs::erdos_renyi(128, 8.0, 7));
+    let l = graph_algos::prepare_triangle_input(&adj);
+    let plain = masked_spgemm::flops(&l, &l);
+    let masked = masked_spgemm::flops_masked(&l, &l, &l);
+    assert!(masked <= plain);
+    // per-row flops sum to the total
+    let per_row: u64 = masked_spgemm::flops_per_row(&l, &l).iter().sum();
+    assert_eq!(per_row, plain);
+}
+
+#[test]
+fn mtx_parse_rejects_garbage_gracefully() {
+    for bad in [
+        "",
+        "%%MatrixMarket matrix coordinate real general\n",
+        "%%MatrixMarket matrix coordinate real general\n2 2\n",
+        "%%MatrixMarket matrix coordinate complex general\n1 1 0\n",
+        "%%MatrixMarket matrix coordinate real general\nx y z\n",
+    ] {
+        assert!(read_matrix_market(bad.as_bytes()).is_err(), "{bad:?}");
+    }
+}
+
+#[test]
+fn empty_matrix_market_body_is_valid() {
+    let text = "%%MatrixMarket matrix coordinate real general\n3 4 0\n";
+    let m: CsrMatrix<f64> = read_matrix_market(text.as_bytes()).unwrap().to_csr();
+    assert_eq!(m.shape(), (3, 4));
+    assert_eq!(m.nnz(), 0);
+}

