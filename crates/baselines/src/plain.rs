@@ -63,7 +63,8 @@ where
     let n_chunks = rayon::current_num_threads().max(1) * 16;
     let chunk = nrows.div_ceil(n_chunks).max(1);
     let starts: Vec<usize> = (0..nrows).step_by(chunk).collect();
-    let outs: Vec<(Vec<usize>, Vec<Idx>, Vec<S::C>)> = starts
+    type ChunkOut<C> = (Vec<usize>, Vec<Idx>, Vec<C>);
+    let outs: Vec<ChunkOut<S::C>> = starts
         .par_iter()
         .map(|&s| {
             let e = (s + chunk).min(nrows);
@@ -119,10 +120,13 @@ where
     MT: Sync,
 {
     let full = plain_spgemm(sr, a, b);
-    ewise_mult(&mask_shape_check(mask, &full), &full, |_, v| *v)
+    ewise_mult(mask_shape_check(mask, &full), &full, |_, v| *v)
 }
 
-fn mask_shape_check<'a, MT>(mask: &'a CsrMatrix<MT>, full: &CsrMatrix<impl Sized>) -> &'a CsrMatrix<MT> {
+fn mask_shape_check<'a, MT>(
+    mask: &'a CsrMatrix<MT>,
+    full: &CsrMatrix<impl Sized>,
+) -> &'a CsrMatrix<MT> {
     assert_eq!(mask.shape(), full.shape(), "mask shape mismatch");
     mask
 }

@@ -168,13 +168,7 @@ mod tests {
         );
         assert_eq!(v, Some(320.0));
         // Swapped lengths exercise the other branch.
-        let v = dot_binary_search(
-            sr,
-            &[2, 5, 7, 9],
-            &[10.0, 100.0, 1000.0, 1.0],
-            &[5],
-            &[2.0],
-        );
+        let v = dot_binary_search(sr, &[2, 5, 7, 9], &[10.0, 100.0, 1000.0, 1.0], &[5], &[2.0]);
         assert_eq!(v, Some(200.0));
         assert_eq!(
             dot_binary_search(sr, &[1], &[1.0], &[2, 3], &[1.0, 1.0]),

@@ -76,7 +76,8 @@ where
     let n_chunks = rayon::current_num_threads().max(1) * 16;
     let chunk = nrows.div_ceil(n_chunks).max(1);
     let starts: Vec<usize> = (0..nrows).step_by(chunk).collect();
-    let outs: Vec<(Vec<usize>, Vec<Idx>, Vec<S::C>)> = starts
+    type ChunkOut<C> = (Vec<usize>, Vec<Idx>, Vec<C>);
+    let outs: Vec<ChunkOut<S::C>> = starts
         .par_iter()
         .map(|&s| {
             let e = (s + chunk).min(nrows);

@@ -33,7 +33,14 @@ const REGIMES: &[Regime] = &[
     },
 ];
 
-fn inputs(r: &Regime) -> (CsrMatrix<f64>, CsrMatrix<f64>, CscMatrix<f64>, CsrMatrix<f64>) {
+fn inputs(
+    r: &Regime,
+) -> (
+    CsrMatrix<f64>,
+    CsrMatrix<f64>,
+    CscMatrix<f64>,
+    CsrMatrix<f64>,
+) {
     let n = 1 << 11;
     let a = graphs::erdos_renyi(n, r.deg_inputs, 1);
     let b = graphs::erdos_renyi(n, r.deg_inputs, 2);
@@ -83,7 +90,12 @@ fn bench_complemented(c: &mut Criterion) {
         });
     }
     g.bench_function("SS:SAXPY", |bch| {
-        bch.iter(|| Scheme::SsSaxpy.run(sr, &m, true, &a, &b, &bc).unwrap().nnz())
+        bch.iter(|| {
+            Scheme::SsSaxpy
+                .run(sr, &m, true, &a, &b, &bc)
+                .unwrap()
+                .nnz()
+        })
     });
     g.finish();
 }

@@ -42,7 +42,7 @@ fn main() {
             for s in &fixed {
                 let t = time_masked_spgemm(*s, args.reps, &mask, false, &a, &b, &b_csc)
                     .expect("plain mask");
-                if best.map_or(true, |(_, bt)| t < bt) {
+                if best.is_none_or(|(_, bt)| t < bt) {
                     best = Some((*s, t));
                 }
                 worst = worst.max(t);

@@ -39,7 +39,7 @@ fn main() {
                 for (si, s) in schemes.iter().enumerate() {
                     let t = time_masked_spgemm(*s, args.reps, &mask, false, &a, &b, &b_csc)
                         .expect("plain mask supported by all");
-                    if best.map_or(true, |(_, bt)| t < bt) {
+                    if best.is_none_or(|(_, bt)| t < bt) {
                         best = Some((si, t));
                     }
                 }

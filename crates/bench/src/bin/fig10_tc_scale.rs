@@ -20,11 +20,8 @@ fn main() {
     let mut series: Vec<(String, Vec<(f64, f64)>)> =
         schemes.iter().map(|s| (s.label(), Vec::new())).collect();
     for scale in 8..=max_scale {
-        let adj = graphs::to_undirected_simple(&graphs::rmat(
-            scale,
-            graphs::RmatParams::default(),
-            42,
-        ));
+        let adj =
+            graphs::to_undirected_simple(&graphs::rmat(scale, graphs::RmatParams::default(), 42));
         let l = prepare_triangle_input(&adj);
         let lc = CscMatrix::from_csr(&l);
         let useful = 2 * masked_spgemm::flops_masked(&l, &l, &l);

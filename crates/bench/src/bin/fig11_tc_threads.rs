@@ -18,15 +18,14 @@ fn main() {
     let scale = args.pick(10u32, 14, 20);
     let max_threads = args.pick(4usize, 8, 32);
     let schemes = schemes::tc_vs_ssgb();
-    let adj = graphs::to_undirected_simple(&graphs::rmat(
-        scale,
-        graphs::RmatParams::default(),
-        42,
-    ));
+    let adj = graphs::to_undirected_simple(&graphs::rmat(scale, graphs::RmatParams::default(), 42));
     let l = prepare_triangle_input(&adj);
     let lc = CscMatrix::from_csr(&l);
     let useful = 2 * masked_spgemm::flops_masked(&l, &l, &l);
-    println!("R-MAT scale {scale}: nnz(L)={} useful flops={useful}", l.nnz());
+    println!(
+        "R-MAT scale {scale}: nnz(L)={} useful flops={useful}",
+        l.nnz()
+    );
 
     let mut table = Table::new(&["threads", "scheme", "gflops", "secs"]);
     let mut series: Vec<(String, Vec<(f64, f64)>)> =

@@ -6,7 +6,8 @@
 //! to the inputs; MSA-1P strong throughout on cache-rich machines.
 
 use bench::{banner, schemes, HarnessArgs};
-use graph_algos::ktruss;
+use engine::Context;
+use graph_algos::{ktruss, ktruss_auto};
 use profile::table::{write_text, Table};
 
 fn main() {
@@ -14,15 +15,15 @@ fn main() {
     banner("fig14", "k-truss GFLOPS vs R-MAT scale", &args);
     let max_scale = args.pick(9u32, 13, 20);
     let schemes = schemes::ktruss_vs_ssgb();
+    let ctx = Context::new();
+    ctx.calibrate();
     let mut table = Table::new(&["scale", "scheme", "gflops", "secs", "iters", "truss_nnz"]);
     let mut series: Vec<(String, Vec<(f64, f64)>)> =
         schemes.iter().map(|s| (s.label(), Vec::new())).collect();
+    series.push(("Engine-Auto".to_string(), Vec::new()));
     for scale in 8..=max_scale {
-        let adj = graphs::to_undirected_simple(&graphs::rmat(
-            scale,
-            graphs::RmatParams::default(),
-            42,
-        ));
+        let adj =
+            graphs::to_undirected_simple(&graphs::rmat(scale, graphs::RmatParams::default(), 42));
         for (si, s) in schemes.iter().enumerate() {
             let (r, m) = profile::best_of(args.reps, || ktruss(*s, &adj, 5).expect("plain"));
             let gflops = (2 * r.total_flops) as f64 / m.secs() / 1e9;
@@ -36,6 +37,21 @@ fn main() {
                 r.truss.nnz().to_string(),
             ]);
         }
+        // The engine path: per-iteration planning over cached auxiliaries.
+        let h = ctx.insert(adj.clone());
+        let (r, m) = profile::best_of(args.reps, || ktruss_auto(&ctx, h, 5).expect("plain"));
+        ctx.remove(h);
+        let gflops = (2 * r.total_flops) as f64 / m.secs() / 1e9;
+        let engine_series = series.last_mut().expect("engine series pushed above");
+        engine_series.1.push((scale as f64, gflops));
+        table.push(vec![
+            scale.to_string(),
+            "Engine-Auto".to_string(),
+            format!("{gflops:.4}"),
+            format!("{:.6e}", m.secs()),
+            r.iterations.to_string(),
+            r.truss.nnz().to_string(),
+        ]);
         println!("scale {scale} done");
     }
     println!("{}", table.to_console());

@@ -15,7 +15,11 @@ use sparse::Idx;
 
 fn main() {
     let args = HarnessArgs::parse();
-    banner("fig15", "Betweenness Centrality MTEPS vs R-MAT scale", &args);
+    banner(
+        "fig15",
+        "Betweenness Centrality MTEPS vs R-MAT scale",
+        &args,
+    );
     let max_scale = args.pick(9u32, 12, 20);
     let batch = args.pick(16usize, 64, 512);
     // Pull-based schemes only below this scale (prohibitively slow above).
@@ -32,11 +36,8 @@ fn main() {
     let mut series: Vec<(String, Vec<(f64, f64)>)> =
         all.iter().map(|s| (s.label(), Vec::new())).collect();
     for scale in 8..=max_scale {
-        let adj = graphs::to_undirected_simple(&graphs::rmat(
-            scale,
-            graphs::RmatParams::default(),
-            42,
-        ));
+        let adj =
+            graphs::to_undirected_simple(&graphs::rmat(scale, graphs::RmatParams::default(), 42));
         let n = adj.nrows();
         let nedges = adj.nnz() as f64 / 2.0;
         // Deterministic source batch spread over the vertex range.

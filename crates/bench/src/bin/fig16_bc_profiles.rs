@@ -12,7 +12,11 @@ use sparse::Idx;
 
 fn main() {
     let args = HarnessArgs::parse();
-    banner("fig16", "Betweenness Centrality profiles vs SS:SAXPY", &args);
+    banner(
+        "fig16",
+        "Betweenness Centrality profiles vs SS:SAXPY",
+        &args,
+    );
     let max_n = args.pick(1 << 10, 1 << 13, usize::MAX);
     let batch = args.pick(16usize, 64, 512);
     let schemes = schemes::bc_profiles();

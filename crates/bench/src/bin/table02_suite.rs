@@ -15,7 +15,12 @@ fn main() {
     banner("table02", "evaluation suite properties", &args);
     let max_n = args.pick(1 << 10, usize::MAX, usize::MAX);
     let mut table = Table::new(&[
-        "graph", "vertices", "edges", "avg_deg", "max_deg", "triangles",
+        "graph",
+        "vertices",
+        "edges",
+        "avg_deg",
+        "max_deg",
+        "triangles",
     ]);
     for g in graphs::suite() {
         if g.nvertices() > max_n {
@@ -29,8 +34,8 @@ fn main() {
         // graphs against the brute-force reference.
         let l = prepare_triangle_input(&adj);
         let lc = CscMatrix::from_csr(&l);
-        let tri = triangle_count(Scheme::Ours(Algorithm::Msa, Phases::One), &l, &lc)
-            .expect("plain mask");
+        let tri =
+            triangle_count(Scheme::Ours(Algorithm::Msa, Phases::One), &l, &lc).expect("plain mask");
         if n <= 1 << 10 {
             assert_eq!(tri, triangle_count_reference(&adj), "{}", g.name);
         }

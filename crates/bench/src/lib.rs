@@ -211,7 +211,11 @@ pub fn run_suite_profile(
     let mut matrix = profile::ProfileMatrix::new(scheme_labels.to_vec());
     for g in graphs::suite() {
         if g.nvertices() > max_n {
-            println!("  [skip {} — {} vertices > cap {max_n}]", g.name, g.nvertices());
+            println!(
+                "  [skip {} — {} vertices > cap {max_n}]",
+                g.name,
+                g.nvertices()
+            );
             continue;
         }
         let adj = g.build();
@@ -230,27 +234,24 @@ pub fn run_suite_profile(
         ]);
     }
     println!("{}", table.to_console());
-    println!(
-        "best scheme: {}",
-        prof.schemes[prof.best_scheme()]
-    );
+    println!("best scheme: {}", prof.schemes[prof.best_scheme()]);
     let taus: Vec<f64> = (0..=28).map(|i| 1.0 + i as f64 * 0.05).collect();
     let curves = prof.curves(&taus);
-    let series: Vec<(String, Vec<(f64, f64)>)> = prof
-        .schemes
-        .iter()
-        .cloned()
-        .zip(curves)
-        .collect();
+    let series: Vec<(String, Vec<(f64, f64)>)> = prof.schemes.iter().cloned().zip(curves).collect();
     let chart = profile::ascii::line_chart(
-        &format!("{fig}: performance profile (x = runtime relative to best, y = fraction of cases)"),
+        &format!(
+            "{fig}: performance profile (x = runtime relative to best, y = fraction of cases)"
+        ),
         &series,
         60,
         16,
     );
     println!("{chart}");
-    profile::table::write_text(args.out_dir.join(format!("{fig}_times.csv")), &matrix.to_csv())
-        .expect("write times csv");
+    profile::table::write_text(
+        args.out_dir.join(format!("{fig}_times.csv")),
+        &matrix.to_csv(),
+    )
+    .expect("write times csv");
     profile::table::write_text(
         args.out_dir.join(format!("{fig}_profile.csv")),
         &prof.to_csv(),

@@ -116,12 +116,7 @@ impl<V: Copy + Default> HashAccum<V> {
     /// Insert a product for `key` (discarded unless `set_allowed(key)` was
     /// called this row); `make` is evaluated only if kept.
     #[inline(always)]
-    pub fn insert_with(
-        &mut self,
-        key: Idx,
-        make: impl FnOnce() -> V,
-        add: impl FnOnce(V, V) -> V,
-    ) {
+    pub fn insert_with(&mut self, key: Idx, make: impl FnOnce() -> V, add: impl FnOnce(V, V) -> V) {
         let i = self.probe(key);
         let (a, s) = (self.allowed_stamp(), self.set_stamp());
         let slot = &mut self.slots[i];
@@ -266,8 +261,7 @@ impl<V: Copy + Default> HashComplement<V> {
     /// Gather all inserted `(key, value)` pairs sorted by key, appending to
     /// the output buffers.
     pub fn gather_sorted(&mut self, out_cols: &mut Vec<Idx>, out_vals: &mut Vec<V>) {
-        self.inserted
-            .sort_unstable_by_key(|&i| self.slots[i].key);
+        self.inserted.sort_unstable_by_key(|&i| self.slots[i].key);
         for &i in &self.inserted {
             let slot = &self.slots[i];
             out_cols.push(slot.key);

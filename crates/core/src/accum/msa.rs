@@ -62,12 +62,7 @@ impl<V: Copy + Default> Msa<V> {
     /// the key is allowed (the paper's lazy-lambda argument); subsequent
     /// inserts combine with `add`.
     #[inline(always)]
-    pub fn insert_with(
-        &mut self,
-        key: Idx,
-        make: impl FnOnce() -> V,
-        add: impl FnOnce(V, V) -> V,
-    ) {
+    pub fn insert_with(&mut self, key: Idx, make: impl FnOnce() -> V, add: impl FnOnce(V, V) -> V) {
         let k = key as usize;
         let s = self.states[k];
         if s == self.set_stamp() {
@@ -163,12 +158,7 @@ impl<V: Copy + Default> MsaComplement<V> {
 
     /// Insert a product for `key` unless the key is masked out.
     #[inline(always)]
-    pub fn insert_with(
-        &mut self,
-        key: Idx,
-        make: impl FnOnce() -> V,
-        add: impl FnOnce(V, V) -> V,
-    ) {
+    pub fn insert_with(&mut self, key: Idx, make: impl FnOnce() -> V, add: impl FnOnce(V, V) -> V) {
         let k = key as usize;
         let s = self.states[k];
         if s == self.set_stamp() {
@@ -231,7 +221,10 @@ mod tests {
             },
             |a, b| a + b,
         );
-        assert!(!evaluated, "lazy value must not be evaluated when masked out");
+        assert!(
+            !evaluated,
+            "lazy value must not be evaluated when masked out"
+        );
         assert_eq!(m.remove(3), None);
 
         m.set_allowed(3);

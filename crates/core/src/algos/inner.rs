@@ -71,11 +71,7 @@ pub fn inner_row<S: Semiring>(
 
 /// Symbolic variant of [`inner_row`]: pattern-only dot (merge until first
 /// match), counting output entries.
-pub fn inner_count_row<S: Semiring>(
-    mcols: &[Idx],
-    acols: &[Idx],
-    b: &CscMatrix<S::B>,
-) -> usize {
+pub fn inner_count_row<S: Semiring>(mcols: &[Idx], acols: &[Idx], b: &CscMatrix<S::B>) -> usize {
     if acols.is_empty() {
         return 0;
     }
@@ -203,8 +199,14 @@ mod tests {
             &[10.0, 100.0, 1000.0],
         );
         assert_eq!(v, Some(320.0));
-        assert_eq!(sparse_dot(sr, &[0, 1], &[1.0, 1.0], &[2, 3], &[1.0, 1.0]), None);
-        assert_eq!(sparse_dot::<PlusTimes<f64>>(sr, &[], &[], &[1], &[1.0]), None);
+        assert_eq!(
+            sparse_dot(sr, &[0, 1], &[1.0, 1.0], &[2, 3], &[1.0, 1.0]),
+            None
+        );
+        assert_eq!(
+            sparse_dot::<PlusTimes<f64>>(sr, &[], &[], &[1], &[1.0]),
+            None
+        );
     }
 
     #[test]

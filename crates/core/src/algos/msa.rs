@@ -115,11 +115,10 @@ where
         }
         // Gather only the inserted keys, sorted for CSR output.
         // Split borrow: copy keys out first (rows are short relative to B).
-        let keys = accum.sorted_inserted();
         let start = out_cols.len();
-        out_cols.extend_from_slice(keys);
-        for idx in start..out_cols.len() {
-            out_vals.push(accum.value(out_cols[idx]));
+        out_cols.extend_from_slice(accum.sorted_inserted());
+        for &j in &out_cols[start..] {
+            out_vals.push(accum.value(j));
         }
     }
 

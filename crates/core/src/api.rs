@@ -341,14 +341,15 @@ mod tests {
         assert!(masked_spgemm(Algorithm::Msa, Phases::One, false, sr, &m, &a, &b).is_err());
         let b = CsrMatrix::<f64>::empty(3, 2);
         let bad_mask = CsrMatrix::<()>::empty(3, 2);
-        assert!(
-            masked_spgemm(Algorithm::Msa, Phases::One, false, sr, &bad_mask, &a, &b).is_err()
-        );
+        assert!(masked_spgemm(Algorithm::Msa, Phases::One, false, sr, &bad_mask, &a, &b).is_err());
     }
 
     #[test]
     fn labels() {
-        assert_eq!(MaskedSpGemm::new(Algorithm::Msa, Phases::One).label(), "MSA-1P");
+        assert_eq!(
+            MaskedSpGemm::new(Algorithm::Msa, Phases::One).label(),
+            "MSA-1P"
+        );
         assert_eq!(
             MaskedSpGemm::new(Algorithm::HeapDot, Phases::Two).label(),
             "HeapDot-2P"

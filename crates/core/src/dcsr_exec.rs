@@ -86,7 +86,8 @@ where
     let nthreads = rayon::current_num_threads().max(1);
     let chunk = active.len().div_ceil(nthreads * 8).max(1);
     let chunks: Vec<&[Idx]> = active.chunks(chunk).collect();
-    let outs: Vec<(Vec<Idx>, Vec<usize>, Vec<Idx>, Vec<S::C>)> = chunks
+    type ChunkOut<C> = (Vec<Idx>, Vec<usize>, Vec<Idx>, Vec<C>);
+    let outs: Vec<ChunkOut<S::C>> = chunks
         .par_iter()
         .map(|rows| {
             let mut kernel = K::new(ncols, max_mask);
@@ -212,8 +213,6 @@ mod tests {
         assert!(masked_spgemm_dcsr::<_, MsaKernel<_>, _>(sr, &m, false, &a, &b).is_ok());
         // MCA kernel rejects the complement at the driver boundary.
         use crate::algos::McaKernel;
-        assert!(
-            masked_spgemm_dcsr::<_, McaKernel<_>, _>(sr, &m, true, &a, &b).is_err()
-        );
+        assert!(masked_spgemm_dcsr::<_, McaKernel<_>, _>(sr, &m, true, &a, &b).is_err());
     }
 }

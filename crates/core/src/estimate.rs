@@ -49,11 +49,7 @@ where
 /// this returns the exact number of matching index pairs instead — i.e. the
 /// products that survive the mask. Useful to quantify how much work masking
 /// can save (`flops_masked / flops ≤ 1`).
-pub fn flops_masked<MT, A, B>(
-    mask: &CsrMatrix<MT>,
-    a: &CsrMatrix<A>,
-    b: &CsrMatrix<B>,
-) -> u64
+pub fn flops_masked<MT, A, B>(mask: &CsrMatrix<MT>, a: &CsrMatrix<A>, b: &CsrMatrix<B>) -> u64
 where
     MT: Sync,
     A: Sync,

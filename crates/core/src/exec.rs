@@ -239,7 +239,11 @@ where
                 rc.clear();
                 rv.clear();
                 producer.compute_row(i, &mut rc, &mut rv);
-                debug_assert_eq!(rc.len(), rowptr[i + 1] - rowptr[i], "symbolic/numeric mismatch at row {i}");
+                debug_assert_eq!(
+                    rc.len(),
+                    rowptr[i + 1] - rowptr[i],
+                    "symbolic/numeric mismatch at row {i}"
+                );
                 cs[cursor..cursor + rc.len()].copy_from_slice(&rc);
                 vs[cursor..cursor + rv.len()].copy_from_slice(&rv);
                 cursor += rc.len();
@@ -249,7 +253,12 @@ where
     CsrMatrix::from_parts_unchecked(nrows, ncols, rowptr, colidx, values)
 }
 
-fn check_dims<MT, A>(mask: &CsrMatrix<MT>, a: &CsrMatrix<A>, nrows_b: usize, ncols_b: usize) {
+pub(crate) fn check_dims<MT, A>(
+    mask: &CsrMatrix<MT>,
+    a: &CsrMatrix<A>,
+    nrows_b: usize,
+    ncols_b: usize,
+) {
     assert_eq!(a.ncols(), nrows_b, "inner dimension mismatch");
     assert_eq!(mask.nrows(), a.nrows(), "mask rows mismatch");
     assert_eq!(mask.ncols(), ncols_b, "mask cols mismatch");
@@ -257,7 +266,10 @@ fn check_dims<MT, A>(mask: &CsrMatrix<MT>, a: &CsrMatrix<A>, nrows_b: usize, nco
 
 /// Largest mask-row nonzero count (sizes hash/MCA accumulators).
 pub fn max_mask_row_nnz<MT>(mask: &CsrMatrix<MT>) -> usize {
-    (0..mask.nrows()).map(|i| mask.row_nnz(i)).max().unwrap_or(0)
+    (0..mask.nrows())
+        .map(|i| mask.row_nnz(i))
+        .max()
+        .unwrap_or(0)
 }
 
 /// Run a push-based kernel `K` in one phase.
@@ -399,10 +411,22 @@ mod tests {
                 let expect = reference_masked_spgemm(sr, &m, compl, &a, &b);
                 type S = PlusTimes<f64>;
                 let results = vec![
-                    ("msa-1p", push_one_phase::<S, MsaKernel<S>, ()>(sr, &m, compl, &a, &b)),
-                    ("msa-2p", push_two_phase::<S, MsaKernel<S>, ()>(sr, &m, compl, &a, &b)),
-                    ("hash-1p", push_one_phase::<S, HashKernel<S>, ()>(sr, &m, compl, &a, &b)),
-                    ("hash-2p", push_two_phase::<S, HashKernel<S>, ()>(sr, &m, compl, &a, &b)),
+                    (
+                        "msa-1p",
+                        push_one_phase::<S, MsaKernel<S>, ()>(sr, &m, compl, &a, &b),
+                    ),
+                    (
+                        "msa-2p",
+                        push_two_phase::<S, MsaKernel<S>, ()>(sr, &m, compl, &a, &b),
+                    ),
+                    (
+                        "hash-1p",
+                        push_one_phase::<S, HashKernel<S>, ()>(sr, &m, compl, &a, &b),
+                    ),
+                    (
+                        "hash-2p",
+                        push_two_phase::<S, HashKernel<S>, ()>(sr, &m, compl, &a, &b),
+                    ),
                     (
                         "heap1-1p",
                         push_one_phase::<S, HeapKernel<S, { ninspect::ONE }>, ()>(

@@ -55,6 +55,10 @@ pub struct HybridConfig {
     pub msa_overhead: f64,
     /// Multiplier on the heap's per-flop cost.
     pub heap_factor: f64,
+    /// Multiplier on the pull-based dot cost (branchy sorted merges cost
+    /// more per touched element than MSA's streaming scatter; measured by
+    /// `engine`'s calibration).
+    pub inner_factor: f64,
 }
 
 impl Default for HybridConfig {
@@ -62,6 +66,7 @@ impl Default for HybridConfig {
         HybridConfig {
             msa_overhead: 96.0,
             heap_factor: 1.0,
+            inner_factor: 1.0,
         }
     }
 }
@@ -81,7 +86,7 @@ pub fn choose_row(
     let msa = mm_f + f_f + cfg.msa_overhead;
     let mca = u_f * mm_f + f_f;
     let heap = mm_f + cfg.heap_factor * f_f * (1.0 + (u_f + 1.0).log2());
-    let dot = mm_f * (u_f + avg_b_col_nnz);
+    let dot = cfg.inner_factor * mm_f * (u_f + avg_b_col_nnz);
     let mut best = (RowChoice::Msa, msa);
     for cand in [
         (RowChoice::Mca, mca),
@@ -265,16 +270,8 @@ mod tests {
             let bc = CscMatrix::from_csr(&b);
             let expect = reference_masked_spgemm(sr, &m, false, &a, &b);
             for ph in Phases::ALL {
-                let got = hybrid_masked_spgemm(
-                    ph,
-                    HybridConfig::default(),
-                    sr,
-                    &m,
-                    &a,
-                    &b,
-                    &bc,
-                )
-                .unwrap();
+                let got =
+                    hybrid_masked_spgemm(ph, HybridConfig::default(), sr, &m, &a, &b, &bc).unwrap();
                 assert_eq!(got, expect, "seed={seed} {ph:?}");
             }
         }
@@ -331,15 +328,9 @@ mod tests {
         let b = CsrMatrix::<f64>::empty(4, 2);
         let bc = CscMatrix::from_csr(&b);
         let m = CsrMatrix::<()>::empty(2, 2);
-        assert!(hybrid_masked_spgemm(
-            Phases::One,
-            HybridConfig::default(),
-            sr,
-            &m,
-            &a,
-            &b,
-            &bc
-        )
-        .is_err());
+        assert!(
+            hybrid_masked_spgemm(Phases::One, HybridConfig::default(), sr, &m, &a, &b, &bc)
+                .is_err()
+        );
     }
 }

@@ -37,6 +37,7 @@ pub trait RowKernel<S: Semiring>: Send {
     /// `mcols` is the (sorted) mask row pattern, `(acols, avals)` the row of
     /// `A`, and the result is appended to `out_cols`/`out_vals` in
     /// increasing column order.
+    #[allow(clippy::too_many_arguments)]
     fn compute_row(
         &mut self,
         sr: S,
@@ -61,6 +62,7 @@ pub trait RowKernel<S: Semiring>: Send {
     ) -> usize;
 
     /// Compute one row under the complemented mask: `out ← ¬m ⊙ (u·B)`.
+    #[allow(clippy::too_many_arguments)]
     fn compute_row_complemented(
         &mut self,
         _sr: S,
@@ -104,7 +106,10 @@ pub(crate) mod testutil {
         a: &CsrMatrix<S::A>,
         b: &CsrMatrix<S::B>,
     ) -> CsrMatrix<S::C> {
-        let max_mask = (0..mask.nrows()).map(|i| mask.row_nnz(i)).max().unwrap_or(0);
+        let max_mask = (0..mask.nrows())
+            .map(|i| mask.row_nnz(i))
+            .max()
+            .unwrap_or(0);
         let mut k = K::new(b.ncols(), max_mask);
         let mut rowptr = vec![0usize];
         let mut cols = Vec::new();
@@ -130,7 +135,10 @@ pub(crate) mod testutil {
         a: &CsrMatrix<S::A>,
         b: &CsrMatrix<S::B>,
     ) -> Vec<usize> {
-        let max_mask = (0..mask.nrows()).map(|i| mask.row_nnz(i)).max().unwrap_or(0);
+        let max_mask = (0..mask.nrows())
+            .map(|i| mask.row_nnz(i))
+            .max()
+            .unwrap_or(0);
         let mut k = K::new(b.ncols(), max_mask);
         (0..a.nrows())
             .map(|i| {
@@ -198,8 +206,7 @@ pub(crate) mod testutil {
                     "mismatch: seed={seed} dims=({n},{k},{m}) da={da} dm={dm} compl={complement}"
                 );
                 let counts = count_kernel::<PlusTimes<f64>, K>(&mask, complement, &a, &b);
-                let expect_counts: Vec<usize> =
-                    (0..n).map(|i| expect.row_nnz(i)).collect();
+                let expect_counts: Vec<usize> = (0..n).map(|i| expect.row_nnz(i)).collect();
                 assert_eq!(counts, expect_counts, "symbolic mismatch seed={seed}");
             }
         }

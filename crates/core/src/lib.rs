@@ -60,6 +60,7 @@ pub mod estimate;
 pub mod exec;
 pub mod hybrid;
 pub mod kernel;
+pub mod scratch;
 pub mod spgevm;
 
 pub use api::{masked_spgemm, masked_spgemm_csc, Algorithm, MaskedSpGemm, Phases};
@@ -67,4 +68,5 @@ pub use dcsr_exec::masked_spgemm_dcsr;
 pub use estimate::{flops, flops_masked, flops_per_row};
 pub use exec::thread_pool;
 pub use hybrid::{hybrid_choices, hybrid_masked_spgemm, HybridConfig};
+pub use scratch::{masked_spgemm_serial, masked_spgemm_serial_csc, KernelScratch, ScratchSet};
 pub use spgevm::{masked_spgevm, masked_spgevm_csc};

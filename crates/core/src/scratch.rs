@@ -1,0 +1,275 @@
+//! Reusable kernel scratch and serial drivers for batch execution.
+//!
+//! The parallel drivers in [`crate::exec`] create fresh accumulator scratch
+//! for every multiply. That is the right call for one large product, but an
+//! engine executing *many independent* masked multiplies concurrently (one
+//! worker per product) wants the opposite: each worker runs its products
+//! serially and keeps one set of accumulators alive across all of them, so
+//! repeated multiplies stop paying the `O(ncols)` (MSA) or
+//! `O(max mask row)` (hash/MCA) allocation and page-touch cost per call.
+//!
+//! [`KernelScratch`] owns one [`RowKernel`] and regrows it only when a
+//! product needs more capacity than any earlier one (accumulators are
+//! generation-stamped, so a larger-than-necessary accumulator is valid for
+//! any smaller product). [`ScratchSet`] bundles one scratch per push
+//! algorithm and dispatches on [`Algorithm`] at runtime, which is what the
+//! `engine` crate's batch workers hold.
+
+use std::marker::PhantomData;
+
+use sparse::{CscMatrix, CsrMatrix, Idx, Semiring, SparseError};
+
+use crate::algos::{inner, ninspect, HashKernel, HeapKernel, McaKernel, MsaKernel};
+use crate::api::Algorithm;
+use crate::exec::{check_dims, max_mask_row_nnz};
+use crate::kernel::RowKernel;
+
+/// One reusable row kernel, regrown monotonically.
+pub struct KernelScratch<S: Semiring, K: RowKernel<S>> {
+    kernel: Option<K>,
+    ncols_cap: usize,
+    max_mask_cap: usize,
+    _semiring: PhantomData<S>,
+}
+
+impl<S: Semiring, K: RowKernel<S>> Default for KernelScratch<S, K> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<S: Semiring, K: RowKernel<S>> KernelScratch<S, K> {
+    /// Empty scratch; the kernel is built on first use.
+    pub fn new() -> Self {
+        KernelScratch {
+            kernel: None,
+            ncols_cap: 0,
+            max_mask_cap: 0,
+            _semiring: PhantomData,
+        }
+    }
+
+    /// Borrow a kernel valid for `ncols` output columns and mask rows of up
+    /// to `max_mask_row_nnz` entries, rebuilding (at the running maximum of
+    /// all requested sizes) only when the current kernel is too small.
+    pub fn acquire(&mut self, ncols: usize, max_mask_row_nnz: usize) -> &mut K {
+        if self.kernel.is_none() || ncols > self.ncols_cap || max_mask_row_nnz > self.max_mask_cap {
+            self.ncols_cap = self.ncols_cap.max(ncols);
+            self.max_mask_cap = self.max_mask_cap.max(max_mask_row_nnz);
+            self.kernel = Some(K::new(self.ncols_cap, self.max_mask_cap));
+        }
+        self.kernel.as_mut().expect("kernel built above")
+    }
+}
+
+/// Serial push-based masked SpGEMM reusing caller-provided scratch.
+///
+/// Row-by-row single-pass execution with exact output assembly (rows are
+/// appended in order, so no transient copy is needed). Intended for batch
+/// workers that parallelize *across* products.
+pub fn masked_spgemm_serial<S, K, MT>(
+    sr: S,
+    mask: &CsrMatrix<MT>,
+    complemented: bool,
+    a: &CsrMatrix<S::A>,
+    b: &CsrMatrix<S::B>,
+    scratch: &mut KernelScratch<S, K>,
+) -> CsrMatrix<S::C>
+where
+    S: Semiring,
+    K: RowKernel<S>,
+    MT: Copy + Sync,
+{
+    check_dims(mask, a, b.nrows(), b.ncols());
+    let kernel = scratch.acquire(b.ncols(), max_mask_row_nnz(mask));
+    let nrows = a.nrows();
+    let mut rowptr = Vec::with_capacity(nrows + 1);
+    rowptr.push(0usize);
+    let mut cols: Vec<Idx> = Vec::new();
+    let mut vals: Vec<S::C> = Vec::new();
+    for i in 0..nrows {
+        let (mc, _) = mask.row(i);
+        let (ac, av) = a.row(i);
+        if complemented {
+            kernel.compute_row_complemented(sr, mc, ac, av, b, &mut cols, &mut vals);
+        } else {
+            kernel.compute_row(sr, mc, ac, av, b, &mut cols, &mut vals);
+        }
+        rowptr.push(cols.len());
+    }
+    CsrMatrix::from_parts_unchecked(nrows, b.ncols(), rowptr, cols, vals)
+}
+
+/// Serial pull-based (`Inner`) masked SpGEMM against a CSC `B`.
+pub fn masked_spgemm_serial_csc<S, MT>(
+    sr: S,
+    mask: &CsrMatrix<MT>,
+    complemented: bool,
+    a: &CsrMatrix<S::A>,
+    b: &CscMatrix<S::B>,
+) -> CsrMatrix<S::C>
+where
+    S: Semiring,
+    MT: Copy + Sync,
+{
+    check_dims(mask, a, b.nrows(), b.ncols());
+    let nrows = a.nrows();
+    let mut rowptr = Vec::with_capacity(nrows + 1);
+    rowptr.push(0usize);
+    let mut cols: Vec<Idx> = Vec::new();
+    let mut vals: Vec<S::C> = Vec::new();
+    for i in 0..nrows {
+        let (mc, _) = mask.row(i);
+        let (ac, av) = a.row(i);
+        if complemented {
+            inner::inner_row_complemented(sr, mc, ac, av, b, &mut cols, &mut vals);
+        } else {
+            inner::inner_row(sr, mc, ac, av, b, &mut cols, &mut vals);
+        }
+        rowptr.push(cols.len());
+    }
+    CsrMatrix::from_parts_unchecked(nrows, b.ncols(), rowptr, cols, vals)
+}
+
+/// One reusable scratch per algorithm family, dispatched at runtime.
+pub struct ScratchSet<S: Semiring>
+where
+    S::C: Default,
+{
+    msa: KernelScratch<S, MsaKernel<S>>,
+    hash: KernelScratch<S, HashKernel<S>>,
+    mca: KernelScratch<S, McaKernel<S>>,
+    heap: KernelScratch<S, HeapKernel<S, { ninspect::ONE }>>,
+    heap_dot: KernelScratch<S, HeapKernel<S, { ninspect::INF }>>,
+}
+
+impl<S: Semiring> Default for ScratchSet<S>
+where
+    S::C: Default,
+{
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<S: Semiring> ScratchSet<S>
+where
+    S::C: Default,
+{
+    /// Empty scratch set; kernels are built on first use per family.
+    pub fn new() -> Self {
+        ScratchSet {
+            msa: KernelScratch::new(),
+            hash: KernelScratch::new(),
+            mca: KernelScratch::new(),
+            heap: KernelScratch::new(),
+            heap_dot: KernelScratch::new(),
+        }
+    }
+
+    /// Run one masked SpGEMM serially with this set's reused scratch.
+    ///
+    /// `b_csc` is consulted only by [`Algorithm::Inner`]; passing `None`
+    /// converts on the fly (callers with a cached CSC should pass it).
+    #[allow(clippy::too_many_arguments)]
+    pub fn run<MT>(
+        &mut self,
+        algorithm: Algorithm,
+        complemented: bool,
+        sr: S,
+        mask: &CsrMatrix<MT>,
+        a: &CsrMatrix<S::A>,
+        b: &CsrMatrix<S::B>,
+        b_csc: Option<&CscMatrix<S::B>>,
+    ) -> Result<CsrMatrix<S::C>, SparseError>
+    where
+        MT: Copy + Sync,
+        S::B: Clone,
+    {
+        if complemented && !algorithm.supports_complement() {
+            return Err(SparseError::Unsupported(
+                "this algorithm does not support complemented masks",
+            ));
+        }
+        Ok(match algorithm {
+            Algorithm::Msa => masked_spgemm_serial(sr, mask, complemented, a, b, &mut self.msa),
+            Algorithm::Hash => masked_spgemm_serial(sr, mask, complemented, a, b, &mut self.hash),
+            Algorithm::Mca => masked_spgemm_serial(sr, mask, complemented, a, b, &mut self.mca),
+            Algorithm::Heap => masked_spgemm_serial(sr, mask, complemented, a, b, &mut self.heap),
+            Algorithm::HeapDot => {
+                masked_spgemm_serial(sr, mask, complemented, a, b, &mut self.heap_dot)
+            }
+            Algorithm::Inner => match b_csc {
+                Some(csc) => masked_spgemm_serial_csc(sr, mask, complemented, a, csc),
+                None => {
+                    let csc = CscMatrix::from_csr(b);
+                    masked_spgemm_serial_csc(sr, mask, complemented, a, &csc)
+                }
+            },
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::api::{masked_spgemm, Phases};
+    use crate::kernel::testutil::random_csr;
+    use sparse::PlusTimes;
+
+    #[test]
+    fn serial_matches_parallel_drivers_with_reused_scratch() {
+        let sr = PlusTimes::<f64>::new();
+        let mut set = ScratchSet::new();
+        // Deliberately vary dimensions so the scratch is reused both after
+        // growing and after shrinking requests.
+        for (n, k, m, seed) in [
+            (30usize, 25usize, 35usize, 1u64),
+            (50, 40, 60, 2),
+            (10, 10, 10, 3),
+            (45, 45, 45, 4),
+        ] {
+            let a = random_csr(n, k, seed * 13 + 1, 25);
+            let b = random_csr(k, m, seed * 13 + 2, 25);
+            let mask = random_csr(n, m, seed * 13 + 3, 35).pattern();
+            let bc = CscMatrix::from_csr(&b);
+            for compl in [false, true] {
+                for alg in Algorithm::ALL {
+                    if compl && !alg.supports_complement() {
+                        assert!(set.run(alg, compl, sr, &mask, &a, &b, Some(&bc)).is_err());
+                        continue;
+                    }
+                    let expect = masked_spgemm(alg, Phases::One, compl, sr, &mask, &a, &b).unwrap();
+                    let got = set.run(alg, compl, sr, &mask, &a, &b, Some(&bc)).unwrap();
+                    assert_eq!(got, expect, "{alg:?} compl={compl} seed={seed}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn scratch_regrows_monotonically() {
+        let mut s: KernelScratch<PlusTimes<f64>, MsaKernel<PlusTimes<f64>>> = KernelScratch::new();
+        s.acquire(100, 10);
+        assert_eq!((s.ncols_cap, s.max_mask_cap), (100, 10));
+        s.acquire(50, 5); // smaller: reuse, caps unchanged
+        assert_eq!((s.ncols_cap, s.max_mask_cap), (100, 10));
+        s.acquire(200, 3); // one dimension grows
+        assert_eq!((s.ncols_cap, s.max_mask_cap), (200, 10));
+    }
+
+    #[test]
+    fn inner_without_cached_csc_converts() {
+        let sr = PlusTimes::<f64>::new();
+        let a = random_csr(12, 12, 5, 30);
+        let b = random_csr(12, 12, 6, 30);
+        let mask = random_csr(12, 12, 7, 40).pattern();
+        let mut set = ScratchSet::new();
+        let with = set
+            .run(Algorithm::Inner, false, sr, &mask, &a, &b, None)
+            .unwrap();
+        let expect =
+            masked_spgemm(Algorithm::Inner, Phases::One, false, sr, &mask, &a, &b).unwrap();
+        assert_eq!(with, expect);
+    }
+}

@@ -52,7 +52,15 @@ where
         ($k:ty) => {{
             let mut k = <$k>::new(b.ncols(), mcols.len());
             if complemented {
-                k.compute_row_complemented(sr, mcols, ucols, uvals, b, &mut out_cols, &mut out_vals);
+                k.compute_row_complemented(
+                    sr,
+                    mcols,
+                    ucols,
+                    uvals,
+                    b,
+                    &mut out_cols,
+                    &mut out_vals,
+                );
             } else {
                 k.compute_row(sr, mcols, ucols, uvals, b, &mut out_cols, &mut out_vals);
             }
@@ -165,10 +173,9 @@ mod tests {
             let bc = sparse::CscMatrix::from_csr(&b);
             let urow = random_csr(1, 12, seed + 2, 50);
             let mrow = random_csr(1, 15, seed + 3, 45);
-            let u = SparseVec::try_new(12, urow.row(0).0.to_vec(), urow.row(0).1.to_vec())
-                .unwrap();
-            let m = SparseVec::try_new(15, mrow.row(0).0.to_vec(), vec![(); mrow.row_nnz(0)])
-                .unwrap();
+            let u = SparseVec::try_new(12, urow.row(0).0.to_vec(), urow.row(0).1.to_vec()).unwrap();
+            let m =
+                SparseVec::try_new(15, mrow.row(0).0.to_vec(), vec![(); mrow.row_nnz(0)]).unwrap();
             for compl in [false, true] {
                 let expect = dense_reference(&m, compl, &u, &b);
                 for alg in [

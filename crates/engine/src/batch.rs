@@ -1,0 +1,133 @@
+//! Concurrent execution of many independent masked multiplies.
+//!
+//! Batch mode inverts the parallelization axis: instead of one product
+//! parallelized across rows, the [`Context`]'s workers each run whole
+//! products serially and pull the next operation from a shared queue. Each
+//! worker holds one [`masked_spgemm::ScratchSet`] for the entire batch, so
+//! accumulator scratch (the `O(ncols)` MSA arrays, hash tables, heap state)
+//! is allocated once per worker rather than once per product — the
+//! per-worker reuse the paper's row-parallel drivers already do within one
+//! multiply, extended across a workload.
+//!
+//! Plans are computed up front on the calling thread (they read cached
+//! auxiliaries, so this is cheap) and forced to fixed algorithms: per-row
+//! hybrid dispatch buys nothing when the batch already saturates the
+//! workers, and fixed plans let scratch be reused by family.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::OnceLock;
+
+use masked_spgemm::{Algorithm, ScratchSet};
+use sparse::{CsrMatrix, Semiring, SparseError};
+
+use crate::context::{Context, MatrixHandle};
+use crate::plan::Choice;
+
+/// One masked multiply in a batch: `C = M ⊙ (A·B)` or `¬M ⊙ (A·B)`.
+#[derive(Copy, Clone, Debug)]
+pub struct BatchOp {
+    /// Mask handle.
+    pub mask: MatrixHandle,
+    /// Mask polarity.
+    pub complemented: bool,
+    /// Left operand handle.
+    pub a: MatrixHandle,
+    /// Right operand handle.
+    pub b: MatrixHandle,
+}
+
+impl Context {
+    /// Execute all `ops` concurrently; results arrive in input order.
+    ///
+    /// Each operation is planned individually (forced to a fixed
+    /// algorithm), then the context's workers drain the queue with
+    /// per-worker reused kernel scratch. Operations are independent: one
+    /// failing plan (dimension mismatch) yields an `Err` in its slot
+    /// without affecting the rest.
+    pub fn run_batch<S>(&self, sr: S, ops: &[BatchOp]) -> Vec<Result<CsrMatrix<S::C>, SparseError>>
+    where
+        S: Semiring<A = f64, B = f64> + Send + Sync,
+        S::C: Default + Send + Sync,
+    {
+        // Resolve handles and plans on the caller; workers touch only Arcs.
+        struct Prepared<S: Semiring> {
+            mask: std::sync::Arc<CsrMatrix<f64>>,
+            a: std::sync::Arc<CsrMatrix<f64>>,
+            b: std::sync::Arc<CsrMatrix<f64>>,
+            b_csc: Option<std::sync::Arc<sparse::CscMatrix<S::B>>>,
+            algorithm: Algorithm,
+            complemented: bool,
+        }
+        let mut prepared: Vec<Result<Prepared<S>, SparseError>> = Vec::with_capacity(ops.len());
+        for op in ops {
+            prepared.push(self.plan(op.mask, op.complemented, op.a, op.b).map(|plan| {
+                let algorithm = match plan.choice {
+                    Choice::Fixed(alg) => alg,
+                    // Batch mode forces fixed plans; when the planner wanted
+                    // the per-row hybrid, take the fixed family its own cost
+                    // breakdown ranked best.
+                    Choice::Hybrid => {
+                        let c = &plan.costs;
+                        let mut best = (Algorithm::Msa, c.msa);
+                        for cand in [
+                            (Algorithm::Mca, c.mca),
+                            (Algorithm::Heap, c.heap),
+                            (Algorithm::Inner, c.inner),
+                        ] {
+                            let supported = !plan.complemented || cand.0.supports_complement();
+                            if supported && cand.1 < best.1 {
+                                best = cand;
+                            }
+                        }
+                        best.0
+                    }
+                };
+                Prepared {
+                    mask: self.matrix(op.mask),
+                    a: self.matrix(op.a),
+                    b: self.matrix(op.b),
+                    // Materialize the cached CSC only when the plan
+                    // actually pulls.
+                    b_csc: (algorithm == Algorithm::Inner).then(|| self.csc(op.b)),
+                    algorithm,
+                    complemented: op.complemented,
+                }
+            }));
+        }
+
+        let slots: Vec<OnceLock<Result<CsrMatrix<S::C>, SparseError>>> =
+            (0..ops.len()).map(|_| OnceLock::new()).collect();
+        let cursor = AtomicUsize::new(0);
+        let workers = self.threads.min(ops.len()).max(1);
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| {
+                    let mut scratch: ScratchSet<S> = ScratchSet::new();
+                    loop {
+                        let i = cursor.fetch_add(1, Ordering::Relaxed);
+                        if i >= prepared.len() {
+                            break;
+                        }
+                        let result = match &prepared[i] {
+                            Err(e) => Err(e.clone()),
+                            Ok(p) => scratch.run(
+                                p.algorithm,
+                                p.complemented,
+                                sr,
+                                &p.mask,
+                                &p.a,
+                                &p.b,
+                                p.b_csc.as_deref(),
+                            ),
+                        };
+                        slots[i].set(result).ok().expect("slot set once");
+                    }
+                });
+            }
+        });
+        slots
+            .into_iter()
+            .map(|slot| slot.into_inner().expect("all slots filled"))
+            .collect()
+    }
+}

@@ -1,0 +1,200 @@
+//! Micro-calibration of the cost-model constants.
+//!
+//! [`HybridConfig`]'s defaults (`msa_overhead`, `heap_factor`) were tuned on
+//! one development machine. The relative cost of MSA's dense-array traffic
+//! and the heap's branchy merges varies with cache sizes and memory
+//! latency, so [`Context::calibrate`] measures both on the actual machine
+//! with two synthetic probes and rescales the constants:
+//!
+//! * **flop unit** — MSA on a dense-ish product (large rows, full mask):
+//!   time per flop with the accumulator staying hot;
+//! * **row unit** — MSA on a minimal-work product (one mask entry and one
+//!   short `A` row per output row, wide `B`): the per-row cost is dominated
+//!   by touching the `O(ncols)` accumulator, which is exactly what
+//!   `msa_overhead` models;
+//! * **heap unit** — the heap kernel on the dense-ish product, giving the
+//!   per-flop multiplier `heap_factor`.
+//!
+//! Probes are deterministic, take a few milliseconds, and the result is
+//! clamped to a sane range so a noisy measurement cannot produce a
+//! pathological planner.
+
+use std::time::Instant;
+
+use masked_spgemm::{masked_spgemm, Algorithm, HybridConfig, Phases};
+use sparse::{CsrMatrix, Idx, PlusTimes};
+
+use crate::context::Context;
+
+/// Outcome of a calibration pass.
+#[derive(Copy, Clone, Debug)]
+pub struct Calibration {
+    /// The measured configuration (already applied to the context).
+    pub config: HybridConfig,
+    /// Seconds per flop of the hot-accumulator MSA probe.
+    pub msa_secs_per_flop: f64,
+    /// Seconds per output row of the sparse MSA probe.
+    pub msa_secs_per_row: f64,
+    /// Seconds per flop of the heap probe.
+    pub heap_secs_per_flop: f64,
+    /// Seconds per modeled dot unit of the pull-based probe.
+    pub inner_secs_per_unit: f64,
+}
+
+/// Deterministic pseudo-random CSR matrix (xorshift; no `rand` dependency
+/// so the engine stays lean).
+fn probe_matrix(nrows: usize, ncols: usize, per_row: usize, seed: u64) -> CsrMatrix<f64> {
+    let mut state = seed | 1;
+    let mut next = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        state
+    };
+    let mut rowptr = Vec::with_capacity(nrows + 1);
+    rowptr.push(0usize);
+    let mut cols: Vec<Idx> = Vec::new();
+    let mut vals: Vec<f64> = Vec::new();
+    let mut scratch: Vec<Idx> = Vec::new();
+    for _ in 0..nrows {
+        scratch.clear();
+        for _ in 0..per_row {
+            scratch.push((next() % ncols as u64) as Idx);
+        }
+        scratch.sort_unstable();
+        scratch.dedup();
+        for &j in &scratch {
+            cols.push(j);
+            vals.push(1.0);
+        }
+        rowptr.push(cols.len());
+    }
+    CsrMatrix::from_parts_unchecked(nrows, ncols, rowptr, cols, vals)
+}
+
+fn time_secs(mut f: impl FnMut()) -> f64 {
+    f(); // warmup
+    let reps = 3;
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let t0 = Instant::now();
+        f();
+        best = best.min(t0.elapsed().as_secs_f64());
+    }
+    best
+}
+
+impl Context {
+    /// Measure the cost-model constants on this machine, install them, and
+    /// return the measurement.
+    pub fn calibrate(&self) -> Calibration {
+        let sr = PlusTimes::<f64>::new();
+
+        // Dense-ish probe: 512 rows, 64 nnz per row of A and B, full mask
+        // rows — accumulator initialization amortizes away.
+        let n = 512;
+        let a = probe_matrix(n, n, 64, 0xA5A5);
+        let b = probe_matrix(n, n, 64, 0x5A5A);
+        let mask = probe_matrix(n, n, 64, 0x1234).pattern();
+        let flops = masked_spgemm::flops(&a, &b).max(1);
+        let msa_dense = self.pool.install(|| {
+            time_secs(|| {
+                let c = masked_spgemm(Algorithm::Msa, Phases::One, false, sr, &mask, &a, &b)
+                    .expect("probe dims agree");
+                std::hint::black_box(c.nnz());
+            })
+        });
+        let heap_dense = self.pool.install(|| {
+            time_secs(|| {
+                let c = masked_spgemm(Algorithm::Heap, Phases::One, false, sr, &mask, &a, &b)
+                    .expect("probe dims agree");
+                std::hint::black_box(c.nnz());
+            })
+        });
+        let inner_dense = self.pool.install(|| {
+            time_secs(|| {
+                let c = masked_spgemm(Algorithm::Inner, Phases::One, false, sr, &mask, &a, &b)
+                    .expect("probe dims agree");
+                std::hint::black_box(c.nnz());
+            })
+        });
+        // Modeled dot units of the dense probe: Σ_i mm_i · (u_i + d̄_B).
+        let avg_b_col = b.nnz() as f64 / b.ncols() as f64;
+        let inner_units: f64 = (0..n)
+            .map(|i| mask.row_nnz(i) as f64 * (a.row_nnz(i) as f64 + avg_b_col))
+            .sum();
+
+        // Sparse probe: wide output, one mask entry and two A entries per
+        // row — per-row accumulator touch dominates.
+        let wide = 1 << 15;
+        let rows = 4096;
+        let sa = probe_matrix(rows, rows, 2, 0xBEEF);
+        let sb = probe_matrix(rows, wide, 2, 0xFACE);
+        let smask = probe_matrix(rows, wide, 1, 0xD00D).pattern();
+        let msa_sparse = self.pool.install(|| {
+            time_secs(|| {
+                let c = masked_spgemm(Algorithm::Msa, Phases::One, false, sr, &smask, &sa, &sb)
+                    .expect("probe dims agree");
+                std::hint::black_box(c.nnz());
+            })
+        });
+
+        let msa_secs_per_flop = msa_dense / flops as f64;
+        let heap_secs_per_flop = heap_dense / flops as f64;
+        let msa_secs_per_row = msa_sparse / rows as f64;
+        let inner_secs_per_unit = inner_dense / inner_units.max(1.0);
+
+        // Model units are "one flop of MSA work" = 1.0.
+        let avg_u = 64.0f64;
+        let log_term = 1.0 + (avg_u + 1.0).log2();
+        let heap_factor = (heap_secs_per_flop / msa_secs_per_flop / log_term).clamp(0.25, 8.0);
+        let msa_overhead = (msa_secs_per_row / msa_secs_per_flop).clamp(8.0, 4096.0);
+        let inner_factor = (inner_secs_per_unit / msa_secs_per_flop).clamp(0.25, 8.0);
+
+        let config = HybridConfig {
+            msa_overhead,
+            heap_factor,
+            inner_factor,
+        };
+        self.set_config(config);
+        Calibration {
+            config,
+            msa_secs_per_flop,
+            msa_secs_per_row,
+            heap_secs_per_flop,
+            inner_secs_per_unit,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn probe_matrix_is_valid_and_deterministic() {
+        let a = probe_matrix(64, 128, 8, 42);
+        assert_eq!(a.shape(), (64, 128));
+        assert!(a.nnz() > 0);
+        for i in 0..64 {
+            let (cols, _) = a.row(i);
+            assert!(cols.windows(2).all(|w| w[0] < w[1]));
+            assert!(cols.iter().all(|&j| (j as usize) < 128));
+        }
+        assert_eq!(a, probe_matrix(64, 128, 8, 42));
+    }
+
+    #[test]
+    fn calibration_produces_sane_constants() {
+        let ctx = Context::with_threads(2);
+        let cal = ctx.calibrate();
+        assert!(cal.config.msa_overhead >= 8.0 && cal.config.msa_overhead <= 4096.0);
+        assert!(cal.config.heap_factor >= 0.25 && cal.config.heap_factor <= 8.0);
+        assert!(cal.msa_secs_per_flop > 0.0);
+        // The installed config is what the context now plans with.
+        assert_eq!(
+            ctx.config().msa_overhead.to_bits(),
+            cal.config.msa_overhead.to_bits()
+        );
+    }
+}

@@ -1,0 +1,493 @@
+//! The [`Context`]: matrix registry, auxiliary cache, and execution entry
+//! points.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock, RwLock};
+
+use masked_spgemm::{
+    hybrid_masked_spgemm, masked_spgemm, masked_spgemm_csc, Algorithm, HybridConfig, Phases,
+};
+use sparse::transpose::transpose;
+use sparse::{CscMatrix, CsrMatrix, Semiring, SparseError};
+
+use crate::plan::{self, Choice, Plan};
+
+/// Handle to a matrix registered in a [`Context`].
+///
+/// Handles are cheap copies; the matrix and its cached auxiliaries live in
+/// the context. A handle stays valid across [`Context::update`] calls (the
+/// auxiliaries are invalidated, the identity persists) and dangles only
+/// after [`Context::remove`].
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
+pub struct MatrixHandle(u64);
+
+/// One registered matrix plus lazily-computed auxiliaries.
+///
+/// Auxiliaries are built on first demand (`OnceLock`) so a workload that
+/// never runs a pull-based scheme never pays for a CSC copy, and one that
+/// never transposes never pays for `Aᵀ`. [`Context::update`] replaces the
+/// whole entry, which is what makes invalidation correct by construction:
+/// stale auxiliaries are unreachable, not flagged.
+pub(crate) struct Entry {
+    pub(crate) matrix: Arc<CsrMatrix<f64>>,
+    pub(crate) version: u64,
+    csc: OnceLock<Arc<CscMatrix<f64>>>,
+    transposed: OnceLock<Arc<CsrMatrix<f64>>>,
+    /// Registered handle for the transpose, so engine operations can use
+    /// `Aᵀ` as an operand with its own cached auxiliaries. Owned by this
+    /// entry: removed alongside it on update/remove.
+    transpose_handle: OnceLock<MatrixHandle>,
+    row_degrees: OnceLock<Arc<Vec<u32>>>,
+    max_row_nnz: OnceLock<usize>,
+    nonempty_rows: OnceLock<usize>,
+}
+
+impl Entry {
+    fn new(matrix: Arc<CsrMatrix<f64>>, version: u64) -> Self {
+        Entry {
+            matrix,
+            version,
+            csc: OnceLock::new(),
+            transposed: OnceLock::new(),
+            transpose_handle: OnceLock::new(),
+            row_degrees: OnceLock::new(),
+            max_row_nnz: OnceLock::new(),
+            nonempty_rows: OnceLock::new(),
+        }
+    }
+
+    pub(crate) fn csc(&self) -> &Arc<CscMatrix<f64>> {
+        self.csc
+            .get_or_init(|| Arc::new(CscMatrix::from_csr(&self.matrix)))
+    }
+
+    pub(crate) fn transposed(&self) -> &Arc<CsrMatrix<f64>> {
+        self.transposed
+            .get_or_init(|| Arc::new(transpose(&self.matrix)))
+    }
+
+    pub(crate) fn row_degrees(&self) -> &Arc<Vec<u32>> {
+        self.row_degrees.get_or_init(|| {
+            Arc::new(
+                (0..self.matrix.nrows())
+                    .map(|i| self.matrix.row_nnz(i) as u32)
+                    .collect(),
+            )
+        })
+    }
+
+    pub(crate) fn max_row_nnz(&self) -> usize {
+        *self.max_row_nnz.get_or_init(|| self.matrix.max_row_nnz())
+    }
+
+    pub(crate) fn nonempty_rows(&self) -> usize {
+        *self
+            .nonempty_rows
+            .get_or_init(|| self.matrix.nonempty_rows())
+    }
+}
+
+/// Which auxiliaries a handle currently has materialized (diagnostics and
+/// cache-invalidation tests).
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub struct AuxStatus {
+    /// Entry version (bumped by every [`Context::update`] that changes the
+    /// matrix).
+    pub version: u64,
+    /// CSC copy built.
+    pub has_csc: bool,
+    /// Transpose built.
+    pub has_transpose: bool,
+    /// Row-degree vector built.
+    pub has_row_degrees: bool,
+}
+
+/// Cheap per-matrix statistics read from the cache.
+#[derive(Copy, Clone, Debug)]
+pub struct MatrixStats {
+    /// `(nrows, ncols)`.
+    pub shape: (usize, usize),
+    /// Stored entries.
+    pub nnz: usize,
+    /// Largest row population.
+    pub max_row_nnz: usize,
+    /// Rows with at least one entry.
+    pub nonempty_rows: usize,
+}
+
+/// Orchestration context for masked SpGEMM workloads.
+///
+/// Owns the worker pool, a registry of matrices with lazily-cached
+/// auxiliaries (CSC form, transpose, degree vectors, row statistics, flop
+/// estimates), and the cost-model configuration used by [`Context::plan`].
+///
+/// ```
+/// use engine::Context;
+/// use sparse::{CsrMatrix, PlusTimes};
+///
+/// let ctx = Context::new();
+/// let tri = CsrMatrix::try_new(
+///     3, 3,
+///     vec![0, 2, 4, 6],
+///     vec![1, 2, 0, 2, 0, 1],
+///     vec![1.0f64; 6],
+/// ).unwrap();
+/// let h = ctx.insert(tri);
+/// // Count wedges closing each edge: M ⊙ (A·A) planned automatically.
+/// let c = ctx.masked_spgemm(PlusTimes::<f64>::new(), h, false, h, h).unwrap();
+/// assert_eq!(c.nnz(), 6);
+/// ```
+pub struct Context {
+    pub(crate) pool: rayon::ThreadPool,
+    pub(crate) threads: usize,
+    pub(crate) cfg: RwLock<HybridConfig>,
+    store: RwLock<HashMap<u64, Arc<Entry>>>,
+    next_id: AtomicU64,
+    next_version: AtomicU64,
+    flops_cache: RwLock<HashMap<(u64, u64, u64, u64), u64>>,
+    plan_cache: RwLock<HashMap<PlanKey, Plan>>,
+}
+
+/// Plan-cache key: operand identities *and versions* plus polarity, so any
+/// `update` to an operand automatically invalidates affected plans.
+type PlanKey = (u64, u64, u64, u64, u64, u64, bool);
+
+impl Default for Context {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Context {
+    /// Context using all available parallelism and the default cost model.
+    pub fn new() -> Self {
+        Self::with_threads(std::thread::available_parallelism().map_or(1, |n| n.get()))
+    }
+
+    /// Context with a fixed worker count (intra-op parallelism and batch
+    /// width).
+    pub fn with_threads(threads: usize) -> Self {
+        let threads = threads.max(1);
+        Context {
+            pool: rayon::ThreadPoolBuilder::new()
+                .num_threads(threads)
+                .build()
+                .expect("build worker pool"),
+            threads,
+            cfg: RwLock::new(HybridConfig::default()),
+            store: RwLock::new(HashMap::new()),
+            next_id: AtomicU64::new(1),
+            next_version: AtomicU64::new(1),
+            flops_cache: RwLock::new(HashMap::new()),
+            plan_cache: RwLock::new(HashMap::new()),
+        }
+    }
+
+    /// Worker count.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Current cost-model constants.
+    pub fn config(&self) -> HybridConfig {
+        *self.cfg.read().expect("config lock")
+    }
+
+    /// Replace the cost-model constants (see [`crate::calibrate`]).
+    pub fn set_config(&self, cfg: HybridConfig) {
+        *self.cfg.write().expect("config lock") = cfg;
+        // Plans embed cost estimates; a new model invalidates them.
+        self.plan_cache.write().expect("plan lock").clear();
+    }
+
+    // ------------------------------------------------------------ registry
+
+    /// Register a matrix and return its handle.
+    pub fn insert(&self, matrix: CsrMatrix<f64>) -> MatrixHandle {
+        self.insert_shared(Arc::new(matrix))
+    }
+
+    /// Register an already-shared matrix without copying it (e.g. a cached
+    /// transpose obtained from [`Context::transposed`]).
+    pub fn insert_shared(&self, matrix: Arc<CsrMatrix<f64>>) -> MatrixHandle {
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        let version = self.next_version.fetch_add(1, Ordering::Relaxed);
+        let entry = Arc::new(Entry::new(matrix, version));
+        self.store.write().expect("store lock").insert(id, entry);
+        MatrixHandle(id)
+    }
+
+    /// Replace the matrix behind `handle`, invalidating all cached
+    /// auxiliaries (including superseded plan/flops cache entries and any
+    /// derived transpose handle). An update with an identical matrix (same
+    /// structure and values) keeps the cache warm instead.
+    pub fn update(&self, handle: MatrixHandle, matrix: CsrMatrix<f64>) {
+        let derived;
+        {
+            let mut store = self.store.write().expect("store lock");
+            let entry = store.get_mut(&handle.0).expect("handle not registered");
+            if entry.matrix.nnz() == matrix.nnz()
+                && entry.matrix.shape() == matrix.shape()
+                && *entry.matrix == matrix
+            {
+                return; // no change — cached auxiliaries stay valid
+            }
+            derived = entry.transpose_handle.get().copied();
+            let version = self.next_version.fetch_add(1, Ordering::Relaxed);
+            *entry = Arc::new(Entry::new(Arc::new(matrix), version));
+            if let Some(d) = derived {
+                store.remove(&d.0);
+            }
+        }
+        // Superseded versions can never be queried again; drop their
+        // derived-cache entries so update-in-a-loop workloads stay bounded.
+        self.purge_caches(handle.0);
+        if let Some(d) = derived {
+            self.purge_caches(d.0);
+        }
+    }
+
+    /// Drop a matrix, its auxiliaries, and any derived transpose handle.
+    pub fn remove(&self, handle: MatrixHandle) {
+        let derived = {
+            let mut store = self.store.write().expect("store lock");
+            let derived = store
+                .remove(&handle.0)
+                .and_then(|e| e.transpose_handle.get().copied());
+            if let Some(d) = derived {
+                store.remove(&d.0);
+            }
+            derived
+        };
+        self.purge_caches(handle.0);
+        if let Some(d) = derived {
+            self.purge_caches(d.0);
+        }
+    }
+
+    /// Current sizes of the derived caches, `(flops entries, plan entries)`
+    /// — diagnostics and leak tests.
+    pub fn cache_sizes(&self) -> (usize, usize) {
+        (
+            self.flops_cache.read().expect("flops lock").len(),
+            self.plan_cache.read().expect("plan lock").len(),
+        )
+    }
+
+    /// Drop every flops/plan cache entry mentioning matrix id `id`.
+    fn purge_caches(&self, id: u64) {
+        self.flops_cache
+            .write()
+            .expect("flops lock")
+            .retain(|&(a, _, b, _), _| a != id && b != id);
+        self.plan_cache
+            .write()
+            .expect("plan lock")
+            .retain(|&(m, _, a, _, b, _, _), _| m != id && a != id && b != id);
+    }
+
+    pub(crate) fn entry(&self, handle: MatrixHandle) -> Arc<Entry> {
+        self.store
+            .read()
+            .expect("store lock")
+            .get(&handle.0)
+            .expect("handle not registered")
+            .clone()
+    }
+
+    /// The matrix behind a handle.
+    pub fn matrix(&self, handle: MatrixHandle) -> Arc<CsrMatrix<f64>> {
+        self.entry(handle).matrix.clone()
+    }
+
+    /// Cached CSC form (built on first call).
+    pub fn csc(&self, handle: MatrixHandle) -> Arc<CscMatrix<f64>> {
+        self.entry(handle).csc().clone()
+    }
+
+    /// Cached transpose (built on first call).
+    pub fn transposed(&self, handle: MatrixHandle) -> Arc<CsrMatrix<f64>> {
+        self.entry(handle).transposed().clone()
+    }
+
+    /// Handle for the cached transpose, registered on first call and owned
+    /// by the parent entry: it shares the cached `Aᵀ` storage, carries its
+    /// own auxiliaries (degrees, CSC, plans), and is removed or invalidated
+    /// together with the parent. Lets repeated calls (BC sweeps, similarity
+    /// joins) use `Aᵀ` as an operand without re-registering it per call.
+    pub fn transpose_handle(&self, handle: MatrixHandle) -> MatrixHandle {
+        let e = self.entry(handle);
+        *e.transpose_handle
+            .get_or_init(|| self.insert_shared(e.transposed().clone()))
+    }
+
+    /// Cached row-degree vector (built on first call).
+    pub fn row_degrees(&self, handle: MatrixHandle) -> Arc<Vec<u32>> {
+        self.entry(handle).row_degrees().clone()
+    }
+
+    /// Cheap cached statistics.
+    pub fn stats(&self, handle: MatrixHandle) -> MatrixStats {
+        let e = self.entry(handle);
+        MatrixStats {
+            shape: e.matrix.shape(),
+            nnz: e.matrix.nnz(),
+            max_row_nnz: e.max_row_nnz(),
+            nonempty_rows: e.nonempty_rows(),
+        }
+    }
+
+    /// Which auxiliaries are currently materialized for `handle`.
+    pub fn aux_status(&self, handle: MatrixHandle) -> AuxStatus {
+        let e = self.entry(handle);
+        AuxStatus {
+            version: e.version,
+            has_csc: e.csc.get().is_some(),
+            has_transpose: e.transposed.get().is_some(),
+            has_row_degrees: e.row_degrees.get().is_some(),
+        }
+    }
+
+    /// `flops(A·B)` with pair-level caching (invalidated by updates to
+    /// either operand, since entry versions key the cache).
+    pub fn flops(&self, a: MatrixHandle, b: MatrixHandle) -> u64 {
+        let (ea, eb) = (self.entry(a), self.entry(b));
+        let key = (a.0, ea.version, b.0, eb.version);
+        if let Some(&f) = self.flops_cache.read().expect("flops lock").get(&key) {
+            return f;
+        }
+        let bdeg = eb.row_degrees();
+        let f: u64 = ea
+            .matrix
+            .colidx()
+            .iter()
+            .map(|&k| bdeg[k as usize] as u64)
+            .sum();
+        self.flops_cache.write().expect("flops lock").insert(key, f);
+        f
+    }
+
+    // ----------------------------------------------------------- execution
+
+    /// Choose an algorithm and phase discipline for `M ⊙ (A·B)`
+    /// (or `¬M ⊙` with `complemented`) from cached statistics.
+    ///
+    /// Plans are cached by operand identity *and version*: re-planning the
+    /// same multiply (the common case in repeated-multiply loops) is a map
+    /// lookup, while any [`Context::update`] to an operand transparently
+    /// invalidates affected plans.
+    pub fn plan(
+        &self,
+        mask: MatrixHandle,
+        complemented: bool,
+        a: MatrixHandle,
+        b: MatrixHandle,
+    ) -> Result<Plan, SparseError> {
+        let key: PlanKey = {
+            let (em, ea, eb) = (self.entry(mask), self.entry(a), self.entry(b));
+            (
+                mask.0,
+                em.version,
+                a.0,
+                ea.version,
+                b.0,
+                eb.version,
+                complemented,
+            )
+        };
+        if let Some(plan) = self.plan_cache.read().expect("plan lock").get(&key) {
+            return Ok(*plan);
+        }
+        let plan = plan::plan(self, mask, complemented, a, b)?;
+        self.plan_cache
+            .write()
+            .expect("plan lock")
+            .insert(key, plan);
+        Ok(plan)
+    }
+
+    /// Run one masked SpGEMM under an explicit plan.
+    pub fn run_planned<S>(
+        &self,
+        plan: &Plan,
+        sr: S,
+        mask: MatrixHandle,
+        a: MatrixHandle,
+        b: MatrixHandle,
+    ) -> Result<CsrMatrix<S::C>, SparseError>
+    where
+        S: Semiring<A = f64, B = f64>,
+        S::C: Default + Send + Sync,
+    {
+        let (em, ea, eb) = (self.entry(mask), self.entry(a), self.entry(b));
+        let cfg = self.config();
+        self.pool.install(|| match plan.choice {
+            Choice::Fixed(Algorithm::Inner) => masked_spgemm_csc(
+                Algorithm::Inner,
+                plan.phases,
+                plan.complemented,
+                sr,
+                &em.matrix,
+                &ea.matrix,
+                eb.csc(),
+            ),
+            Choice::Fixed(alg) => masked_spgemm(
+                alg,
+                plan.phases,
+                plan.complemented,
+                sr,
+                &em.matrix,
+                &ea.matrix,
+                &eb.matrix,
+            ),
+            Choice::Hybrid => hybrid_masked_spgemm(
+                plan.phases,
+                cfg,
+                sr,
+                &em.matrix,
+                &ea.matrix,
+                &eb.matrix,
+                eb.csc(),
+            ),
+        })
+    }
+
+    /// Plan and run one masked SpGEMM: `C = M ⊙ (A·B)` (or `¬M ⊙`).
+    pub fn masked_spgemm<S>(
+        &self,
+        sr: S,
+        mask: MatrixHandle,
+        complemented: bool,
+        a: MatrixHandle,
+        b: MatrixHandle,
+    ) -> Result<CsrMatrix<S::C>, SparseError>
+    where
+        S: Semiring<A = f64, B = f64>,
+        S::C: Default + Send + Sync,
+    {
+        let plan = self.plan(mask, complemented, a, b)?;
+        self.run_planned(&plan, sr, mask, a, b)
+    }
+
+    /// Run with a forced algorithm and phase discipline (bypasses the
+    /// planner but still uses cached auxiliaries).
+    #[allow(clippy::too_many_arguments)]
+    pub fn run_with<S>(
+        &self,
+        algorithm: Algorithm,
+        phases: Phases,
+        sr: S,
+        mask: MatrixHandle,
+        complemented: bool,
+        a: MatrixHandle,
+        b: MatrixHandle,
+    ) -> Result<CsrMatrix<S::C>, SparseError>
+    where
+        S: Semiring<A = f64, B = f64>,
+        S::C: Default + Send + Sync,
+    {
+        let plan = Plan::fixed(algorithm, phases, complemented);
+        self.run_planned(&plan, sr, mask, a, b)
+    }
+}

@@ -1,0 +1,55 @@
+#![warn(missing_docs)]
+
+//! Planning and batch-execution engine for masked SpGEMM workloads.
+//!
+//! The kernels in `masked-spgemm` answer *how* to run one masked multiply;
+//! this crate answers *which* kernel to run and *what to keep* between
+//! calls. The paper's evaluation (and its Section 9 future work on hybrid
+//! execution) shows the best algorithm depends on mask density and matrix
+//! structure — so iterative workloads like k-truss peeling and batched
+//! betweenness centrality, which issue hundreds of masked multiplies over
+//! slowly-evolving operands, want a layer that:
+//!
+//! * **caches auxiliaries per matrix** — CSC copies for pull-based schemes,
+//!   transposes, degree vectors, row statistics, and pairwise flop counts
+//!   are computed lazily and reused until the matrix changes
+//!   ([`Context::insert`] / [`Context::update`]);
+//! * **plans per operation** — [`Context::plan`] aggregates the per-row
+//!   cost model over cached statistics and picks a fixed algorithm or the
+//!   per-row hybrid, plus a phase discipline ([`Plan`]);
+//! * **calibrates the model** — [`Context::calibrate`] measures the
+//!   machine's actual MSA/heap cost ratios and rescales [`HybridConfig`];
+//! * **executes batches** — [`Context::run_batch`] runs many independent
+//!   multiplies concurrently, one worker per product, with per-worker
+//!   kernel scratch reused across the whole batch.
+//!
+//! ```
+//! use engine::{BatchOp, Context};
+//! use sparse::{CsrMatrix, PlusTimes};
+//!
+//! let ctx = Context::with_threads(2);
+//! let a = ctx.insert(CsrMatrix::diagonal(8, 2.0));
+//! let m = ctx.insert(CsrMatrix::diagonal(8, 1.0));
+//! let sr = PlusTimes::<f64>::new();
+//!
+//! // One planned multiply…
+//! let c = ctx.masked_spgemm(sr, m, false, a, a).unwrap();
+//! assert_eq!(c.get(3, 3), Some(&4.0));
+//!
+//! // …and a concurrent batch of the same shape.
+//! let ops = vec![BatchOp { mask: m, complemented: false, a, b: a }; 4];
+//! for r in ctx.run_batch(sr, &ops) {
+//!     assert_eq!(r.unwrap(), c);
+//! }
+//! ```
+
+mod batch;
+mod calibrate;
+mod context;
+mod plan;
+
+pub use batch::BatchOp;
+pub use calibrate::Calibration;
+pub use context::{AuxStatus, Context, MatrixHandle, MatrixStats};
+pub use masked_spgemm::{Algorithm, HybridConfig, Phases};
+pub use plan::{Choice, CostBreakdown, Plan};

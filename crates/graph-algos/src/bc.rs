@@ -38,7 +38,10 @@ pub struct BcResult {
 
 /// `(1 + delta) ./ sigma` evaluated on the pattern of `sigma`
 /// (`delta` entries default to 0 where absent) — the backward sweep's `T`.
-fn one_plus_delta_over_sigma(sigma: &CsrMatrix<f64>, delta: &CsrMatrix<f64>) -> CsrMatrix<f64> {
+pub(crate) fn one_plus_delta_over_sigma(
+    sigma: &CsrMatrix<f64>,
+    delta: &CsrMatrix<f64>,
+) -> CsrMatrix<f64> {
     assert_eq!(sigma.shape(), delta.shape());
     let rows: Vec<(Vec<Idx>, Vec<f64>)> = (0..sigma.nrows())
         .into_par_iter()
@@ -52,7 +55,11 @@ fn one_plus_delta_over_sigma(sigma: &CsrMatrix<f64>, delta: &CsrMatrix<f64>) -> 
                 while q < dc.len() && dc[q] < j {
                     q += 1;
                 }
-                let d = if q < dc.len() && dc[q] == j { dv[q] } else { 0.0 };
+                let d = if q < dc.len() && dc[q] == j {
+                    dv[q]
+                } else {
+                    0.0
+                };
                 cols.push(j);
                 vals.push((1.0 + d) / sv[p]);
             }
@@ -81,11 +88,7 @@ pub fn betweenness_centrality(
     let adj_t_csc = CscMatrix::from_csr(&adj_t);
 
     // Forward sweep.
-    let mut frontier = CsrMatrix::from_rows(
-        s,
-        n,
-        sources.iter().map(|&v| vec![(v, 1.0f64)]),
-    )?;
+    let mut frontier = CsrMatrix::from_rows(s, n, sources.iter().map(|&v| vec![(v, 1.0f64)]))?;
     let mut paths = frontier.clone();
     let mut levels: Vec<CsrMatrix<f64>> = vec![frontier.clone()];
     loop {
@@ -95,7 +98,13 @@ pub fn betweenness_centrality(
         }
         // Frontier and visited sets are disjoint by construction of the
         // complemented mask, so the union never merges values.
-        paths = ewise_union(&paths, &next, |_, _| unreachable!("disjoint"), |x| *x, |y| *y);
+        paths = ewise_union(
+            &paths,
+            &next,
+            |_, _| unreachable!("disjoint"),
+            |x| *x,
+            |y| *y,
+        );
         levels.push(next.clone());
         frontier = next;
     }
@@ -138,10 +147,7 @@ mod tests {
     fn assert_close(a: &[f64], b: &[f64], label: &str) {
         assert_eq!(a.len(), b.len());
         for (i, (x, y)) in a.iter().zip(b).enumerate() {
-            assert!(
-                (x - y).abs() < 1e-9,
-                "{label}: vertex {i}: {x} vs {y}"
-            );
+            assert!((x - y).abs() < 1e-9, "{label}: vertex {i}: {x} vs {y}");
         }
     }
 
@@ -159,12 +165,8 @@ mod tests {
         // Path 0-1-2-3, source 0: delta(1)=2 (paths to 2,3 pass through 1),
         // delta(2)=1, delta(3)=0.
         let adj = path_graph(4);
-        let r = betweenness_centrality(
-            Scheme::Ours(Algorithm::Msa, Phases::One),
-            &adj,
-            &[0],
-        )
-        .unwrap();
+        let r =
+            betweenness_centrality(Scheme::Ours(Algorithm::Msa, Phases::One), &adj, &[0]).unwrap();
         assert_eq!(r.depth, 3);
         assert_close(&r.centrality, &[0.0, 2.0, 1.0, 0.0], "path");
     }
@@ -203,7 +205,11 @@ mod tests {
                 Scheme::SsSaxpy,
             ] {
                 let r = betweenness_centrality(s, &adj, &sources).unwrap();
-                assert_close(&r.centrality, &expect, &format!("{} seed={seed}", s.label()));
+                assert_close(
+                    &r.centrality,
+                    &expect,
+                    &format!("{} seed={seed}", s.label()),
+                );
             }
         }
     }
@@ -211,11 +217,7 @@ mod tests {
     #[test]
     fn mca_is_rejected() {
         let adj = path_graph(3);
-        let r = betweenness_centrality(
-            Scheme::Ours(Algorithm::Mca, Phases::One),
-            &adj,
-            &[0],
-        );
+        let r = betweenness_centrality(Scheme::Ours(Algorithm::Mca, Phases::One), &adj, &[0]);
         assert!(r.is_err());
     }
 

@@ -64,7 +64,11 @@ pub fn bfs(adj: &CsrMatrix<f64>, source: Idx, policy: Direction) -> BfsResult {
     assert!((source as usize) < n, "source out of range");
     let adj_bool = adj.map(|_| true);
     let adj_csc = CscMatrix::from_csr(&adj_bool);
-    let avg_deg = if n > 0 { adj.nnz() as f64 / n as f64 } else { 0.0 };
+    let avg_deg = if n > 0 {
+        adj.nnz() as f64 / n as f64
+    } else {
+        0.0
+    };
 
     let mut levels = vec![-1i64; n];
     levels[source as usize] = 0;
@@ -74,9 +78,8 @@ pub fn bfs(adj: &CsrMatrix<f64>, source: Idx, policy: Direction) -> BfsResult {
     let mut directions = Vec::new();
 
     while !frontier.is_empty() {
-        let visited_mask =
-            SparseVec::try_new(n, visited_idx.clone(), vec![(); visited_idx.len()])
-                .expect("visited sorted");
+        let visited_mask = SparseVec::try_new(n, visited_idx.clone(), vec![(); visited_idx.len()])
+            .expect("visited sorted");
         let use_pull = match policy {
             Direction::Push => false,
             Direction::Pull => true,
@@ -90,8 +93,15 @@ pub fn bfs(adj: &CsrMatrix<f64>, source: Idx, policy: Direction) -> BfsResult {
             masked_spgevm_csc(true, BoolAndOr, &visited_mask, &frontier, &adj_csc)
                 .expect("dims agree")
         } else {
-            masked_spgevm(Algorithm::Msa, true, BoolAndOr, &visited_mask, &frontier, &adj_bool)
-                .expect("dims agree")
+            masked_spgevm(
+                Algorithm::Msa,
+                true,
+                BoolAndOr,
+                &visited_mask,
+                &frontier,
+                &adj_bool,
+            )
+            .expect("dims agree")
         };
         directions.push(if use_pull {
             Direction::Pull

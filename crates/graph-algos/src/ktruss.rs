@@ -111,7 +111,12 @@ mod tests {
     #[test]
     fn k4_tail_5truss_is_empty() {
         // K4 edges have support 2, so the 5-truss (needs >= 3) is empty.
-        let r = ktruss(Scheme::Ours(Algorithm::Hash, Phases::Two), &k4_plus_tail(), 5).unwrap();
+        let r = ktruss(
+            Scheme::Ours(Algorithm::Hash, Phases::Two),
+            &k4_plus_tail(),
+            5,
+        )
+        .unwrap();
         assert_eq!(r.truss.nnz(), 0);
     }
 

@@ -8,6 +8,7 @@
 //! Serial textbook implementations in [`reference`] validate every
 //! benchmark end-to-end.
 
+pub mod auto;
 pub mod bc;
 pub mod bfs;
 pub mod ktruss;
@@ -16,6 +17,9 @@ pub mod scheme;
 pub mod similarity;
 pub mod triangle;
 
+pub use auto::{
+    betweenness_centrality_auto, ktruss_auto, masked_cosine_similarity_auto, triangle_count_auto,
+};
 pub use bc::{betweenness_centrality, BcResult};
 pub use bfs::{bfs, BfsResult, Direction};
 pub use ktruss::{ktruss, KtrussResult};

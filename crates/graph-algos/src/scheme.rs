@@ -79,18 +79,10 @@ impl Scheme {
         MT: Copy + Sync,
     {
         match self {
-            Scheme::Ours(Algorithm::Inner, ph) => masked_spgemm_csc(
-                Algorithm::Inner,
-                *ph,
-                complemented,
-                sr,
-                mask,
-                a,
-                b_csc,
-            ),
-            Scheme::Ours(alg, ph) => {
-                masked_spgemm(*alg, *ph, complemented, sr, mask, a, b_csr)
+            Scheme::Ours(Algorithm::Inner, ph) => {
+                masked_spgemm_csc(Algorithm::Inner, *ph, complemented, sr, mask, a, b_csc)
             }
+            Scheme::Ours(alg, ph) => masked_spgemm(*alg, *ph, complemented, sr, mask, a, b_csr),
             Scheme::SsDot => Ok(baselines::ss_dot(sr, mask, complemented, a, b_csc)),
             Scheme::SsSaxpy => Ok(baselines::ss_saxpy(sr, mask, complemented, a, b_csr)),
             Scheme::Hybrid => {

@@ -82,12 +82,9 @@ mod tests {
     #[test]
     fn identical_rows_have_similarity_one() {
         let m = full_offdiag_mask(4);
-        let s = masked_cosine_similarity(
-            Scheme::Ours(Algorithm::Msa, Phases::One),
-            &m,
-            &features(),
-        )
-        .unwrap();
+        let s =
+            masked_cosine_similarity(Scheme::Ours(Algorithm::Msa, Phases::One), &m, &features())
+                .unwrap();
         assert!((s.get(0, 1).unwrap() - 1.0).abs() < 1e-12);
         // Orthogonal items share no feature: no stored entry at all.
         assert_eq!(s.get(0, 2), None);
@@ -126,8 +123,8 @@ mod tests {
     fn similarity_values_in_unit_range() {
         let a = graphs::erdos_renyi(30, 6.0, 3);
         let m = graphs::erdos_renyi(30, 10.0, 4).pattern();
-        let s = masked_cosine_similarity(Scheme::Ours(Algorithm::Hash, Phases::One), &m, &a)
-            .unwrap();
+        let s =
+            masked_cosine_similarity(Scheme::Ours(Algorithm::Hash, Phases::One), &m, &a).unwrap();
         for (_, _, &v) in s.iter() {
             assert!((-1.0 - 1e-12..=1.0 + 1e-12).contains(&v), "{v}");
         }

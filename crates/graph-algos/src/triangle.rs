@@ -81,11 +81,7 @@ mod tests {
             let adj = to_undirected_simple(&graphs::erdos_renyi(60, 8.0, seed));
             count_all_schemes(&adj);
         }
-        let adj = to_undirected_simple(&graphs::rmat(
-            6,
-            graphs::RmatParams::default(),
-            9,
-        ));
+        let adj = to_undirected_simple(&graphs::rmat(6, graphs::RmatParams::default(), 9));
         count_all_schemes(&adj);
     }
 

@@ -25,7 +25,8 @@ pub fn erdos_renyi(n: usize, degree: f64, seed: u64) -> CsrMatrix<f64> {
     let rows: Vec<Vec<Idx>> = (0..n)
         .into_par_iter()
         .map(|i| {
-            let mut rng = StdRng::seed_from_u64(seed ^ (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+            let mut rng =
+                StdRng::seed_from_u64(seed ^ (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
             let mut cols = Vec::new();
             if p >= 1.0 {
                 cols.extend(0..n as Idx);

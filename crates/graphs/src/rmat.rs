@@ -60,7 +60,9 @@ pub fn rmat(scale: u32, params: RmatParams, seed: u64) -> CsrMatrix<f64> {
             let m = chunk.min(nedges - start);
             let mut rng =
                 StdRng::seed_from_u64(seed ^ (start as u64).wrapping_mul(0xD1B5_4A32_D192_ED03));
-            (0..m).map(|_| sample_edge(scale, &params, &mut rng)).collect()
+            (0..m)
+                .map(|_| sample_edge(scale, &params, &mut rng))
+                .collect()
         })
         .collect();
     let mut coo = CooMatrix::new(n, n);

@@ -95,7 +95,7 @@ mod tests {
         // Corner has degree 2, interior degree 4.
         assert_eq!(g.row_nnz(0), 2);
         assert_eq!(g.row_nnz(5), 4); // (1,1) interior
-        // Edge count: 2*(3*3 + 2*4) = ... horizontal 3*3=9, vertical 2*4=8 -> 17 edges -> 34 nnz
+                                     // Edge count: 2*(3*3 + 2*4) = ... horizontal 3*3=9, vertical 2*4=8 -> 17 edges -> 34 nnz
         assert_eq!(g.nnz(), 34);
     }
 

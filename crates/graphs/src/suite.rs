@@ -90,36 +90,114 @@ pub fn suite() -> Vec<SuiteGraph> {
     use SuiteSpec::*;
     vec![
         // Random, uniform degree (9): the "er_*" family.
-        SuiteGraph { name: "er10_d4", spec: Er(10, 4.0) },
-        SuiteGraph { name: "er10_d16", spec: Er(10, 16.0) },
-        SuiteGraph { name: "er10_d64", spec: Er(10, 64.0) },
-        SuiteGraph { name: "er12_d4", spec: Er(12, 4.0) },
-        SuiteGraph { name: "er12_d16", spec: Er(12, 16.0) },
-        SuiteGraph { name: "er12_d64", spec: Er(12, 64.0) },
-        SuiteGraph { name: "er14_d4", spec: Er(14, 4.0) },
-        SuiteGraph { name: "er14_d16", spec: Er(14, 16.0) },
-        SuiteGraph { name: "er14_d64", spec: Er(14, 64.0) },
+        SuiteGraph {
+            name: "er10_d4",
+            spec: Er(10, 4.0),
+        },
+        SuiteGraph {
+            name: "er10_d16",
+            spec: Er(10, 16.0),
+        },
+        SuiteGraph {
+            name: "er10_d64",
+            spec: Er(10, 64.0),
+        },
+        SuiteGraph {
+            name: "er12_d4",
+            spec: Er(12, 4.0),
+        },
+        SuiteGraph {
+            name: "er12_d16",
+            spec: Er(12, 16.0),
+        },
+        SuiteGraph {
+            name: "er12_d64",
+            spec: Er(12, 64.0),
+        },
+        SuiteGraph {
+            name: "er14_d4",
+            spec: Er(14, 4.0),
+        },
+        SuiteGraph {
+            name: "er14_d16",
+            spec: Er(14, 16.0),
+        },
+        SuiteGraph {
+            name: "er14_d64",
+            spec: Er(14, 64.0),
+        },
         // Skewed power-law (6): the "rmat_*" family (web/social analogue).
-        SuiteGraph { name: "rmat10_e8", spec: Rmat(10, 8) },
-        SuiteGraph { name: "rmat10_e16", spec: Rmat(10, 16) },
-        SuiteGraph { name: "rmat12_e8", spec: Rmat(12, 8) },
-        SuiteGraph { name: "rmat12_e16", spec: Rmat(12, 16) },
-        SuiteGraph { name: "rmat14_e8", spec: Rmat(14, 8) },
-        SuiteGraph { name: "rmat14_e16", spec: Rmat(14, 16) },
+        SuiteGraph {
+            name: "rmat10_e8",
+            spec: Rmat(10, 8),
+        },
+        SuiteGraph {
+            name: "rmat10_e16",
+            spec: Rmat(10, 16),
+        },
+        SuiteGraph {
+            name: "rmat12_e8",
+            spec: Rmat(12, 8),
+        },
+        SuiteGraph {
+            name: "rmat12_e16",
+            spec: Rmat(12, 16),
+        },
+        SuiteGraph {
+            name: "rmat14_e8",
+            spec: Rmat(14, 8),
+        },
+        SuiteGraph {
+            name: "rmat14_e16",
+            spec: Rmat(14, 16),
+        },
         // Meshes (3): locality, bounded degree (FEM analogue).
-        SuiteGraph { name: "grid32", spec: Grid(32, 32) },
-        SuiteGraph { name: "grid128", spec: Grid(128, 128) },
-        SuiteGraph { name: "grid256", spec: Grid(256, 256) },
+        SuiteGraph {
+            name: "grid32",
+            spec: Grid(32, 32),
+        },
+        SuiteGraph {
+            name: "grid128",
+            spec: Grid(128, 128),
+        },
+        SuiteGraph {
+            name: "grid256",
+            spec: Grid(256, 256),
+        },
         // Ring lattices (2): uniform degree, high clustering.
-        SuiteGraph { name: "ring4k_k4", spec: Ring(1 << 12, 4) },
-        SuiteGraph { name: "ring16k_k8", spec: Ring(1 << 14, 8) },
+        SuiteGraph {
+            name: "ring4k_k4",
+            spec: Ring(1 << 12, 4),
+        },
+        SuiteGraph {
+            name: "ring16k_k8",
+            spec: Ring(1 << 14, 8),
+        },
         // Preferential attachment (6): heavy tail (citation/social analogue).
-        SuiteGraph { name: "pa1k_m2", spec: Pa(1 << 10, 2) },
-        SuiteGraph { name: "pa1k_m8", spec: Pa(1 << 10, 8) },
-        SuiteGraph { name: "pa4k_m2", spec: Pa(1 << 12, 2) },
-        SuiteGraph { name: "pa4k_m8", spec: Pa(1 << 12, 8) },
-        SuiteGraph { name: "pa16k_m2", spec: Pa(1 << 14, 2) },
-        SuiteGraph { name: "pa16k_m8", spec: Pa(1 << 14, 8) },
+        SuiteGraph {
+            name: "pa1k_m2",
+            spec: Pa(1 << 10, 2),
+        },
+        SuiteGraph {
+            name: "pa1k_m8",
+            spec: Pa(1 << 10, 8),
+        },
+        SuiteGraph {
+            name: "pa4k_m2",
+            spec: Pa(1 << 12, 2),
+        },
+        SuiteGraph {
+            name: "pa4k_m8",
+            spec: Pa(1 << 12, 8),
+        },
+        SuiteGraph {
+            name: "pa16k_m2",
+            spec: Pa(1 << 14, 2),
+        },
+        SuiteGraph {
+            name: "pa16k_m8",
+            spec: Pa(1 << 14, 8),
+        },
     ]
 }
 

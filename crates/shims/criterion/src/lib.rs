@@ -1,0 +1,223 @@
+#![warn(missing_docs)]
+
+//! Workspace-local subset of the [criterion](https://docs.rs/criterion) API.
+//!
+//! The build environment has no crates.io access, so this crate provides the
+//! benchmark-definition surface the workspace uses (`criterion_group!` /
+//! `criterion_main!`, benchmark groups, `bench_with_input`, `Bencher::iter`)
+//! with a simple best-of-N wall-clock measurement and plain-text report in
+//! place of criterion's statistical machinery.
+
+use std::fmt::Display;
+use std::marker::PhantomData;
+use std::time::{Duration, Instant};
+
+/// Measurement backends (only wall time in this shim).
+pub mod measurement {
+    /// Wall-clock measurement marker.
+    #[derive(Debug, Default, Clone, Copy)]
+    pub struct WallTime;
+}
+
+/// Benchmark manager; collects and reports group timings.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Apply command-line configuration (accepted and ignored, so
+    /// `cargo bench -- <filter>` does not fail).
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Open a named benchmark group.
+    pub fn benchmark_group(
+        &mut self,
+        name: impl Into<String>,
+    ) -> BenchmarkGroup<'_, measurement::WallTime> {
+        let name = name.into();
+        println!("group {name}");
+        BenchmarkGroup {
+            name,
+            samples: 10,
+            warm_up: Duration::from_millis(100),
+            measurement: Duration::from_millis(500),
+            _criterion: PhantomData,
+            _measurement: PhantomData,
+        }
+    }
+}
+
+/// Identifier for one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter` identifier.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            label: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// Identifier carrying only a parameter.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+/// A group of related benchmarks sharing sampling configuration.
+pub struct BenchmarkGroup<'a, M = measurement::WallTime> {
+    name: String,
+    samples: usize,
+    warm_up: Duration,
+    measurement: Duration,
+    _criterion: PhantomData<&'a mut Criterion>,
+    _measurement: PhantomData<M>,
+}
+
+impl<M> BenchmarkGroup<'_, M> {
+    /// Set the sample count.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.samples = n.max(1);
+        self
+    }
+
+    /// Set the warm-up duration.
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.warm_up = d;
+        self
+    }
+
+    /// Set the measurement budget.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement = d;
+        self
+    }
+
+    /// Run one benchmark with an input value.
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) -> &mut Self {
+        let mut b = self.make_bencher();
+        f(&mut b, input);
+        self.report(&id.label, &b);
+        self
+    }
+
+    /// Run one benchmark without input.
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<String>,
+        mut f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let label = id.into();
+        let mut b = self.make_bencher();
+        f(&mut b);
+        self.report(&label, &b);
+        self
+    }
+
+    /// Close the group.
+    pub fn finish(self) {}
+
+    fn make_bencher(&self) -> Bencher {
+        Bencher {
+            samples: self.samples,
+            warm_up: self.warm_up,
+            measurement: self.measurement,
+            best: None,
+        }
+    }
+
+    fn report(&self, label: &str, b: &Bencher) {
+        match b.best {
+            Some(best) => println!("  {}/{label}: best {best:?}", self.name),
+            None => println!("  {}/{label}: no measurement", self.name),
+        }
+    }
+}
+
+/// Times a closure under the group's sampling configuration.
+pub struct Bencher {
+    samples: usize,
+    warm_up: Duration,
+    measurement: Duration,
+    best: Option<Duration>,
+}
+
+impl Bencher {
+    /// Measure `f`: warm up, then repeat until the sample count or the
+    /// measurement budget is exhausted; record the best time.
+    pub fn iter<O>(&mut self, mut f: impl FnMut() -> O) {
+        let warm_deadline = Instant::now() + self.warm_up;
+        loop {
+            std::hint::black_box(f());
+            if Instant::now() >= warm_deadline {
+                break;
+            }
+        }
+        let budget = Instant::now() + self.measurement;
+        let mut best = Duration::MAX;
+        let mut taken = 0usize;
+        while taken < self.samples {
+            let t0 = Instant::now();
+            std::hint::black_box(f());
+            best = best.min(t0.elapsed());
+            taken += 1;
+            if Instant::now() >= budget && taken > 0 {
+                break;
+            }
+        }
+        self.best = Some(best);
+    }
+}
+
+/// Group benchmark functions under one callable name.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Emit `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_records_a_time() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("t");
+        g.sample_size(3)
+            .warm_up_time(Duration::from_millis(1))
+            .measurement_time(Duration::from_millis(5));
+        g.bench_with_input(BenchmarkId::from_parameter("x"), &7u64, |b, &n| {
+            b.iter(|| (0..n).sum::<u64>())
+        });
+        g.bench_function("plain", |b| b.iter(|| 1 + 1));
+        g.finish();
+    }
+}

@@ -1,0 +1,449 @@
+//! Indexed parallel iterators: sources, adapters, consumers.
+//!
+//! Every iterator here knows its exact length and can be split at an index
+//! (rayon's "producer" model). Consumers split the pipeline into one
+//! contiguous part per worker, run each part sequentially on a scoped
+//! thread, and recombine partial results in order — so all consumers are
+//! deterministic and independent of the worker count.
+
+use std::ops::Range;
+
+use crate::current_num_threads;
+
+/// An exact-length, splittable parallel iterator.
+pub trait ParallelIterator: Sized + Send {
+    /// Element type.
+    type Item: Send;
+    /// Sequential iterator a part decomposes into.
+    type Seq: Iterator<Item = Self::Item>;
+
+    /// Exact number of remaining items.
+    fn par_len(&self) -> usize;
+    /// Split into `[0, index)` and `[index, len)`.
+    fn split_at(self, index: usize) -> (Self, Self);
+    /// Decompose into a sequential iterator.
+    fn into_seq(self) -> Self::Seq;
+
+    /// Map every item through `op`.
+    fn map<F, R>(self, op: F) -> Map<Self, F>
+    where
+        F: Fn(Self::Item) -> R + Sync + Send + Clone,
+        R: Send,
+    {
+        Map { base: self, op }
+    }
+
+    /// Iterate two indexed iterators in lockstep (truncates to the shorter).
+    fn zip<Z>(self, other: Z) -> Zip<Self, Z::Iter>
+    where
+        Z: IntoParallelIterator,
+    {
+        Zip {
+            a: self,
+            b: other.into_par_iter(),
+        }
+    }
+
+    /// Copy out of `&T` items.
+    fn copied<'a, T>(self) -> Copied<Self>
+    where
+        Self: ParallelIterator<Item = &'a T>,
+        T: Copy + Send + Sync + 'a,
+    {
+        Copied { base: self }
+    }
+
+    /// Run `op` on every item.
+    fn for_each<F>(self, op: F)
+    where
+        F: Fn(Self::Item) + Sync + Send,
+    {
+        run_parts(self, &|part: Self| part.into_seq().for_each(&op));
+    }
+
+    /// Sum all items.
+    fn sum<T>(self) -> T
+    where
+        T: std::iter::Sum<Self::Item> + std::iter::Sum<T> + Send,
+    {
+        run_parts(self, &|part: Self| part.into_seq().sum::<T>())
+            .into_iter()
+            .sum()
+    }
+
+    /// Reduce with an identity-producing closure and an associative `op`.
+    fn reduce<Op, Id>(self, identity: Id, op: Op) -> Self::Item
+    where
+        Op: Fn(Self::Item, Self::Item) -> Self::Item + Sync + Send,
+        Id: Fn() -> Self::Item + Sync + Send,
+    {
+        run_parts(self, &|part: Self| part.into_seq().fold(identity(), &op))
+            .into_iter()
+            .fold(identity(), op)
+    }
+
+    /// Collect into a container (only `Vec` in this shim).
+    fn collect<C>(self) -> C
+    where
+        C: FromParallelIterator<Self::Item>,
+    {
+        C::from_par_iter(self)
+    }
+}
+
+/// Split `p` into one contiguous part per worker, evaluate `f` on each part
+/// on its own scoped thread, and return the results in order.
+fn run_parts<P, T>(p: P, f: &(impl Fn(P) -> T + Sync)) -> Vec<T>
+where
+    P: ParallelIterator,
+    T: Send,
+{
+    let len = p.par_len();
+    let workers = current_num_threads().max(1).min(len.max(1));
+    if workers <= 1 {
+        return vec![f(p)];
+    }
+    let mut parts = Vec::with_capacity(workers);
+    let mut rest = p;
+    let mut remaining = len;
+    let mut slots = workers;
+    while slots > 1 {
+        let take = remaining.div_ceil(slots);
+        let (head, tail) = rest.split_at(take);
+        parts.push(head);
+        rest = tail;
+        remaining -= take;
+        slots -= 1;
+    }
+    parts.push(rest);
+    std::thread::scope(|s| {
+        let handles: Vec<_> = parts
+            .into_iter()
+            .map(|part| s.spawn(move || f(part)))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| match h.join() {
+                Ok(v) => v,
+                Err(payload) => std::panic::resume_unwind(payload),
+            })
+            .collect()
+    })
+}
+
+/// Conversion into a [`ParallelIterator`] (rayon's `into_par_iter`).
+pub trait IntoParallelIterator {
+    /// Element type.
+    type Item: Send;
+    /// Produced iterator type.
+    type Iter: ParallelIterator<Item = Self::Item>;
+    /// Convert.
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+/// Borrowing conversion (rayon's `par_iter`).
+pub trait IntoParallelRefIterator<'data> {
+    /// Element type (`&'data T`).
+    type Item: Send + 'data;
+    /// Produced iterator type.
+    type Iter: ParallelIterator<Item = Self::Item>;
+    /// Borrow into a parallel iterator.
+    fn par_iter(&'data self) -> Self::Iter;
+}
+
+/// `par_chunks` over slices.
+pub trait ParallelSlice<T: Sync> {
+    /// Parallel iterator over contiguous `chunk_size`-sized pieces
+    /// (the final chunk may be shorter).
+    fn par_chunks(&self, chunk_size: usize) -> ChunksParIter<'_, T>;
+}
+
+impl<T: Sync> ParallelSlice<T> for [T] {
+    fn par_chunks(&self, chunk_size: usize) -> ChunksParIter<'_, T> {
+        assert!(chunk_size > 0, "chunk size must be positive");
+        ChunksParIter {
+            slice: self,
+            chunk_size,
+        }
+    }
+}
+
+/// Collection from a parallel iterator.
+pub trait FromParallelIterator<T: Send> {
+    /// Build the container, preserving item order.
+    fn from_par_iter<P: ParallelIterator<Item = T>>(p: P) -> Self;
+}
+
+impl<T: Send> FromParallelIterator<T> for Vec<T> {
+    fn from_par_iter<P: ParallelIterator<Item = T>>(p: P) -> Self {
+        let parts = run_parts(p, &|part: P| part.into_seq().collect::<Vec<_>>());
+        let total = parts.iter().map(Vec::len).sum();
+        let mut out = Vec::with_capacity(total);
+        for part in parts {
+            out.extend(part);
+        }
+        out
+    }
+}
+
+// ---------------------------------------------------------------- sources
+
+/// Parallel iterator over `&[T]`.
+pub struct SliceParIter<'a, T> {
+    slice: &'a [T],
+}
+
+impl<'a, T: Sync> ParallelIterator for SliceParIter<'a, T> {
+    type Item = &'a T;
+    type Seq = std::slice::Iter<'a, T>;
+
+    fn par_len(&self) -> usize {
+        self.slice.len()
+    }
+
+    fn split_at(self, index: usize) -> (Self, Self) {
+        let (a, b) = self.slice.split_at(index);
+        (SliceParIter { slice: a }, SliceParIter { slice: b })
+    }
+
+    fn into_seq(self) -> Self::Seq {
+        self.slice.iter()
+    }
+}
+
+impl<'data, T: Sync + 'data> IntoParallelRefIterator<'data> for [T] {
+    type Item = &'data T;
+    type Iter = SliceParIter<'data, T>;
+
+    fn par_iter(&'data self) -> Self::Iter {
+        SliceParIter { slice: self }
+    }
+}
+
+impl<'data, T: Sync + 'data> IntoParallelRefIterator<'data> for Vec<T> {
+    type Item = &'data T;
+    type Iter = SliceParIter<'data, T>;
+
+    fn par_iter(&'data self) -> Self::Iter {
+        SliceParIter { slice: self }
+    }
+}
+
+impl<'a, T: Sync> IntoParallelIterator for &'a [T] {
+    type Item = &'a T;
+    type Iter = SliceParIter<'a, T>;
+
+    fn into_par_iter(self) -> Self::Iter {
+        SliceParIter { slice: self }
+    }
+}
+
+impl<'a, T: Sync> IntoParallelIterator for &'a Vec<T> {
+    type Item = &'a T;
+    type Iter = SliceParIter<'a, T>;
+
+    fn into_par_iter(self) -> Self::Iter {
+        SliceParIter { slice: self }
+    }
+}
+
+/// Parallel iterator over an owned `Vec<T>`.
+pub struct VecParIter<T> {
+    vec: Vec<T>,
+}
+
+impl<T: Send> ParallelIterator for VecParIter<T> {
+    type Item = T;
+    type Seq = std::vec::IntoIter<T>;
+
+    fn par_len(&self) -> usize {
+        self.vec.len()
+    }
+
+    fn split_at(mut self, index: usize) -> (Self, Self) {
+        let tail = self.vec.split_off(index);
+        (self, VecParIter { vec: tail })
+    }
+
+    fn into_seq(self) -> Self::Seq {
+        self.vec.into_iter()
+    }
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+    type Iter = VecParIter<T>;
+
+    fn into_par_iter(self) -> Self::Iter {
+        VecParIter { vec: self }
+    }
+}
+
+/// Parallel iterator over `Range<usize>`.
+pub struct RangeParIter {
+    range: Range<usize>,
+}
+
+impl ParallelIterator for RangeParIter {
+    type Item = usize;
+    type Seq = Range<usize>;
+
+    fn par_len(&self) -> usize {
+        self.range.len()
+    }
+
+    fn split_at(self, index: usize) -> (Self, Self) {
+        let mid = self.range.start + index;
+        (
+            RangeParIter {
+                range: self.range.start..mid,
+            },
+            RangeParIter {
+                range: mid..self.range.end,
+            },
+        )
+    }
+
+    fn into_seq(self) -> Self::Seq {
+        self.range
+    }
+}
+
+impl IntoParallelIterator for Range<usize> {
+    type Item = usize;
+    type Iter = RangeParIter;
+
+    fn into_par_iter(self) -> Self::Iter {
+        RangeParIter { range: self }
+    }
+}
+
+/// Parallel iterator over slice chunks.
+pub struct ChunksParIter<'a, T> {
+    slice: &'a [T],
+    chunk_size: usize,
+}
+
+impl<'a, T: Sync> ParallelIterator for ChunksParIter<'a, T> {
+    type Item = &'a [T];
+    type Seq = std::slice::Chunks<'a, T>;
+
+    fn par_len(&self) -> usize {
+        self.slice.len().div_ceil(self.chunk_size)
+    }
+
+    fn split_at(self, index: usize) -> (Self, Self) {
+        let mid = (index * self.chunk_size).min(self.slice.len());
+        let (a, b) = self.slice.split_at(mid);
+        (
+            ChunksParIter {
+                slice: a,
+                chunk_size: self.chunk_size,
+            },
+            ChunksParIter {
+                slice: b,
+                chunk_size: self.chunk_size,
+            },
+        )
+    }
+
+    fn into_seq(self) -> Self::Seq {
+        self.slice.chunks(self.chunk_size)
+    }
+}
+
+// --------------------------------------------------------------- adapters
+
+/// Adapter produced by [`ParallelIterator::map`].
+pub struct Map<P, F> {
+    base: P,
+    op: F,
+}
+
+impl<P, F, R> ParallelIterator for Map<P, F>
+where
+    P: ParallelIterator,
+    F: Fn(P::Item) -> R + Sync + Send + Clone,
+    R: Send,
+{
+    type Item = R;
+    type Seq = std::iter::Map<P::Seq, F>;
+
+    fn par_len(&self) -> usize {
+        self.base.par_len()
+    }
+
+    fn split_at(self, index: usize) -> (Self, Self) {
+        let (a, b) = self.base.split_at(index);
+        (
+            Map {
+                base: a,
+                op: self.op.clone(),
+            },
+            Map {
+                base: b,
+                op: self.op,
+            },
+        )
+    }
+
+    fn into_seq(self) -> Self::Seq {
+        self.base.into_seq().map(self.op)
+    }
+}
+
+/// Adapter produced by [`ParallelIterator::zip`].
+pub struct Zip<A, B> {
+    a: A,
+    b: B,
+}
+
+impl<A, B> ParallelIterator for Zip<A, B>
+where
+    A: ParallelIterator,
+    B: ParallelIterator,
+{
+    type Item = (A::Item, B::Item);
+    type Seq = std::iter::Zip<A::Seq, B::Seq>;
+
+    fn par_len(&self) -> usize {
+        self.a.par_len().min(self.b.par_len())
+    }
+
+    fn split_at(self, index: usize) -> (Self, Self) {
+        let (a1, a2) = self.a.split_at(index);
+        let (b1, b2) = self.b.split_at(index);
+        (Zip { a: a1, b: b1 }, Zip { a: a2, b: b2 })
+    }
+
+    fn into_seq(self) -> Self::Seq {
+        self.a.into_seq().zip(self.b.into_seq())
+    }
+}
+
+/// Adapter produced by [`ParallelIterator::copied`].
+pub struct Copied<P> {
+    base: P,
+}
+
+impl<'a, T, P> ParallelIterator for Copied<P>
+where
+    P: ParallelIterator<Item = &'a T>,
+    T: Copy + Send + Sync + 'a,
+{
+    type Item = T;
+    type Seq = std::iter::Copied<P::Seq>;
+
+    fn par_len(&self) -> usize {
+        self.base.par_len()
+    }
+
+    fn split_at(self, index: usize) -> (Self, Self) {
+        let (a, b) = self.base.split_at(index);
+        (Copied { base: a }, Copied { base: b })
+    }
+
+    fn into_seq(self) -> Self::Seq {
+        self.base.into_seq().copied()
+    }
+}

@@ -1,0 +1,197 @@
+#![warn(missing_docs)]
+
+//! Workspace-local subset of the [rayon](https://docs.rs/rayon) API.
+//!
+//! The build environment for this repository has no access to crates.io, so
+//! this crate re-implements exactly the surface the workspace uses — indexed
+//! parallel iterators over slices, vectors, ranges and chunks, with `map` /
+//! `zip` / `copied` adapters and `collect` / `for_each` / `sum` / `reduce`
+//! consumers — on top of `std::thread::scope`.
+//!
+//! Semantics match rayon where the workspace relies on them:
+//!
+//! * iterators are *indexed*: order is preserved by every consumer, so
+//!   results are bitwise independent of the worker count;
+//! * [`ThreadPool::install`] scopes the worker count for everything executed
+//!   inside it (the workspace only nests data-parallel calls, never pool
+//!   scheduling, so a thread-local override is sufficient);
+//! * work is split into one contiguous part per worker. There is no work
+//!   stealing; the workspace's drivers oversubscribe chunks themselves.
+
+use std::cell::Cell;
+
+pub mod iter;
+pub use iter::{
+    FromParallelIterator, IntoParallelIterator, IntoParallelRefIterator, ParallelIterator,
+    ParallelSlice,
+};
+
+/// Everything the workspace imports via `use rayon::prelude::*`.
+pub mod prelude {
+    pub use crate::iter::{
+        FromParallelIterator, IntoParallelIterator, IntoParallelRefIterator, ParallelIterator,
+        ParallelSlice,
+    };
+}
+
+thread_local! {
+    static NUM_THREADS_OVERRIDE: Cell<Option<usize>> = const { Cell::new(None) };
+}
+
+/// Number of worker threads parallel operations on this thread will use.
+///
+/// Defaults to [`std::thread::available_parallelism`]; overridden inside
+/// [`ThreadPool::install`].
+pub fn current_num_threads() -> usize {
+    NUM_THREADS_OVERRIDE.with(|c| match c.get() {
+        Some(n) => n,
+        None => std::thread::available_parallelism().map_or(1, |n| n.get()),
+    })
+}
+
+/// Error building a [`ThreadPool`] (never produced by this shim; kept for
+/// API compatibility).
+#[derive(Debug)]
+pub struct ThreadPoolBuildError(());
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "failed to build thread pool")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+/// A handle fixing the worker count for operations run under
+/// [`ThreadPool::install`].
+#[derive(Debug)]
+pub struct ThreadPool {
+    num_threads: usize,
+}
+
+impl ThreadPool {
+    /// Run `op` with this pool's worker count in effect.
+    pub fn install<R>(&self, op: impl FnOnce() -> R) -> R {
+        struct Restore(Option<usize>);
+        impl Drop for Restore {
+            fn drop(&mut self) {
+                NUM_THREADS_OVERRIDE.with(|c| c.set(self.0));
+            }
+        }
+        let prev = NUM_THREADS_OVERRIDE.with(|c| c.replace(Some(self.num_threads)));
+        let _restore = Restore(prev);
+        op()
+    }
+
+    /// The configured worker count.
+    pub fn current_num_threads(&self) -> usize {
+        self.num_threads
+    }
+}
+
+/// Builder for [`ThreadPool`].
+#[derive(Debug, Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: Option<usize>,
+}
+
+impl ThreadPoolBuilder {
+    /// Start building a pool.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Set the worker count (0 or unset = available parallelism).
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = Some(n);
+        self
+    }
+
+    /// Finish the build. Infallible in this shim.
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        let n = match self.num_threads {
+            Some(0) | None => std::thread::available_parallelism().map_or(1, |n| n.get()),
+            Some(n) => n,
+        };
+        Ok(ThreadPool { num_threads: n })
+    }
+}
+
+/// Range-based `into_par_iter` source re-exported at the crate root so
+/// `rayon::iter` look-alikes resolve.
+pub use iter::RangeParIter;
+
+#[doc(hidden)]
+pub fn _shim_marker() {}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use super::*;
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let v: Vec<usize> = (0..1000).into_par_iter().map(|i| i * 2).collect();
+        assert_eq!(v, (0..1000).map(|i| i * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn slice_sum_and_reduce() {
+        let data: Vec<u64> = (1..=100).collect();
+        let s: u64 = data.par_iter().map(|&x| x).sum();
+        assert_eq!(s, 5050);
+        let m = data.par_iter().copied().reduce(|| 0u64, |a, b| a.max(b));
+        assert_eq!(m, 100);
+    }
+
+    #[test]
+    fn zip_for_each_mutates_disjoint_slices() {
+        let mut a = vec![0u32; 64];
+        let parts: Vec<&mut [u32]> = a.chunks_mut(8).collect();
+        let idx: Vec<u32> = (0..8).collect();
+        idx.par_iter().zip(parts).for_each(|(&i, p)| {
+            for (k, slot) in p.iter_mut().enumerate() {
+                *slot = i * 100 + k as u32;
+            }
+        });
+        assert_eq!(a[0], 0);
+        assert_eq!(a[9], 101);
+        assert_eq!(a[63], 707);
+    }
+
+    #[test]
+    fn par_chunks_counts() {
+        let data = [1u8; 103];
+        let lens: Vec<usize> = data.par_chunks(10).map(|c| c.len()).collect();
+        assert_eq!(lens.len(), 11);
+        assert_eq!(lens.iter().sum::<usize>(), 103);
+        assert_eq!(*lens.last().unwrap(), 3);
+    }
+
+    #[test]
+    fn install_scopes_thread_count() {
+        let pool = ThreadPoolBuilder::new().num_threads(3).build().unwrap();
+        let outside = current_num_threads();
+        let inside = pool.install(current_num_threads);
+        assert_eq!(inside, 3);
+        assert_eq!(current_num_threads(), outside);
+    }
+
+    #[test]
+    fn results_identical_across_worker_counts() {
+        let data: Vec<u64> = (0..10_000).collect();
+        let base: Vec<u64> = data
+            .par_iter()
+            .map(|&x| x.wrapping_mul(2654435761))
+            .collect();
+        for n in [1usize, 2, 5, 16] {
+            let pool = ThreadPoolBuilder::new().num_threads(n).build().unwrap();
+            let got: Vec<u64> = pool.install(|| {
+                data.par_iter()
+                    .map(|&x| x.wrapping_mul(2654435761))
+                    .collect()
+            });
+            assert_eq!(got, base, "n={n}");
+        }
+    }
+}

@@ -228,14 +228,8 @@ mod tests {
     #[test]
     fn rectangular_roundtrip() {
         // 2x4 matrix
-        let a = CsrMatrix::try_new(
-            2,
-            4,
-            vec![0, 3, 4],
-            vec![0, 1, 3, 2],
-            vec![1, 2, 3, 4],
-        )
-        .unwrap();
+        let a =
+            CsrMatrix::try_new(2, 4, vec![0, 3, 4], vec![0, 1, 3, 2], vec![1, 2, 3, 4]).unwrap();
         let c = CscMatrix::from_csr(&a);
         assert_eq!(c.shape(), (2, 4));
         assert_eq!(c.col_nnz(0), 1);

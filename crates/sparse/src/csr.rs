@@ -298,6 +298,52 @@ impl<T> CsrMatrix<T> {
         }
     }
 
+    /// Largest number of stored entries in any row (`0` for an empty
+    /// matrix). Sizes hash/MCA accumulators; cached by `engine::Context`.
+    pub fn max_row_nnz(&self) -> usize {
+        self.rowptr
+            .windows(2)
+            .map(|w| w[1] - w[0])
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Number of rows with at least one stored entry.
+    pub fn nonempty_rows(&self) -> usize {
+        self.rowptr.windows(2).filter(|w| w[1] > w[0]).count()
+    }
+
+    /// Mean stored entries per row (0.0 for a matrix with no rows).
+    pub fn avg_row_nnz(&self) -> f64 {
+        if self.nrows == 0 {
+            0.0
+        } else {
+            self.nnz() as f64 / self.nrows as f64
+        }
+    }
+
+    /// FNV-1a hash of the structure (shape, row pointers, column indices).
+    ///
+    /// A cheap identity check for caches layered above this crate: equal
+    /// structures always hash equal; values are *not* hashed, so callers
+    /// tracking numeric changes must compare values separately.
+    pub fn structural_fingerprint(&self) -> u64 {
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        let mut mix = |word: u64| {
+            h ^= word;
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        };
+        mix(self.nrows as u64);
+        mix(self.ncols as u64);
+        for &p in &self.rowptr {
+            mix(p as u64);
+        }
+        for &j in &self.colidx {
+            mix(j as u64);
+        }
+        h
+    }
+
     /// True if the two matrices have identical shape and pattern
     /// (ignores values).
     pub fn same_pattern<U>(&self, other: &CsrMatrix<U>) -> bool {
@@ -442,39 +488,35 @@ mod tests {
 
     #[test]
     fn validation_rejects_nonmonotone() {
-        let err =
-            CsrMatrix::<f64>::try_new(2, 2, vec![0, 1, 0], vec![0], vec![1.0]).unwrap_err();
+        let err = CsrMatrix::<f64>::try_new(2, 2, vec![0, 1, 0], vec![0], vec![1.0]).unwrap_err();
         assert!(matches!(err, SparseError::RowPtrNotMonotone { .. }));
     }
 
     #[test]
     fn validation_rejects_bad_start() {
-        let err =
-            CsrMatrix::<f64>::try_new(1, 2, vec![1, 1], vec![], vec![]).unwrap_err();
+        let err = CsrMatrix::<f64>::try_new(1, 2, vec![1, 1], vec![], vec![]).unwrap_err();
         assert!(matches!(err, SparseError::RowPtrStart));
     }
 
     #[test]
     fn validation_rejects_bad_end() {
-        let err =
-            CsrMatrix::<f64>::try_new(1, 2, vec![0, 2], vec![0], vec![1.0]).unwrap_err();
+        let err = CsrMatrix::<f64>::try_new(1, 2, vec![0, 2], vec![0], vec![1.0]).unwrap_err();
         assert!(matches!(err, SparseError::RowPtrEnd { .. }));
     }
 
     #[test]
     fn validation_rejects_out_of_range_index() {
-        let err =
-            CsrMatrix::<f64>::try_new(1, 2, vec![0, 1], vec![5], vec![1.0]).unwrap_err();
+        let err = CsrMatrix::<f64>::try_new(1, 2, vec![0, 1], vec![5], vec![1.0]).unwrap_err();
         assert!(matches!(err, SparseError::IndexOutOfRange { .. }));
     }
 
     #[test]
     fn validation_rejects_unsorted_and_duplicate() {
-        let err = CsrMatrix::<f64>::try_new(1, 3, vec![0, 2], vec![2, 1], vec![1.0, 2.0])
-            .unwrap_err();
+        let err =
+            CsrMatrix::<f64>::try_new(1, 3, vec![0, 2], vec![2, 1], vec![1.0, 2.0]).unwrap_err();
         assert!(matches!(err, SparseError::UnsortedRow { .. }));
-        let err = CsrMatrix::<f64>::try_new(1, 3, vec![0, 2], vec![1, 1], vec![1.0, 2.0])
-            .unwrap_err();
+        let err =
+            CsrMatrix::<f64>::try_new(1, 3, vec![0, 2], vec![1, 1], vec![1.0, 2.0]).unwrap_err();
         assert!(matches!(err, SparseError::UnsortedRow { .. }));
     }
 
@@ -512,8 +554,7 @@ mod tests {
 
     #[test]
     fn from_rows_builder() {
-        let m =
-            CsrMatrix::from_rows(2, 4, vec![vec![(0u32, 1i64), (3, 2)], vec![]]).unwrap();
+        let m = CsrMatrix::from_rows(2, 4, vec![vec![(0u32, 1i64), (3, 2)], vec![]]).unwrap();
         assert_eq!(m.nnz(), 2);
         assert_eq!(m.row_nnz(1), 0);
         assert_eq!(m.get(0, 3), Some(&2));
@@ -552,5 +593,34 @@ mod tests {
         assert_eq!(m.nnz(), 0);
         assert_eq!(m.shape(), (4, 2));
         assert_eq!(m.iter().count(), 0);
+    }
+
+    #[test]
+    fn row_statistics() {
+        let m = small();
+        assert_eq!(m.max_row_nnz(), 2);
+        assert_eq!(m.nonempty_rows(), 2);
+        assert!((m.avg_row_nnz() - 4.0 / 3.0).abs() < 1e-12);
+        let e = CsrMatrix::<f64>::empty(0, 0);
+        assert_eq!(e.max_row_nnz(), 0);
+        assert_eq!(e.avg_row_nnz(), 0.0);
+    }
+
+    #[test]
+    fn fingerprint_tracks_structure_not_values() {
+        let m = small();
+        assert_eq!(m.structural_fingerprint(), m.structural_fingerprint());
+        // Same pattern, different values: same fingerprint.
+        assert_eq!(
+            m.structural_fingerprint(),
+            m.map(|v| v * 2.0).structural_fingerprint()
+        );
+        // Different pattern: different fingerprint.
+        let other = m.filter(|_, _, &v| v > 1.0);
+        assert_ne!(m.structural_fingerprint(), other.structural_fingerprint());
+        // Shape is part of the identity.
+        let a = CsrMatrix::<f64>::empty(2, 3);
+        let b = CsrMatrix::<f64>::empty(3, 2);
+        assert_ne!(a.structural_fingerprint(), b.structural_fingerprint());
     }
 }

@@ -194,8 +194,8 @@ mod tests {
     fn hypersparse() -> CsrMatrix<f64> {
         // 1000 rows, entries only in rows 3 and 997.
         let mut rowptr = vec![0usize; 1001];
-        for i in 4..=997 {
-            rowptr[i] = 2;
+        for p in rowptr.iter_mut().take(998).skip(4) {
+            *p = 2;
         }
         for p in rowptr.iter_mut().skip(998) {
             *p = 3;
@@ -231,15 +231,8 @@ mod tests {
 
     #[test]
     fn validation_rejects_empty_compressed_rows() {
-        let err = DcsrMatrix::<f64>::try_new(
-            10,
-            10,
-            vec![2, 5],
-            vec![0, 0, 1],
-            vec![1],
-            vec![1.0],
-        )
-        .unwrap_err();
+        let err = DcsrMatrix::<f64>::try_new(10, 10, vec![2, 5], vec![0, 0, 1], vec![1], vec![1.0])
+            .unwrap_err();
         assert!(matches!(err, SparseError::Unsupported(_)));
     }
 

@@ -202,8 +202,7 @@ mod tests {
     #[test]
     fn mask_entry_without_product_produces_no_output() {
         // A row 1 has only column 1; kill B row 1 so (1,0) gets no product.
-        let b2 =
-            CsrMatrix::try_new(2, 2, vec![0, 1, 1], vec![0], vec![4.0]).unwrap();
+        let b2 = CsrMatrix::try_new(2, 2, vec![0, 1, 1], vec![0], vec![4.0]).unwrap();
         let m = CsrMatrix::try_new(2, 2, vec![0, 1, 2], vec![1, 0], vec![(), ()]).unwrap();
         let c = reference_masked_spgemm(PlusTimes::<f64>::new(), &m, false, &a(), &b2);
         assert_eq!(c.nnz(), 0);

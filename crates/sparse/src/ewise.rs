@@ -128,11 +128,7 @@ pub fn ewise_difference<A: Clone + Sync + Send, B: Sync>(
 
 /// Assemble per-row `(cols, vals)` pairs into a CSR matrix. Rows must be
 /// sorted and in-range; exposed for row-producing kernels in other crates.
-pub fn assemble_rows<C>(
-    nrows: usize,
-    ncols: usize,
-    rows: Vec<(Vec<Idx>, Vec<C>)>,
-) -> CsrMatrix<C> {
+pub fn assemble_rows<C>(nrows: usize, ncols: usize, rows: Vec<(Vec<Idx>, Vec<C>)>) -> CsrMatrix<C> {
     let mut rowptr = Vec::with_capacity(nrows + 1);
     rowptr.push(0usize);
     let total: usize = rows.iter().map(|(c, _)| c.len()).sum();

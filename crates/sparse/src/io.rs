@@ -90,10 +90,7 @@ pub fn read_matrix_market<R: Read>(reader: R) -> Result<CooMatrix<f64>, SparseEr
             continue;
         }
         let toks: Vec<&str> = t.split_whitespace().collect();
-        let perr = |msg: String| SparseError::Parse {
-            line: n + 1,
-            msg,
-        };
+        let perr = |msg: String| SparseError::Parse { line: n + 1, msg };
         if !got_size {
             if toks.len() != 3 {
                 return Err(perr("size line must have 3 fields".into()));
@@ -149,10 +146,71 @@ pub fn read_matrix_market_file<P: AsRef<Path>>(path: P) -> Result<CsrMatrix<f64>
 
 /// Write a CSR matrix as `matrix coordinate real general`.
 pub fn write_matrix_market<W: Write>(w: &mut W, a: &CsrMatrix<f64>) -> Result<(), SparseError> {
-    writeln!(w, "%%MatrixMarket matrix coordinate real general")?;
-    writeln!(w, "{} {} {}", a.nrows(), a.ncols(), a.nnz())?;
+    write_matrix_market_with(
+        w,
+        a,
+        MmHeader {
+            pattern: false,
+            symmetric: false,
+        },
+    )
+}
+
+/// Write a CSR matrix with an explicit header.
+///
+/// * `pattern` — entries are written as positions only (values are
+///   dropped; a read back yields 1.0 everywhere);
+/// * `symmetric` — only the lower triangle (including the diagonal) is
+///   written and the reader mirrors it back. The matrix must have a
+///   symmetric pattern *and values* for the round trip to be lossless;
+///   asymmetric input returns [`SparseError::Unsupported`] rather than
+///   silently dropping entries.
+pub fn write_matrix_market_with<W: Write>(
+    w: &mut W,
+    a: &CsrMatrix<f64>,
+    header: MmHeader,
+) -> Result<(), SparseError> {
+    let field = if header.pattern { "pattern" } else { "real" };
+    let symmetry = if header.symmetric {
+        "symmetric"
+    } else {
+        "general"
+    };
+    if header.symmetric {
+        if a.nrows() != a.ncols() {
+            return Err(SparseError::Unsupported(
+                "symmetric Matrix Market output requires a square matrix",
+            ));
+        }
+        for (i, j, v) in a.iter() {
+            let mirrored = a.get(j as usize, i as Idx);
+            let ok = match mirrored {
+                Some(mv) => header.pattern || mv == v,
+                None => false,
+            };
+            if !ok {
+                return Err(SparseError::Unsupported(
+                    "symmetric Matrix Market output requires symmetric entries",
+                ));
+            }
+        }
+    }
+    writeln!(w, "%%MatrixMarket matrix coordinate {field} {symmetry}")?;
+    let count = if header.symmetric {
+        a.iter().filter(|&(i, j, _)| (j as usize) <= i).count()
+    } else {
+        a.nnz()
+    };
+    writeln!(w, "{} {} {}", a.nrows(), a.ncols(), count)?;
     for (i, j, v) in a.iter() {
-        writeln!(w, "{} {} {}", i + 1, j + 1, v)?;
+        if header.symmetric && (j as usize) > i {
+            continue;
+        }
+        if header.pattern {
+            writeln!(w, "{} {}", i + 1, j + 1)?;
+        } else {
+            writeln!(w, "{} {} {}", i + 1, j + 1, v)?;
+        }
     }
     Ok(())
 }
@@ -192,18 +250,98 @@ mod tests {
 
     #[test]
     fn roundtrip_write_read() {
-        let a = CsrMatrix::try_new(
-            2,
-            2,
-            vec![0, 1, 2],
-            vec![1, 0],
-            vec![3.25, -1.0],
-        )
-        .unwrap();
+        let a = CsrMatrix::try_new(2, 2, vec![0, 1, 2], vec![1, 0], vec![3.25, -1.0]).unwrap();
         let mut out = Vec::new();
         write_matrix_market(&mut out, &a).unwrap();
         let b = read_matrix_market(&out[..]).unwrap().to_csr();
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn roundtrip_pattern_header() {
+        // Values are intentionally non-unit: a pattern write drops them.
+        let a = CsrMatrix::try_new(3, 3, vec![0, 2, 2, 3], vec![0, 2, 1], vec![7.5, -2.0, 3.0])
+            .unwrap();
+        let mut out = Vec::new();
+        write_matrix_market_with(
+            &mut out,
+            &a,
+            MmHeader {
+                pattern: true,
+                symmetric: false,
+            },
+        )
+        .unwrap();
+        let text = String::from_utf8(out.clone()).unwrap();
+        assert!(text.starts_with("%%MatrixMarket matrix coordinate pattern general"));
+        let back = read_matrix_market(&out[..]).unwrap().to_csr();
+        assert!(back.same_pattern(&a));
+        assert!(back.values().iter().all(|&v| v == 1.0));
+    }
+
+    #[test]
+    fn roundtrip_symmetric_header() {
+        // Symmetric matrix with a diagonal entry; only the lower triangle
+        // is stored, the reader mirrors it back exactly.
+        let mut coo = crate::coo::CooMatrix::new(4, 4);
+        for &(i, j, v) in &[(0u32, 2u32, 1.5f64), (1, 3, -2.0), (2, 2, 4.0)] {
+            coo.push(i, j, v);
+            if i != j {
+                coo.push(j, i, v);
+            }
+        }
+        let a = coo.to_csr();
+        let mut out = Vec::new();
+        write_matrix_market_with(
+            &mut out,
+            &a,
+            MmHeader {
+                pattern: false,
+                symmetric: true,
+            },
+        )
+        .unwrap();
+        let text = String::from_utf8(out.clone()).unwrap();
+        assert!(text.starts_with("%%MatrixMarket matrix coordinate real symmetric"));
+        // Lower triangle only: 2 off-diagonal + 1 diagonal entries.
+        assert_eq!(text.lines().nth(1).unwrap(), "4 4 3");
+        let back = read_matrix_market(&out[..]).unwrap().to_csr();
+        assert_eq!(back, a);
+    }
+
+    #[test]
+    fn roundtrip_pattern_symmetric_header() {
+        let mut coo = crate::coo::CooMatrix::new(5, 5);
+        for &(i, j) in &[(0u32, 1u32), (1, 4), (2, 3)] {
+            coo.push(i, j, 1.0);
+            coo.push(j, i, 1.0);
+        }
+        let a = coo.to_csr();
+        let header = MmHeader {
+            pattern: true,
+            symmetric: true,
+        };
+        let mut out = Vec::new();
+        write_matrix_market_with(&mut out, &a, header).unwrap();
+        let back = read_matrix_market(&out[..]).unwrap().to_csr();
+        assert_eq!(back, a);
+    }
+
+    #[test]
+    fn symmetric_write_rejects_asymmetric_input() {
+        // (0,1) present without (1,0): refusing beats silently dropping.
+        let a = CsrMatrix::try_new(2, 2, vec![0, 1, 1], vec![1], vec![1.0]).unwrap();
+        let header = MmHeader {
+            pattern: false,
+            symmetric: true,
+        };
+        assert!(write_matrix_market_with(&mut Vec::new(), &a, header).is_err());
+        // Rectangular matrices cannot be symmetric at all.
+        let r = CsrMatrix::<f64>::empty(2, 3);
+        assert!(write_matrix_market_with(&mut Vec::new(), &r, header).is_err());
+        // Symmetric pattern with asymmetric *values* is rejected too.
+        let v = CsrMatrix::try_new(2, 2, vec![0, 1, 2], vec![1, 0], vec![1.0, 2.0]).unwrap();
+        assert!(write_matrix_market_with(&mut Vec::new(), &v, header).is_err());
     }
 
     #[test]

@@ -37,7 +37,5 @@ pub use dcsr::DcsrMatrix;
 pub use dense::DenseMatrix;
 pub use error::SparseError;
 pub use index::Idx;
+pub use semiring::{BoolAndOr, MinPlus, PlusFirst, PlusPair, PlusSecond, PlusTimes, Semiring};
 pub use spvec::SparseVec;
-pub use semiring::{
-    BoolAndOr, MinPlus, PlusFirst, PlusPair, PlusSecond, PlusTimes, Semiring,
-};

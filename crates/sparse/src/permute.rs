@@ -39,14 +39,8 @@ mod tests {
 
     #[test]
     fn permute_roundtrip_identity() {
-        let a = CsrMatrix::try_new(
-            3,
-            3,
-            vec![0, 2, 2, 4],
-            vec![0, 2, 0, 1],
-            vec![1, 2, 3, 4],
-        )
-        .unwrap();
+        let a =
+            CsrMatrix::try_new(3, 3, vec![0, 2, 2, 4], vec![0, 2, 0, 1], vec![1, 2, 3, 4]).unwrap();
         let id: Vec<Idx> = (0..3).collect();
         assert_eq!(permute_symmetric(&a, &id), a);
     }

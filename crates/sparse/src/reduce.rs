@@ -14,10 +14,7 @@ where
     T: Copy + Send + Sync,
     F: Fn(T, T) -> T + Sync + Send,
 {
-    a.values()
-        .par_iter()
-        .copied()
-        .reduce(|| init, |x, y| op(x, y))
+    a.values().par_iter().copied().reduce(|| init, op)
 }
 
 /// Sum of all stored values (arithmetic).

@@ -159,8 +159,8 @@ mod tests {
 
     #[test]
     fn from_pairs_sorts_and_combines() {
-        let v = SparseVec::from_pairs(8, vec![(5, 1.0), (2, 2.0), (5, 10.0)], |a, b| a + b)
-            .unwrap();
+        let v =
+            SparseVec::from_pairs(8, vec![(5, 1.0), (2, 2.0), (5, 10.0)], |a, b| a + b).unwrap();
         assert_eq!(v.indices(), &[2, 5]);
         assert_eq!(v.values(), &[2.0, 11.0]);
     }

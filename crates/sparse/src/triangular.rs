@@ -125,6 +125,5 @@ mod tests {
     fn square_pattern_is_symmetric() {
         assert!(is_pattern_symmetric(&square()));
         assert!(!is_pattern_symmetric(&CsrMatrix::<i32>::empty(2, 3)));
-
     }
 }

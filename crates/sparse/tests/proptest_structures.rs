@@ -2,8 +2,8 @@
 //! transpose involution, permutation inverses, and element-wise algebra.
 
 use proptest::prelude::*;
-use sparse::degree::{degree_sort_perm, invert_perm};
 use sparse::dcsr::DcsrMatrix;
+use sparse::degree::{degree_sort_perm, invert_perm};
 use sparse::ewise::{ewise_difference, ewise_mult, ewise_union};
 use sparse::io::{read_matrix_market, write_matrix_market};
 use sparse::permute::permute_symmetric;

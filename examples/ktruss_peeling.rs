@@ -4,9 +4,15 @@
 //! computation) and prunes; the mask shrinks every iteration, which is the
 //! regime where pull-based algorithms start to pay off (paper Section 8.3).
 //!
-//! Run with `cargo run --release --example ktruss_peeling -p masked-spgemm`.
+//! The peeling loop runs through `engine::Context`: every iteration is
+//! planned from cached degree statistics, and auxiliaries (CSC copies,
+//! flop counts) are built only when the chosen algorithm needs them —
+//! the scheme-based path converted to CSC every iteration regardless.
+//!
+//! Run with `cargo run --release --example ktruss_peeling -p integration`.
 
-use graph_algos::{ktruss, Scheme};
+use engine::Context;
+use graph_algos::{ktruss, ktruss_auto, Scheme};
 use graphs::{rmat, to_undirected_simple, RmatParams};
 use masked_spgemm::{Algorithm, Phases};
 use std::time::Instant;
@@ -19,12 +25,24 @@ fn main() {
         adj.nnz() / 2
     );
 
-    let scheme = Scheme::Ours(Algorithm::Msa, Phases::One);
-    println!("k-truss peeling with {} :", scheme.label());
-    println!("{:>3} {:>10} {:>6} {:>14} {:>10}", "k", "edges", "iters", "flops", "time");
+    let ctx = Context::new();
+    ctx.calibrate(); // measure this machine's cost-model constants
+    let h = ctx.insert(adj.clone());
+    let plan = ctx.plan(h, false, h, h).expect("square operands");
+    println!(
+        "engine plan for the first support computation: {} (flops {})",
+        plan.label(),
+        plan.costs.flops
+    );
+
+    println!("k-truss peeling through engine::Context:");
+    println!(
+        "{:>3} {:>10} {:>6} {:>14} {:>10}",
+        "k", "edges", "iters", "flops", "time"
+    );
     for k in 3..=8 {
         let t0 = Instant::now();
-        let r = ktruss(scheme, &adj, k).expect("plain mask");
+        let r = ktruss_auto(&ctx, h, k).expect("plain mask");
         println!(
             "{:>3} {:>10} {:>6} {:>14} {:>10.2?}",
             k,
@@ -39,9 +57,11 @@ fn main() {
         }
     }
 
-    // The same decomposition with a pull-based scheme must agree.
-    let a = ktruss(scheme, &adj, 4).expect("plain mask");
+    // The engine-planned decomposition must agree with fixed schemes.
+    let auto = ktruss_auto(&ctx, h, 4).expect("plain mask");
+    let a = ktruss(Scheme::Ours(Algorithm::Msa, Phases::One), &adj, 4).expect("plain mask");
     let b = ktruss(Scheme::Ours(Algorithm::Inner, Phases::One), &adj, 4).expect("plain mask");
     assert_eq!(a.truss.pattern(), b.truss.pattern());
-    println!("MSA-1P and Inner-1P agree on the 4-truss ✓");
+    assert_eq!(auto.truss.pattern(), a.truss.pattern());
+    println!("engine-auto, MSA-1P and Inner-1P agree on the 4-truss ✓");
 }

@@ -40,8 +40,8 @@ fn main() {
     println!("A·B restricted to the mask, with every algorithm:");
     let sr = PlusTimes::<f64>::new();
     for alg in Algorithm::ALL {
-        let c = masked_spgemm(alg, Phases::One, false, sr, &mask, &a, &b)
-            .expect("dimensions agree");
+        let c =
+            masked_spgemm(alg, Phases::One, false, sr, &mask, &a, &b).expect("dimensions agree");
         println!("  {:<8} -> {} stored entries", alg.name(), c.nnz());
         for (i, j, v) in c.iter() {
             println!("      C({i},{j}) = {v}");

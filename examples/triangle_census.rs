@@ -38,6 +38,10 @@ fn main() {
             None => expected = Some(count),
             Some(e) => assert_eq!(e, count, "schemes disagree!"),
         }
-        println!("  {:<12} {:>10.3?}  ({count} triangles)", scheme.label(), dt);
+        println!(
+            "  {:<12} {:>10.3?}  ({count} triangles)",
+            scheme.label(),
+            dt
+        );
     }
 }

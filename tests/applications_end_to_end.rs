@@ -2,9 +2,7 @@
 //! graphs and agree with serial textbook references across schemes.
 
 use graph_algos::reference::{brandes_reference, ktruss_reference, triangle_count_reference};
-use graph_algos::{
-    betweenness_centrality, ktruss, prepare_triangle_input, triangle_count, Scheme,
-};
+use graph_algos::{betweenness_centrality, ktruss, prepare_triangle_input, triangle_count, Scheme};
 use masked_spgemm::{Algorithm, Phases};
 use sparse::{CscMatrix, Idx};
 
@@ -45,11 +43,7 @@ fn ktruss_matches_reference_on_suite() {
         for k in [3usize, 5] {
             let expect = ktruss_reference(&adj, k);
             let got = ktruss(Scheme::Ours(Algorithm::Msa, Phases::One), &adj, k).unwrap();
-            assert_eq!(
-                got.truss.pattern(),
-                expect.pattern(),
-                "{name} k={k}"
-            );
+            assert_eq!(got.truss.pattern(), expect.pattern(), "{name} k={k}");
         }
     }
 }

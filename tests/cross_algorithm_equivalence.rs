@@ -90,7 +90,15 @@ fn equivalence_density_extremes() {
 #[test]
 fn equivalence_plus_pair_semiring() {
     for seed in 30..33 {
-        check_instance(PlusPair::<f64, f64, u32>::new(), 36, 36, 36, 0.2, 0.25, seed);
+        check_instance(
+            PlusPair::<f64, f64, u32>::new(),
+            36,
+            36,
+            36,
+            0.2,
+            0.25,
+            seed,
+        );
     }
 }
 

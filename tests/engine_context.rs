@@ -1,0 +1,353 @@
+//! Engine subsystem tests: planned, forced, and batched execution must be
+//! bit-identical to direct `masked_spgemm` calls; the auxiliary cache must
+//! never serve stale data after a matrix is updated.
+
+use engine::{BatchOp, Choice, Context};
+use masked_spgemm::{masked_spgemm, Algorithm, Phases};
+use proptest::prelude::*;
+use sparse::{CsrMatrix, Idx, PlusTimes};
+
+/// CSR matrix of a fixed shape with ~`density` fill and small integer
+/// values (exact in f64).
+fn csr_strategy(nrows: usize, ncols: usize, density: f64) -> impl Strategy<Value = CsrMatrix<f64>> {
+    let cells = nrows * ncols;
+    proptest::collection::vec((0.0f64..1.0, 1i32..50), cells..=cells).prop_map(move |draws| {
+        let mut rowptr = vec![0usize];
+        let mut cols: Vec<Idx> = Vec::new();
+        let mut vals: Vec<f64> = Vec::new();
+        for i in 0..nrows {
+            for j in 0..ncols {
+                let (p, v) = draws[i * ncols + j];
+                if p < density {
+                    cols.push(j as Idx);
+                    vals.push(v as f64);
+                }
+            }
+            rowptr.push(cols.len());
+        }
+        CsrMatrix::try_new(nrows, ncols, rowptr, cols, vals).unwrap()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Forced execution through the context (cached CSC and all) matches
+    /// direct calls for every algorithm × phase × polarity combination.
+    #[test]
+    fn forced_plans_match_direct_for_every_combo(
+        a in csr_strategy(13, 11, 0.3),
+        b in csr_strategy(11, 14, 0.3),
+        mask in csr_strategy(13, 14, 0.4),
+    ) {
+        let ctx = Context::with_threads(2);
+        let sr = PlusTimes::<f64>::new();
+        let (hm, ha, hb) = (
+            ctx.insert(mask.clone()),
+            ctx.insert(a.clone()),
+            ctx.insert(b.clone()),
+        );
+        for compl in [false, true] {
+            for alg in Algorithm::ALL {
+                for ph in Phases::ALL {
+                    let direct = masked_spgemm(alg, ph, compl, sr, &mask, &a, &b);
+                    let engine = ctx.run_with(alg, ph, sr, hm, compl, ha, hb);
+                    match (direct, engine) {
+                        (Ok(d), Ok(e)) => {
+                            prop_assert_eq!(&d, &e, "{:?}-{:?} compl={}", alg, ph, compl);
+                        }
+                        (Err(_), Err(_)) => {} // both reject (MCA complement)
+                        (d, e) => {
+                            return Err(TestCaseError::fail(format!(
+                                "support mismatch {alg:?}-{ph:?} compl={compl}: \
+                                 direct ok={} engine ok={}",
+                                d.is_ok(), e.is_ok()
+                            )));
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// The planner's own choice also matches the direct reference result.
+    #[test]
+    fn planned_execution_matches_reference(
+        a in csr_strategy(12, 12, 0.3),
+        b in csr_strategy(12, 12, 0.3),
+        mask in csr_strategy(12, 12, 0.4),
+    ) {
+        let ctx = Context::with_threads(2);
+        let sr = PlusTimes::<f64>::new();
+        let (hm, ha, hb) = (
+            ctx.insert(mask.clone()),
+            ctx.insert(a.clone()),
+            ctx.insert(b.clone()),
+        );
+        for compl in [false, true] {
+            let expect =
+                masked_spgemm(Algorithm::Msa, Phases::One, compl, sr, &mask, &a, &b).unwrap();
+            let plan = ctx.plan(hm, compl, ha, hb).unwrap();
+            let got = ctx.run_planned(&plan, sr, hm, ha, hb).unwrap();
+            prop_assert_eq!(&got, &expect, "plan {} compl={}", plan.label(), compl);
+        }
+    }
+
+    /// Batched execution (serial per-op kernels with reused scratch)
+    /// produces the same bits as direct calls, op for op.
+    #[test]
+    fn batched_execution_matches_direct(
+        a in csr_strategy(10, 10, 0.3),
+        b in csr_strategy(10, 10, 0.3),
+        m1 in csr_strategy(10, 10, 0.4),
+        m2 in csr_strategy(10, 10, 0.1),
+    ) {
+        let ctx = Context::with_threads(3);
+        let sr = PlusTimes::<f64>::new();
+        let (ha, hb) = (ctx.insert(a.clone()), ctx.insert(b.clone()));
+        let (h1, h2) = (ctx.insert(m1.clone()), ctx.insert(m2.clone()));
+        let ops = vec![
+            BatchOp { mask: h1, complemented: false, a: ha, b: hb },
+            BatchOp { mask: h2, complemented: false, a: ha, b: hb },
+            BatchOp { mask: h1, complemented: true, a: ha, b: hb },
+            BatchOp { mask: h2, complemented: false, a: hb, b: ha },
+        ];
+        let results = ctx.run_batch(sr, &ops);
+        prop_assert_eq!(results.len(), ops.len());
+        for (op, result) in ops.iter().zip(&results) {
+            let mask_m = ctx.matrix(op.mask);
+            let am = ctx.matrix(op.a);
+            let bm = ctx.matrix(op.b);
+            let expect = masked_spgemm(
+                Algorithm::Msa, Phases::One, op.complemented, sr, &mask_m, &am, &bm,
+            ).unwrap();
+            let got = result.as_ref().expect("batch op supported");
+            prop_assert_eq!(got, &expect);
+        }
+    }
+}
+
+#[test]
+fn update_invalidates_stale_auxiliaries() {
+    let ctx = Context::with_threads(1);
+    let m1 = graphs::erdos_renyi(32, 4.0, 1);
+    let h = ctx.insert(m1.clone());
+
+    // Materialize every auxiliary for the first version.
+    let csc1 = ctx.csc(h);
+    let t1 = ctx.transposed(h);
+    let deg1 = ctx.row_degrees(h);
+    let status1 = ctx.aux_status(h);
+    assert!(status1.has_csc && status1.has_transpose && status1.has_row_degrees);
+    assert_eq!(csc1.to_csr(), m1);
+
+    // Mutate the matrix: every cached auxiliary must be rebuilt, not reused.
+    let m2 = graphs::erdos_renyi(32, 9.0, 2);
+    assert_ne!(m1, m2);
+    ctx.update(h, m2.clone());
+    let status2 = ctx.aux_status(h);
+    assert!(status2.version > status1.version, "version must advance");
+    assert!(
+        !status2.has_csc && !status2.has_transpose && !status2.has_row_degrees,
+        "stale auxiliaries survived the update: {status2:?}"
+    );
+    let csc2 = ctx.csc(h);
+    assert_eq!(csc2.to_csr(), m2, "CSC reflects the new matrix");
+    assert_ne!(csc1.to_csr(), csc2.to_csr());
+    let deg2 = ctx.row_degrees(h);
+    assert_eq!(deg2.len(), 32);
+    assert_ne!(&*deg1, &*deg2, "degree vector rebuilt");
+    assert_eq!(t1.to_owned().nnz(), m1.nnz(), "old Arc still the old data");
+
+    // A no-op update (identical matrix) keeps the cache warm.
+    let v_before = ctx.aux_status(h).version;
+    assert!(ctx.aux_status(h).has_csc);
+    ctx.update(h, m2.clone());
+    assert_eq!(ctx.aux_status(h).version, v_before);
+    assert!(
+        ctx.aux_status(h).has_csc,
+        "no-op update must keep auxiliaries"
+    );
+}
+
+#[test]
+fn flops_cache_invalidates_with_versions() {
+    let ctx = Context::with_threads(1);
+    let a1 = graphs::erdos_renyi(24, 3.0, 3);
+    let b1 = graphs::erdos_renyi(24, 3.0, 4);
+    let (ha, hb) = (ctx.insert(a1.clone()), ctx.insert(b1.clone()));
+    let f1 = ctx.flops(ha, hb);
+    assert_eq!(f1, masked_spgemm::flops(&a1, &b1));
+    // Updating B must change the cached answer.
+    let b2 = graphs::erdos_renyi(24, 8.0, 5);
+    ctx.update(hb, b2.clone());
+    let f2 = ctx.flops(ha, hb);
+    assert_eq!(f2, masked_spgemm::flops(&a1, &b2));
+    assert_ne!(f1, f2);
+}
+
+#[test]
+fn plans_are_cached_per_version_and_invalidated_by_updates() {
+    let ctx = Context::with_threads(1);
+    let a = graphs::erdos_renyi(64, 6.0, 6);
+    let m = graphs::erdos_renyi(64, 6.0, 7);
+    let (ha, hm) = (ctx.insert(a), ctx.insert(m));
+    let p1 = ctx.plan(hm, false, ha, ha).unwrap();
+    let p2 = ctx.plan(hm, false, ha, ha).unwrap();
+    assert_eq!(p1.label(), p2.label());
+    assert_eq!(p1.costs.flops, p2.costs.flops);
+    // A denser A changes the cached cost estimates.
+    ctx.update(ha, graphs::erdos_renyi(64, 24.0, 8));
+    let p3 = ctx.plan(hm, false, ha, ha).unwrap();
+    assert_ne!(p1.costs.flops, p3.costs.flops);
+}
+
+#[test]
+fn batch_handles_mixed_shapes_and_errors() {
+    let ctx = Context::with_threads(2);
+    let sr = PlusTimes::<f64>::new();
+    // Different shapes in one batch exercise scratch regrowth per worker.
+    let small = ctx.insert(graphs::erdos_renyi(16, 3.0, 10));
+    let big = ctx.insert(graphs::erdos_renyi(128, 6.0, 11));
+    let mask_small = ctx.insert(graphs::erdos_renyi(16, 4.0, 12));
+    let mask_big = ctx.insert(graphs::erdos_renyi(128, 8.0, 13));
+    let ops = vec![
+        BatchOp {
+            mask: mask_small,
+            complemented: false,
+            a: small,
+            b: small,
+        },
+        BatchOp {
+            mask: mask_big,
+            complemented: false,
+            a: big,
+            b: big,
+        },
+        // Shape mismatch: must fail in its slot only.
+        BatchOp {
+            mask: mask_small,
+            complemented: false,
+            a: big,
+            b: big,
+        },
+        BatchOp {
+            mask: mask_small,
+            complemented: true,
+            a: small,
+            b: small,
+        },
+    ];
+    let results = ctx.run_batch(sr, &ops);
+    assert!(results[0].is_ok());
+    assert!(results[1].is_ok());
+    assert!(results[2].is_err(), "mismatched op must error in isolation");
+    assert!(results[3].is_ok());
+    for (op, result) in ops.iter().zip(&results).filter(|(_, r)| r.is_ok()) {
+        let expect = masked_spgemm(
+            Algorithm::Msa,
+            Phases::One,
+            op.complemented,
+            sr,
+            &ctx.matrix(op.mask),
+            &ctx.matrix(op.a),
+            &ctx.matrix(op.b),
+        )
+        .unwrap();
+        assert_eq!(result.as_ref().unwrap(), &expect);
+    }
+}
+
+#[test]
+fn complemented_plans_never_pick_pull_for_sparse_masks() {
+    // Under a complemented mask the pull algorithm visits every *unmasked*
+    // output column — a near-empty mask row is its worst case, not its
+    // best. The BC forward sweep (wide matrices, tiny complemented masks)
+    // must therefore plan a push family.
+    let ctx = Context::with_threads(1);
+    let adj = ctx.insert(graphs::erdos_renyi(512, 8.0, 30));
+    let frontier = ctx.insert(graphs::erdos_renyi(512, 1.0, 31));
+    let paths = ctx.insert(graphs::erdos_renyi(512, 1.0, 32));
+    let plan = ctx.plan(paths, true, frontier, adj).unwrap();
+    assert!(
+        !matches!(plan.choice, Choice::Fixed(Algorithm::Inner)),
+        "complemented sparse-mask multiply planned pure Inner: {}",
+        plan.label()
+    );
+    // The estimate itself must reflect the ncols-wide dot sweep.
+    assert!(
+        plan.costs.inner > plan.costs.msa,
+        "inner ({:.0}) should dominate msa ({:.0}) here",
+        plan.costs.inner,
+        plan.costs.msa
+    );
+    // An *empty* mask is maximal work under complement, not free: the
+    // planner must still produce a push plan, never a pull one.
+    let empty = ctx.insert(sparse::CsrMatrix::<f64>::empty(512, 512));
+    let plan = ctx.plan(empty, true, frontier, adj).unwrap();
+    assert!(!matches!(plan.choice, Choice::Fixed(Algorithm::Inner)));
+    assert!(
+        plan.costs.inner > 0.0,
+        "empty complemented mask costed as free"
+    );
+}
+
+#[test]
+fn update_loops_do_not_grow_derived_caches() {
+    // Regression: every update bumps the version; plan/flops entries for
+    // superseded versions must be dropped, or update-in-a-loop workloads
+    // (k-truss) leak cache entries without bound.
+    let ctx = Context::with_threads(1);
+    let h = ctx.insert(graphs::erdos_renyi(48, 6.0, 40));
+    for round in 0..20u64 {
+        let _ = ctx.flops(h, h);
+        let _ = ctx.plan(h, false, h, h).unwrap();
+        ctx.update(h, graphs::erdos_renyi(48, 6.0, 41 + round));
+    }
+    let (flops_len, plan_len) = ctx.cache_sizes();
+    assert!(flops_len <= 1, "flops cache grew to {flops_len}");
+    assert!(plan_len <= 1, "plan cache grew to {plan_len}");
+}
+
+#[test]
+fn transpose_handle_is_cached_and_follows_updates() {
+    let ctx = Context::with_threads(1);
+    let m1 = graphs::erdos_renyi(32, 4.0, 50);
+    let h = ctx.insert(m1.clone());
+    let t1 = ctx.transpose_handle(h);
+    // Second call returns the same handle (no per-call registration).
+    assert_eq!(ctx.transpose_handle(h), t1);
+    assert_eq!(ctx.matrix(t1).as_ref(), &sparse::transpose::transpose(&m1));
+    // Updating the parent invalidates the derived handle and yields a new
+    // one reflecting the new matrix.
+    let m2 = graphs::erdos_renyi(32, 7.0, 51);
+    ctx.update(h, m2.clone());
+    let t2 = ctx.transpose_handle(h);
+    assert_ne!(t2, t1);
+    assert_eq!(ctx.matrix(t2).as_ref(), &sparse::transpose::transpose(&m2));
+}
+
+#[test]
+fn planner_prefers_pull_for_tiny_masks_and_push_for_dense_masks() {
+    let ctx = Context::with_threads(1);
+    // Dense inputs, near-empty mask: the pull/dot regime.
+    let a = ctx.insert(graphs::erdos_renyi(256, 48.0, 20));
+    let tiny = ctx.insert(graphs::erdos_renyi(256, 0.5, 21));
+    let plan = ctx.plan(tiny, false, a, a).unwrap();
+    assert!(
+        matches!(
+            plan.choice,
+            Choice::Fixed(Algorithm::Inner) | Choice::Hybrid
+        ),
+        "expected a pull-leaning plan, got {}",
+        plan.label()
+    );
+    // Dense mask over the same inputs: push regime (never pure Inner).
+    let dense = ctx.insert(graphs::erdos_renyi(256, 64.0, 22));
+    let plan = ctx.plan(dense, false, a, a).unwrap();
+    assert!(
+        !matches!(plan.choice, Choice::Fixed(Algorithm::Inner)),
+        "dense mask must not plan pure Inner, got {}",
+        plan.label()
+    );
+}

@@ -58,16 +58,8 @@ fn spgevm_rows_compose_to_spgemm() {
     let a = graphs::erdos_renyi(40, 5.0, 6);
     let b = graphs::erdos_renyi(40, 5.0, 7);
     let m = graphs::erdos_renyi(40, 8.0, 8).pattern();
-    let whole = masked_spgemm::masked_spgemm(
-        Algorithm::Msa,
-        Phases::One,
-        false,
-        sr,
-        &m,
-        &a,
-        &b,
-    )
-    .unwrap();
+    let whole =
+        masked_spgemm::masked_spgemm(Algorithm::Msa, Phases::One, false, sr, &m, &a, &b).unwrap();
     for i in 0..a.nrows() {
         let (mc, _) = m.row(i);
         let (ac, av) = a.row(i);

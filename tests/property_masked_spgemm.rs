@@ -12,17 +12,9 @@ use sparse::{CscMatrix, CsrMatrix, Idx, PlusTimes};
 
 /// Strategy: CSR matrix of the given shape with ~`density` fill and small
 /// integer values (exact in f64).
-fn csr_strategy(
-    nrows: usize,
-    ncols: usize,
-    density: f64,
-) -> impl Strategy<Value = CsrMatrix<f64>> {
+fn csr_strategy(nrows: usize, ncols: usize, density: f64) -> impl Strategy<Value = CsrMatrix<f64>> {
     let cells = nrows * ncols;
-    proptest::collection::vec(
-        (0.0f64..1.0, 1i32..50),
-        cells..=cells,
-    )
-    .prop_map(move |draws| {
+    proptest::collection::vec((0.0f64..1.0, 1i32..50), cells..=cells).prop_map(move |draws| {
         let mut rowptr = vec![0usize];
         let mut cols: Vec<Idx> = Vec::new();
         let mut vals: Vec<f64> = Vec::new();
