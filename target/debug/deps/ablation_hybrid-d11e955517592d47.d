@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_hybrid-d11e955517592d47.d: crates/bench/src/bin/ablation_hybrid.rs
+
+/root/repo/target/debug/deps/ablation_hybrid-d11e955517592d47: crates/bench/src/bin/ablation_hybrid.rs
+
+crates/bench/src/bin/ablation_hybrid.rs:

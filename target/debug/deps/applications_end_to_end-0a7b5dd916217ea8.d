@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/applications_end_to_end-0a7b5dd916217ea8.d: crates/integration/../../tests/applications_end_to_end.rs
+
+/root/repo/target/debug/deps/applications_end_to_end-0a7b5dd916217ea8: crates/integration/../../tests/applications_end_to_end.rs
+
+crates/integration/../../tests/applications_end_to_end.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/baselines-081d246c8cbcc17a.d: crates/baselines/src/lib.rs crates/baselines/src/plain.rs crates/baselines/src/ssdot.rs crates/baselines/src/sssaxpy.rs
+
+/root/repo/target/debug/deps/baselines-081d246c8cbcc17a: crates/baselines/src/lib.rs crates/baselines/src/plain.rs crates/baselines/src/ssdot.rs crates/baselines/src/sssaxpy.rs
+
+crates/baselines/src/lib.rs:
+crates/baselines/src/plain.rs:
+crates/baselines/src/ssdot.rs:
+crates/baselines/src/sssaxpy.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/baselines-c556b2807af23f92.d: crates/baselines/src/lib.rs crates/baselines/src/plain.rs crates/baselines/src/ssdot.rs crates/baselines/src/sssaxpy.rs
+
+/root/repo/target/debug/deps/libbaselines-c556b2807af23f92.rlib: crates/baselines/src/lib.rs crates/baselines/src/plain.rs crates/baselines/src/ssdot.rs crates/baselines/src/sssaxpy.rs
+
+/root/repo/target/debug/deps/libbaselines-c556b2807af23f92.rmeta: crates/baselines/src/lib.rs crates/baselines/src/plain.rs crates/baselines/src/ssdot.rs crates/baselines/src/sssaxpy.rs
+
+crates/baselines/src/lib.rs:
+crates/baselines/src/plain.rs:
+crates/baselines/src/ssdot.rs:
+crates/baselines/src/sssaxpy.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bench-b3fb5387dfdb6eea.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/bench-b3fb5387dfdb6eea: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

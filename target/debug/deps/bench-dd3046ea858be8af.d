@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/bench-dd3046ea858be8af.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libbench-dd3046ea858be8af.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libbench-dd3046ea858be8af.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

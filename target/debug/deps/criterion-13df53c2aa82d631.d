@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/criterion-13df53c2aa82d631.d: crates/shims/criterion/src/lib.rs
+
+/root/repo/target/debug/deps/criterion-13df53c2aa82d631: crates/shims/criterion/src/lib.rs
+
+crates/shims/criterion/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/criterion-fcf2792ab42a117e.d: crates/shims/criterion/src/lib.rs
+
+/root/repo/target/debug/deps/libcriterion-fcf2792ab42a117e.rlib: crates/shims/criterion/src/lib.rs
+
+/root/repo/target/debug/deps/libcriterion-fcf2792ab42a117e.rmeta: crates/shims/criterion/src/lib.rs
+
+crates/shims/criterion/src/lib.rs:

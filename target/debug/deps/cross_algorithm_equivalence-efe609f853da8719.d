@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/cross_algorithm_equivalence-efe609f853da8719.d: crates/integration/../../tests/cross_algorithm_equivalence.rs
+
+/root/repo/target/debug/deps/cross_algorithm_equivalence-efe609f853da8719: crates/integration/../../tests/cross_algorithm_equivalence.rs
+
+crates/integration/../../tests/cross_algorithm_equivalence.rs:

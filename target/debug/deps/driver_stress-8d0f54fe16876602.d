@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/driver_stress-8d0f54fe16876602.d: crates/core/tests/driver_stress.rs
+
+/root/repo/target/debug/deps/driver_stress-8d0f54fe16876602: crates/core/tests/driver_stress.rs
+
+crates/core/tests/driver_stress.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/engine-29989662c4ecddcf.d: crates/engine/src/lib.rs crates/engine/src/batch.rs crates/engine/src/calibrate.rs crates/engine/src/context.rs crates/engine/src/plan.rs
+
+/root/repo/target/debug/deps/libengine-29989662c4ecddcf.rlib: crates/engine/src/lib.rs crates/engine/src/batch.rs crates/engine/src/calibrate.rs crates/engine/src/context.rs crates/engine/src/plan.rs
+
+/root/repo/target/debug/deps/libengine-29989662c4ecddcf.rmeta: crates/engine/src/lib.rs crates/engine/src/batch.rs crates/engine/src/calibrate.rs crates/engine/src/context.rs crates/engine/src/plan.rs
+
+crates/engine/src/lib.rs:
+crates/engine/src/batch.rs:
+crates/engine/src/calibrate.rs:
+crates/engine/src/context.rs:
+crates/engine/src/plan.rs:

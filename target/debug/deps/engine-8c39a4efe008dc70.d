@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/engine-8c39a4efe008dc70.d: crates/engine/src/lib.rs crates/engine/src/batch.rs crates/engine/src/calibrate.rs crates/engine/src/context.rs crates/engine/src/plan.rs
+
+/root/repo/target/debug/deps/engine-8c39a4efe008dc70: crates/engine/src/lib.rs crates/engine/src/batch.rs crates/engine/src/calibrate.rs crates/engine/src/context.rs crates/engine/src/plan.rs
+
+crates/engine/src/lib.rs:
+crates/engine/src/batch.rs:
+crates/engine/src/calibrate.rs:
+crates/engine/src/context.rs:
+crates/engine/src/plan.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/engine_context-e996f8797fce09a0.d: crates/integration/../../tests/engine_context.rs
+
+/root/repo/target/debug/deps/engine_context-e996f8797fce09a0: crates/integration/../../tests/engine_context.rs
+
+crates/integration/../../tests/engine_context.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/engine_repeat-1a5342bfe01aebac.d: crates/bench/src/bin/engine_repeat.rs
+
+/root/repo/target/debug/deps/engine_repeat-1a5342bfe01aebac: crates/bench/src/bin/engine_repeat.rs
+
+crates/bench/src/bin/engine_repeat.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/extensions-99d02b986a5d114c.d: crates/integration/../../tests/extensions.rs
+
+/root/repo/target/debug/deps/extensions-99d02b986a5d114c: crates/integration/../../tests/extensions.rs
+
+crates/integration/../../tests/extensions.rs:

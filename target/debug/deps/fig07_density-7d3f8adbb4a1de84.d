@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig07_density-7d3f8adbb4a1de84.d: crates/bench/src/bin/fig07_density.rs
+
+/root/repo/target/debug/deps/fig07_density-7d3f8adbb4a1de84: crates/bench/src/bin/fig07_density.rs
+
+crates/bench/src/bin/fig07_density.rs:

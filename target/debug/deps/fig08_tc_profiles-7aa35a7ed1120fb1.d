@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig08_tc_profiles-7aa35a7ed1120fb1.d: crates/bench/src/bin/fig08_tc_profiles.rs
+
+/root/repo/target/debug/deps/fig08_tc_profiles-7aa35a7ed1120fb1: crates/bench/src/bin/fig08_tc_profiles.rs
+
+crates/bench/src/bin/fig08_tc_profiles.rs:

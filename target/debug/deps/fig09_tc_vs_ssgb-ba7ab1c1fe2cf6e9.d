@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig09_tc_vs_ssgb-ba7ab1c1fe2cf6e9.d: crates/bench/src/bin/fig09_tc_vs_ssgb.rs
+
+/root/repo/target/debug/deps/fig09_tc_vs_ssgb-ba7ab1c1fe2cf6e9: crates/bench/src/bin/fig09_tc_vs_ssgb.rs
+
+crates/bench/src/bin/fig09_tc_vs_ssgb.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig10_tc_scale-51b2c9d650994c44.d: crates/bench/src/bin/fig10_tc_scale.rs
+
+/root/repo/target/debug/deps/fig10_tc_scale-51b2c9d650994c44: crates/bench/src/bin/fig10_tc_scale.rs
+
+crates/bench/src/bin/fig10_tc_scale.rs:

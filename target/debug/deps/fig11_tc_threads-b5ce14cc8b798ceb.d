@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig11_tc_threads-b5ce14cc8b798ceb.d: crates/bench/src/bin/fig11_tc_threads.rs
+
+/root/repo/target/debug/deps/fig11_tc_threads-b5ce14cc8b798ceb: crates/bench/src/bin/fig11_tc_threads.rs
+
+crates/bench/src/bin/fig11_tc_threads.rs:

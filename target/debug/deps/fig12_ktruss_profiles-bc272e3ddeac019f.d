@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig12_ktruss_profiles-bc272e3ddeac019f.d: crates/bench/src/bin/fig12_ktruss_profiles.rs
+
+/root/repo/target/debug/deps/fig12_ktruss_profiles-bc272e3ddeac019f: crates/bench/src/bin/fig12_ktruss_profiles.rs
+
+crates/bench/src/bin/fig12_ktruss_profiles.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig13_ktruss_vs_ssgb-9ab4ddca925e52a7.d: crates/bench/src/bin/fig13_ktruss_vs_ssgb.rs
+
+/root/repo/target/debug/deps/fig13_ktruss_vs_ssgb-9ab4ddca925e52a7: crates/bench/src/bin/fig13_ktruss_vs_ssgb.rs
+
+crates/bench/src/bin/fig13_ktruss_vs_ssgb.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig14_ktruss_scale-82783a4b671770ba.d: crates/bench/src/bin/fig14_ktruss_scale.rs
+
+/root/repo/target/debug/deps/fig14_ktruss_scale-82783a4b671770ba: crates/bench/src/bin/fig14_ktruss_scale.rs
+
+crates/bench/src/bin/fig14_ktruss_scale.rs:

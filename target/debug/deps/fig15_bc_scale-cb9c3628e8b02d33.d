@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig15_bc_scale-cb9c3628e8b02d33.d: crates/bench/src/bin/fig15_bc_scale.rs
+
+/root/repo/target/debug/deps/fig15_bc_scale-cb9c3628e8b02d33: crates/bench/src/bin/fig15_bc_scale.rs
+
+crates/bench/src/bin/fig15_bc_scale.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig16_bc_profiles-759f41726e11b7bc.d: crates/bench/src/bin/fig16_bc_profiles.rs
+
+/root/repo/target/debug/deps/fig16_bc_profiles-759f41726e11b7bc: crates/bench/src/bin/fig16_bc_profiles.rs
+
+crates/bench/src/bin/fig16_bc_profiles.rs:

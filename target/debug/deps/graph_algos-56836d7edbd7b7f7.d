@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/graph_algos-56836d7edbd7b7f7.d: crates/graph-algos/src/lib.rs crates/graph-algos/src/auto.rs crates/graph-algos/src/bc.rs crates/graph-algos/src/bfs.rs crates/graph-algos/src/ktruss.rs crates/graph-algos/src/reference.rs crates/graph-algos/src/scheme.rs crates/graph-algos/src/similarity.rs crates/graph-algos/src/triangle.rs
+
+/root/repo/target/debug/deps/libgraph_algos-56836d7edbd7b7f7.rlib: crates/graph-algos/src/lib.rs crates/graph-algos/src/auto.rs crates/graph-algos/src/bc.rs crates/graph-algos/src/bfs.rs crates/graph-algos/src/ktruss.rs crates/graph-algos/src/reference.rs crates/graph-algos/src/scheme.rs crates/graph-algos/src/similarity.rs crates/graph-algos/src/triangle.rs
+
+/root/repo/target/debug/deps/libgraph_algos-56836d7edbd7b7f7.rmeta: crates/graph-algos/src/lib.rs crates/graph-algos/src/auto.rs crates/graph-algos/src/bc.rs crates/graph-algos/src/bfs.rs crates/graph-algos/src/ktruss.rs crates/graph-algos/src/reference.rs crates/graph-algos/src/scheme.rs crates/graph-algos/src/similarity.rs crates/graph-algos/src/triangle.rs
+
+crates/graph-algos/src/lib.rs:
+crates/graph-algos/src/auto.rs:
+crates/graph-algos/src/bc.rs:
+crates/graph-algos/src/bfs.rs:
+crates/graph-algos/src/ktruss.rs:
+crates/graph-algos/src/reference.rs:
+crates/graph-algos/src/scheme.rs:
+crates/graph-algos/src/similarity.rs:
+crates/graph-algos/src/triangle.rs:

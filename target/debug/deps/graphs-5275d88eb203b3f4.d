@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/graphs-5275d88eb203b3f4.d: crates/graphs/src/lib.rs crates/graphs/src/erdos_renyi.rs crates/graphs/src/rmat.rs crates/graphs/src/stats.rs crates/graphs/src/structured.rs crates/graphs/src/suite.rs crates/graphs/src/util.rs
+
+/root/repo/target/debug/deps/graphs-5275d88eb203b3f4: crates/graphs/src/lib.rs crates/graphs/src/erdos_renyi.rs crates/graphs/src/rmat.rs crates/graphs/src/stats.rs crates/graphs/src/structured.rs crates/graphs/src/suite.rs crates/graphs/src/util.rs
+
+crates/graphs/src/lib.rs:
+crates/graphs/src/erdos_renyi.rs:
+crates/graphs/src/rmat.rs:
+crates/graphs/src/stats.rs:
+crates/graphs/src/structured.rs:
+crates/graphs/src/suite.rs:
+crates/graphs/src/util.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/graphs-da08039354ada8b2.d: crates/graphs/src/lib.rs crates/graphs/src/erdos_renyi.rs crates/graphs/src/rmat.rs crates/graphs/src/stats.rs crates/graphs/src/structured.rs crates/graphs/src/suite.rs crates/graphs/src/util.rs
+
+/root/repo/target/debug/deps/libgraphs-da08039354ada8b2.rlib: crates/graphs/src/lib.rs crates/graphs/src/erdos_renyi.rs crates/graphs/src/rmat.rs crates/graphs/src/stats.rs crates/graphs/src/structured.rs crates/graphs/src/suite.rs crates/graphs/src/util.rs
+
+/root/repo/target/debug/deps/libgraphs-da08039354ada8b2.rmeta: crates/graphs/src/lib.rs crates/graphs/src/erdos_renyi.rs crates/graphs/src/rmat.rs crates/graphs/src/stats.rs crates/graphs/src/structured.rs crates/graphs/src/suite.rs crates/graphs/src/util.rs
+
+crates/graphs/src/lib.rs:
+crates/graphs/src/erdos_renyi.rs:
+crates/graphs/src/rmat.rs:
+crates/graphs/src/stats.rs:
+crates/graphs/src/structured.rs:
+crates/graphs/src/suite.rs:
+crates/graphs/src/util.rs:

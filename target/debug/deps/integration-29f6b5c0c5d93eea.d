@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/integration-29f6b5c0c5d93eea.d: crates/integration/src/lib.rs
+
+/root/repo/target/debug/deps/integration-29f6b5c0c5d93eea: crates/integration/src/lib.rs
+
+crates/integration/src/lib.rs:

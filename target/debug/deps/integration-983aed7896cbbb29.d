@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/integration-983aed7896cbbb29.d: crates/integration/src/lib.rs
+
+/root/repo/target/debug/deps/libintegration-983aed7896cbbb29.rlib: crates/integration/src/lib.rs
+
+/root/repo/target/debug/deps/libintegration-983aed7896cbbb29.rmeta: crates/integration/src/lib.rs
+
+crates/integration/src/lib.rs:

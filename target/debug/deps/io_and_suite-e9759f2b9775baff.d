@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/io_and_suite-e9759f2b9775baff.d: crates/integration/../../tests/io_and_suite.rs
+
+/root/repo/target/debug/deps/io_and_suite-e9759f2b9775baff: crates/integration/../../tests/io_and_suite.rs
+
+crates/integration/../../tests/io_and_suite.rs:

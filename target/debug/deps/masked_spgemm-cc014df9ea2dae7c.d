@@ -1,0 +1,25 @@
+/root/repo/target/debug/deps/masked_spgemm-cc014df9ea2dae7c.d: crates/core/src/lib.rs crates/core/src/accum/mod.rs crates/core/src/accum/hash.rs crates/core/src/accum/mca.rs crates/core/src/accum/msa.rs crates/core/src/algos/mod.rs crates/core/src/algos/hash.rs crates/core/src/algos/heap.rs crates/core/src/algos/inner.rs crates/core/src/algos/mca.rs crates/core/src/algos/msa.rs crates/core/src/api.rs crates/core/src/dcsr_exec.rs crates/core/src/estimate.rs crates/core/src/exec.rs crates/core/src/hybrid.rs crates/core/src/kernel.rs crates/core/src/scratch.rs crates/core/src/spgevm.rs
+
+/root/repo/target/debug/deps/libmasked_spgemm-cc014df9ea2dae7c.rlib: crates/core/src/lib.rs crates/core/src/accum/mod.rs crates/core/src/accum/hash.rs crates/core/src/accum/mca.rs crates/core/src/accum/msa.rs crates/core/src/algos/mod.rs crates/core/src/algos/hash.rs crates/core/src/algos/heap.rs crates/core/src/algos/inner.rs crates/core/src/algos/mca.rs crates/core/src/algos/msa.rs crates/core/src/api.rs crates/core/src/dcsr_exec.rs crates/core/src/estimate.rs crates/core/src/exec.rs crates/core/src/hybrid.rs crates/core/src/kernel.rs crates/core/src/scratch.rs crates/core/src/spgevm.rs
+
+/root/repo/target/debug/deps/libmasked_spgemm-cc014df9ea2dae7c.rmeta: crates/core/src/lib.rs crates/core/src/accum/mod.rs crates/core/src/accum/hash.rs crates/core/src/accum/mca.rs crates/core/src/accum/msa.rs crates/core/src/algos/mod.rs crates/core/src/algos/hash.rs crates/core/src/algos/heap.rs crates/core/src/algos/inner.rs crates/core/src/algos/mca.rs crates/core/src/algos/msa.rs crates/core/src/api.rs crates/core/src/dcsr_exec.rs crates/core/src/estimate.rs crates/core/src/exec.rs crates/core/src/hybrid.rs crates/core/src/kernel.rs crates/core/src/scratch.rs crates/core/src/spgevm.rs
+
+crates/core/src/lib.rs:
+crates/core/src/accum/mod.rs:
+crates/core/src/accum/hash.rs:
+crates/core/src/accum/mca.rs:
+crates/core/src/accum/msa.rs:
+crates/core/src/algos/mod.rs:
+crates/core/src/algos/hash.rs:
+crates/core/src/algos/heap.rs:
+crates/core/src/algos/inner.rs:
+crates/core/src/algos/mca.rs:
+crates/core/src/algos/msa.rs:
+crates/core/src/api.rs:
+crates/core/src/dcsr_exec.rs:
+crates/core/src/estimate.rs:
+crates/core/src/exec.rs:
+crates/core/src/hybrid.rs:
+crates/core/src/kernel.rs:
+crates/core/src/scratch.rs:
+crates/core/src/spgevm.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/profile-20d7626ae2b3844d.d: crates/profile/src/lib.rs crates/profile/src/ascii.rs crates/profile/src/perf_profile.rs crates/profile/src/table.rs crates/profile/src/timer.rs
+
+/root/repo/target/debug/deps/libprofile-20d7626ae2b3844d.rlib: crates/profile/src/lib.rs crates/profile/src/ascii.rs crates/profile/src/perf_profile.rs crates/profile/src/table.rs crates/profile/src/timer.rs
+
+/root/repo/target/debug/deps/libprofile-20d7626ae2b3844d.rmeta: crates/profile/src/lib.rs crates/profile/src/ascii.rs crates/profile/src/perf_profile.rs crates/profile/src/table.rs crates/profile/src/timer.rs
+
+crates/profile/src/lib.rs:
+crates/profile/src/ascii.rs:
+crates/profile/src/perf_profile.rs:
+crates/profile/src/table.rs:
+crates/profile/src/timer.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/profile-2828a5e566e3d2dc.d: crates/profile/src/lib.rs crates/profile/src/ascii.rs crates/profile/src/perf_profile.rs crates/profile/src/table.rs crates/profile/src/timer.rs
+
+/root/repo/target/debug/deps/profile-2828a5e566e3d2dc: crates/profile/src/lib.rs crates/profile/src/ascii.rs crates/profile/src/perf_profile.rs crates/profile/src/table.rs crates/profile/src/timer.rs
+
+crates/profile/src/lib.rs:
+crates/profile/src/ascii.rs:
+crates/profile/src/perf_profile.rs:
+crates/profile/src/table.rs:
+crates/profile/src/timer.rs:

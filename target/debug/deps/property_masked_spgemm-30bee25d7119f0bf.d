@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/property_masked_spgemm-30bee25d7119f0bf.d: crates/integration/../../tests/property_masked_spgemm.rs
+
+/root/repo/target/debug/deps/property_masked_spgemm-30bee25d7119f0bf: crates/integration/../../tests/property_masked_spgemm.rs
+
+crates/integration/../../tests/property_masked_spgemm.rs:

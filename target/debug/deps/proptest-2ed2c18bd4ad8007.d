@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/proptest-2ed2c18bd4ad8007.d: crates/shims/proptest/src/lib.rs crates/shims/proptest/src/collection.rs
+
+/root/repo/target/debug/deps/proptest-2ed2c18bd4ad8007: crates/shims/proptest/src/lib.rs crates/shims/proptest/src/collection.rs
+
+crates/shims/proptest/src/lib.rs:
+crates/shims/proptest/src/collection.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/proptest-cb108afaf4a7ebcf.d: crates/shims/proptest/src/lib.rs crates/shims/proptest/src/collection.rs
+
+/root/repo/target/debug/deps/libproptest-cb108afaf4a7ebcf.rlib: crates/shims/proptest/src/lib.rs crates/shims/proptest/src/collection.rs
+
+/root/repo/target/debug/deps/libproptest-cb108afaf4a7ebcf.rmeta: crates/shims/proptest/src/lib.rs crates/shims/proptest/src/collection.rs
+
+crates/shims/proptest/src/lib.rs:
+crates/shims/proptest/src/collection.rs:

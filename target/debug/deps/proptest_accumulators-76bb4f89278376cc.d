@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest_accumulators-76bb4f89278376cc.d: crates/core/tests/proptest_accumulators.rs
+
+/root/repo/target/debug/deps/proptest_accumulators-76bb4f89278376cc: crates/core/tests/proptest_accumulators.rs
+
+crates/core/tests/proptest_accumulators.rs:

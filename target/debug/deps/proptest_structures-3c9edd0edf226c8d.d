@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest_structures-3c9edd0edf226c8d.d: crates/sparse/tests/proptest_structures.rs
+
+/root/repo/target/debug/deps/proptest_structures-3c9edd0edf226c8d: crates/sparse/tests/proptest_structures.rs
+
+crates/sparse/tests/proptest_structures.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/rand-b8da08ea7679654f.d: crates/shims/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-b8da08ea7679654f.rlib: crates/shims/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-b8da08ea7679654f.rmeta: crates/shims/rand/src/lib.rs
+
+crates/shims/rand/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rand-dc38beb98f2b9091.d: crates/shims/rand/src/lib.rs
+
+/root/repo/target/debug/deps/rand-dc38beb98f2b9091: crates/shims/rand/src/lib.rs
+
+crates/shims/rand/src/lib.rs:

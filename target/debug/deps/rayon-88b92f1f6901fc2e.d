@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/rayon-88b92f1f6901fc2e.d: crates/shims/rayon/src/lib.rs crates/shims/rayon/src/iter.rs
+
+/root/repo/target/debug/deps/rayon-88b92f1f6901fc2e: crates/shims/rayon/src/lib.rs crates/shims/rayon/src/iter.rs
+
+crates/shims/rayon/src/lib.rs:
+crates/shims/rayon/src/iter.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table02_suite-ca416e28fff87e03.d: crates/bench/src/bin/table02_suite.rs
+
+/root/repo/target/debug/deps/table02_suite-ca416e28fff87e03: crates/bench/src/bin/table02_suite.rs
+
+crates/bench/src/bin/table02_suite.rs:

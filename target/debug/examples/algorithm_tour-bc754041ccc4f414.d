@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/algorithm_tour-bc754041ccc4f414.d: crates/integration/../../examples/algorithm_tour.rs
+
+/root/repo/target/debug/examples/algorithm_tour-bc754041ccc4f414: crates/integration/../../examples/algorithm_tour.rs
+
+crates/integration/../../examples/algorithm_tour.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/betweenness-6ad566785e97bf6f.d: crates/integration/../../examples/betweenness.rs
+
+/root/repo/target/debug/examples/betweenness-6ad566785e97bf6f: crates/integration/../../examples/betweenness.rs
+
+crates/integration/../../examples/betweenness.rs:

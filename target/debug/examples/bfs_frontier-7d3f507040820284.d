@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/bfs_frontier-7d3f507040820284.d: crates/integration/../../examples/bfs_frontier.rs
+
+/root/repo/target/debug/examples/bfs_frontier-7d3f507040820284: crates/integration/../../examples/bfs_frontier.rs
+
+crates/integration/../../examples/bfs_frontier.rs:

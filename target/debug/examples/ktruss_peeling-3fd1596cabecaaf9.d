@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/ktruss_peeling-3fd1596cabecaaf9.d: crates/integration/../../examples/ktruss_peeling.rs
+
+/root/repo/target/debug/examples/ktruss_peeling-3fd1596cabecaaf9: crates/integration/../../examples/ktruss_peeling.rs
+
+crates/integration/../../examples/ktruss_peeling.rs:

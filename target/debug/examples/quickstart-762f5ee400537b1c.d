@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-762f5ee400537b1c.d: crates/integration/../../examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-762f5ee400537b1c: crates/integration/../../examples/quickstart.rs
+
+crates/integration/../../examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/similarity_join-5e8267a5e79aacf5.d: crates/integration/../../examples/similarity_join.rs
+
+/root/repo/target/debug/examples/similarity_join-5e8267a5e79aacf5: crates/integration/../../examples/similarity_join.rs
+
+crates/integration/../../examples/similarity_join.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/triangle_census-dfc8c9031483c7e8.d: crates/integration/../../examples/triangle_census.rs
+
+/root/repo/target/debug/examples/triangle_census-dfc8c9031483c7e8: crates/integration/../../examples/triangle_census.rs
+
+crates/integration/../../examples/triangle_census.rs:

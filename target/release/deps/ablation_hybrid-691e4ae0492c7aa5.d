@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/ablation_hybrid-691e4ae0492c7aa5.d: crates/bench/src/bin/ablation_hybrid.rs Cargo.toml
+
+/root/repo/target/release/deps/libablation_hybrid-691e4ae0492c7aa5.rmeta: crates/bench/src/bin/ablation_hybrid.rs Cargo.toml
+
+crates/bench/src/bin/ablation_hybrid.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_hybrid-82e98868bf139984.d: crates/bench/src/bin/ablation_hybrid.rs
+
+/root/repo/target/release/deps/ablation_hybrid-82e98868bf139984: crates/bench/src/bin/ablation_hybrid.rs
+
+crates/bench/src/bin/ablation_hybrid.rs:

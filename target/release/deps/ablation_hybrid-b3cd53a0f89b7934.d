@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_hybrid-b3cd53a0f89b7934.d: crates/bench/src/bin/ablation_hybrid.rs
+
+/root/repo/target/release/deps/ablation_hybrid-b3cd53a0f89b7934: crates/bench/src/bin/ablation_hybrid.rs
+
+crates/bench/src/bin/ablation_hybrid.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/ablation_hybrid-eba30cb9e1a8d6db.d: crates/bench/src/bin/ablation_hybrid.rs Cargo.toml
+
+/root/repo/target/release/deps/libablation_hybrid-eba30cb9e1a8d6db.rmeta: crates/bench/src/bin/ablation_hybrid.rs Cargo.toml
+
+crates/bench/src/bin/ablation_hybrid.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/applications-b6ab6dbb7c1787f2.d: crates/bench/benches/applications.rs Cargo.toml
+
+/root/repo/target/release/deps/libapplications-b6ab6dbb7c1787f2.rmeta: crates/bench/benches/applications.rs Cargo.toml
+
+crates/bench/benches/applications.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/applications_end_to_end-6278477c75dbf66d.d: crates/integration/../../tests/applications_end_to_end.rs Cargo.toml
+
+/root/repo/target/release/deps/libapplications_end_to_end-6278477c75dbf66d.rmeta: crates/integration/../../tests/applications_end_to_end.rs Cargo.toml
+
+crates/integration/../../tests/applications_end_to_end.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

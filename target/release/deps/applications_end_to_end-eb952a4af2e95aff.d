@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/applications_end_to_end-eb952a4af2e95aff.d: crates/integration/../../tests/applications_end_to_end.rs
+
+/root/repo/target/release/deps/applications_end_to_end-eb952a4af2e95aff: crates/integration/../../tests/applications_end_to_end.rs
+
+crates/integration/../../tests/applications_end_to_end.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/baselines-0002f787562c9f1b.d: crates/baselines/src/lib.rs crates/baselines/src/plain.rs crates/baselines/src/ssdot.rs crates/baselines/src/sssaxpy.rs Cargo.toml
+
+/root/repo/target/release/deps/libbaselines-0002f787562c9f1b.rmeta: crates/baselines/src/lib.rs crates/baselines/src/plain.rs crates/baselines/src/ssdot.rs crates/baselines/src/sssaxpy.rs Cargo.toml
+
+crates/baselines/src/lib.rs:
+crates/baselines/src/plain.rs:
+crates/baselines/src/ssdot.rs:
+crates/baselines/src/sssaxpy.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

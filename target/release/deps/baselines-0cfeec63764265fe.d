@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/baselines-0cfeec63764265fe.d: crates/baselines/src/lib.rs crates/baselines/src/plain.rs crates/baselines/src/ssdot.rs crates/baselines/src/sssaxpy.rs
+
+/root/repo/target/release/deps/libbaselines-0cfeec63764265fe.rlib: crates/baselines/src/lib.rs crates/baselines/src/plain.rs crates/baselines/src/ssdot.rs crates/baselines/src/sssaxpy.rs
+
+/root/repo/target/release/deps/libbaselines-0cfeec63764265fe.rmeta: crates/baselines/src/lib.rs crates/baselines/src/plain.rs crates/baselines/src/ssdot.rs crates/baselines/src/sssaxpy.rs
+
+crates/baselines/src/lib.rs:
+crates/baselines/src/plain.rs:
+crates/baselines/src/ssdot.rs:
+crates/baselines/src/sssaxpy.rs:

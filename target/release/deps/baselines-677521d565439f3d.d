@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/baselines-677521d565439f3d.d: crates/baselines/src/lib.rs crates/baselines/src/plain.rs crates/baselines/src/ssdot.rs crates/baselines/src/sssaxpy.rs
+
+/root/repo/target/release/deps/baselines-677521d565439f3d: crates/baselines/src/lib.rs crates/baselines/src/plain.rs crates/baselines/src/ssdot.rs crates/baselines/src/sssaxpy.rs
+
+crates/baselines/src/lib.rs:
+crates/baselines/src/plain.rs:
+crates/baselines/src/ssdot.rs:
+crates/baselines/src/sssaxpy.rs:

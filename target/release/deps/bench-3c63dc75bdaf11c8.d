@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/bench-3c63dc75bdaf11c8.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libbench-3c63dc75bdaf11c8.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libbench-3c63dc75bdaf11c8.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

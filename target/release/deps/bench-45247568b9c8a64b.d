@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/bench-45247568b9c8a64b.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/bench-45247568b9c8a64b: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

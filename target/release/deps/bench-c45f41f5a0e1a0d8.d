@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/bench-c45f41f5a0e1a0d8.d: crates/bench/src/lib.rs Cargo.toml
+
+/root/repo/target/release/deps/libbench-c45f41f5a0e1a0d8.rmeta: crates/bench/src/lib.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

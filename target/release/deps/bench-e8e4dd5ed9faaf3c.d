@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/bench-e8e4dd5ed9faaf3c.d: crates/bench/src/lib.rs Cargo.toml
+
+/root/repo/target/release/deps/libbench-e8e4dd5ed9faaf3c.rmeta: crates/bench/src/lib.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/criterion-09ec30eb8a954eaf.d: crates/shims/criterion/src/lib.rs
+
+/root/repo/target/release/deps/libcriterion-09ec30eb8a954eaf.rlib: crates/shims/criterion/src/lib.rs
+
+/root/repo/target/release/deps/libcriterion-09ec30eb8a954eaf.rmeta: crates/shims/criterion/src/lib.rs
+
+crates/shims/criterion/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/criterion-5f803fb97779bca3.d: crates/shims/criterion/src/lib.rs Cargo.toml
+
+/root/repo/target/release/deps/libcriterion-5f803fb97779bca3.rmeta: crates/shims/criterion/src/lib.rs Cargo.toml
+
+crates/shims/criterion/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

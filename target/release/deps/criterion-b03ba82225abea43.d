@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/criterion-b03ba82225abea43.d: crates/shims/criterion/src/lib.rs
+
+/root/repo/target/release/deps/criterion-b03ba82225abea43: crates/shims/criterion/src/lib.rs
+
+crates/shims/criterion/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/criterion-dae602220c341b52.d: crates/shims/criterion/src/lib.rs Cargo.toml
+
+/root/repo/target/release/deps/libcriterion-dae602220c341b52.rmeta: crates/shims/criterion/src/lib.rs Cargo.toml
+
+crates/shims/criterion/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

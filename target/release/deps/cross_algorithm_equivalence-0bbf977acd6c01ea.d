@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/cross_algorithm_equivalence-0bbf977acd6c01ea.d: crates/integration/../../tests/cross_algorithm_equivalence.rs Cargo.toml
+
+/root/repo/target/release/deps/libcross_algorithm_equivalence-0bbf977acd6c01ea.rmeta: crates/integration/../../tests/cross_algorithm_equivalence.rs Cargo.toml
+
+crates/integration/../../tests/cross_algorithm_equivalence.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

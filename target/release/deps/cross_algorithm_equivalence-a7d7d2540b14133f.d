@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/cross_algorithm_equivalence-a7d7d2540b14133f.d: crates/integration/../../tests/cross_algorithm_equivalence.rs
+
+/root/repo/target/release/deps/cross_algorithm_equivalence-a7d7d2540b14133f: crates/integration/../../tests/cross_algorithm_equivalence.rs
+
+crates/integration/../../tests/cross_algorithm_equivalence.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/driver_stress-69e9580023681a83.d: crates/core/tests/driver_stress.rs Cargo.toml
+
+/root/repo/target/release/deps/libdriver_stress-69e9580023681a83.rmeta: crates/core/tests/driver_stress.rs Cargo.toml
+
+crates/core/tests/driver_stress.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/driver_stress-7503b62d3689a9dd.d: crates/core/tests/driver_stress.rs
+
+/root/repo/target/release/deps/driver_stress-7503b62d3689a9dd: crates/core/tests/driver_stress.rs
+
+crates/core/tests/driver_stress.rs:

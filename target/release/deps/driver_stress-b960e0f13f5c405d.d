@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/driver_stress-b960e0f13f5c405d.d: crates/core/tests/driver_stress.rs
+
+/root/repo/target/release/deps/driver_stress-b960e0f13f5c405d: crates/core/tests/driver_stress.rs
+
+crates/core/tests/driver_stress.rs:

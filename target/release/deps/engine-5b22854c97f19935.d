@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/engine-5b22854c97f19935.d: crates/engine/src/lib.rs crates/engine/src/batch.rs crates/engine/src/calibrate.rs crates/engine/src/context.rs crates/engine/src/plan.rs Cargo.toml
+
+/root/repo/target/release/deps/libengine-5b22854c97f19935.rmeta: crates/engine/src/lib.rs crates/engine/src/batch.rs crates/engine/src/calibrate.rs crates/engine/src/context.rs crates/engine/src/plan.rs Cargo.toml
+
+crates/engine/src/lib.rs:
+crates/engine/src/batch.rs:
+crates/engine/src/calibrate.rs:
+crates/engine/src/context.rs:
+crates/engine/src/plan.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

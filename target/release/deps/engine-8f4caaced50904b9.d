@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/engine-8f4caaced50904b9.d: crates/engine/src/lib.rs crates/engine/src/batch.rs crates/engine/src/calibrate.rs crates/engine/src/context.rs crates/engine/src/plan.rs
+
+/root/repo/target/release/deps/engine-8f4caaced50904b9: crates/engine/src/lib.rs crates/engine/src/batch.rs crates/engine/src/calibrate.rs crates/engine/src/context.rs crates/engine/src/plan.rs
+
+crates/engine/src/lib.rs:
+crates/engine/src/batch.rs:
+crates/engine/src/calibrate.rs:
+crates/engine/src/context.rs:
+crates/engine/src/plan.rs:

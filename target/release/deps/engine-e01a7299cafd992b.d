@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/engine-e01a7299cafd992b.d: crates/engine/src/lib.rs crates/engine/src/batch.rs crates/engine/src/calibrate.rs crates/engine/src/context.rs crates/engine/src/plan.rs
+
+/root/repo/target/release/deps/libengine-e01a7299cafd992b.rlib: crates/engine/src/lib.rs crates/engine/src/batch.rs crates/engine/src/calibrate.rs crates/engine/src/context.rs crates/engine/src/plan.rs
+
+/root/repo/target/release/deps/libengine-e01a7299cafd992b.rmeta: crates/engine/src/lib.rs crates/engine/src/batch.rs crates/engine/src/calibrate.rs crates/engine/src/context.rs crates/engine/src/plan.rs
+
+crates/engine/src/lib.rs:
+crates/engine/src/batch.rs:
+crates/engine/src/calibrate.rs:
+crates/engine/src/context.rs:
+crates/engine/src/plan.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/engine_context-890f79078be818e9.d: crates/integration/../../tests/engine_context.rs Cargo.toml
+
+/root/repo/target/release/deps/libengine_context-890f79078be818e9.rmeta: crates/integration/../../tests/engine_context.rs Cargo.toml
+
+crates/integration/../../tests/engine_context.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/engine_context-b5eaab97dce4c442.d: crates/integration/../../tests/engine_context.rs
+
+/root/repo/target/release/deps/engine_context-b5eaab97dce4c442: crates/integration/../../tests/engine_context.rs
+
+crates/integration/../../tests/engine_context.rs:

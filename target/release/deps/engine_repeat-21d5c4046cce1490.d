@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/engine_repeat-21d5c4046cce1490.d: crates/bench/src/bin/engine_repeat.rs Cargo.toml
+
+/root/repo/target/release/deps/libengine_repeat-21d5c4046cce1490.rmeta: crates/bench/src/bin/engine_repeat.rs Cargo.toml
+
+crates/bench/src/bin/engine_repeat.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/engine_repeat-4248b4862faed030.d: crates/bench/src/bin/engine_repeat.rs
+
+/root/repo/target/release/deps/engine_repeat-4248b4862faed030: crates/bench/src/bin/engine_repeat.rs
+
+crates/bench/src/bin/engine_repeat.rs:

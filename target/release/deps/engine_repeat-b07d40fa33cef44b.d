@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/engine_repeat-b07d40fa33cef44b.d: crates/bench/src/bin/engine_repeat.rs
+
+/root/repo/target/release/deps/engine_repeat-b07d40fa33cef44b: crates/bench/src/bin/engine_repeat.rs
+
+crates/bench/src/bin/engine_repeat.rs:

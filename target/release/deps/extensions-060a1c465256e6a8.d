@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/extensions-060a1c465256e6a8.d: crates/integration/../../tests/extensions.rs
+
+/root/repo/target/release/deps/extensions-060a1c465256e6a8: crates/integration/../../tests/extensions.rs
+
+crates/integration/../../tests/extensions.rs:

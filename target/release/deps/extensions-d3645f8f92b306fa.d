@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/extensions-d3645f8f92b306fa.d: crates/integration/../../tests/extensions.rs Cargo.toml
+
+/root/repo/target/release/deps/libextensions-d3645f8f92b306fa.rmeta: crates/integration/../../tests/extensions.rs Cargo.toml
+
+crates/integration/../../tests/extensions.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

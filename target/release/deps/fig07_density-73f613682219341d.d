@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig07_density-73f613682219341d.d: crates/bench/src/bin/fig07_density.rs
+
+/root/repo/target/release/deps/fig07_density-73f613682219341d: crates/bench/src/bin/fig07_density.rs
+
+crates/bench/src/bin/fig07_density.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig07_density-a2708bcd87973570.d: crates/bench/src/bin/fig07_density.rs
+
+/root/repo/target/release/deps/fig07_density-a2708bcd87973570: crates/bench/src/bin/fig07_density.rs
+
+crates/bench/src/bin/fig07_density.rs:

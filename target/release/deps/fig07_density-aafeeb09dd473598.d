@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/fig07_density-aafeeb09dd473598.d: crates/bench/src/bin/fig07_density.rs Cargo.toml
+
+/root/repo/target/release/deps/libfig07_density-aafeeb09dd473598.rmeta: crates/bench/src/bin/fig07_density.rs Cargo.toml
+
+crates/bench/src/bin/fig07_density.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

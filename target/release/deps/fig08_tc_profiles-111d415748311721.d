@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/fig08_tc_profiles-111d415748311721.d: crates/bench/src/bin/fig08_tc_profiles.rs Cargo.toml
+
+/root/repo/target/release/deps/libfig08_tc_profiles-111d415748311721.rmeta: crates/bench/src/bin/fig08_tc_profiles.rs Cargo.toml
+
+crates/bench/src/bin/fig08_tc_profiles.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

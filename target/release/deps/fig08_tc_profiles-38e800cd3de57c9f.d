@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig08_tc_profiles-38e800cd3de57c9f.d: crates/bench/src/bin/fig08_tc_profiles.rs
+
+/root/repo/target/release/deps/fig08_tc_profiles-38e800cd3de57c9f: crates/bench/src/bin/fig08_tc_profiles.rs
+
+crates/bench/src/bin/fig08_tc_profiles.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig08_tc_profiles-b3a34d4de7f0691d.d: crates/bench/src/bin/fig08_tc_profiles.rs
+
+/root/repo/target/release/deps/fig08_tc_profiles-b3a34d4de7f0691d: crates/bench/src/bin/fig08_tc_profiles.rs
+
+crates/bench/src/bin/fig08_tc_profiles.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/fig08_tc_profiles-cf2ddc3d4e47fba1.d: crates/bench/src/bin/fig08_tc_profiles.rs Cargo.toml
+
+/root/repo/target/release/deps/libfig08_tc_profiles-cf2ddc3d4e47fba1.rmeta: crates/bench/src/bin/fig08_tc_profiles.rs Cargo.toml
+
+crates/bench/src/bin/fig08_tc_profiles.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

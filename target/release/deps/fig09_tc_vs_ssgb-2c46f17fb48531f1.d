@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/fig09_tc_vs_ssgb-2c46f17fb48531f1.d: crates/bench/src/bin/fig09_tc_vs_ssgb.rs Cargo.toml
+
+/root/repo/target/release/deps/libfig09_tc_vs_ssgb-2c46f17fb48531f1.rmeta: crates/bench/src/bin/fig09_tc_vs_ssgb.rs Cargo.toml
+
+crates/bench/src/bin/fig09_tc_vs_ssgb.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

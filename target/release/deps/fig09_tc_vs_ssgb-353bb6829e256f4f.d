@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig09_tc_vs_ssgb-353bb6829e256f4f.d: crates/bench/src/bin/fig09_tc_vs_ssgb.rs
+
+/root/repo/target/release/deps/fig09_tc_vs_ssgb-353bb6829e256f4f: crates/bench/src/bin/fig09_tc_vs_ssgb.rs
+
+crates/bench/src/bin/fig09_tc_vs_ssgb.rs:

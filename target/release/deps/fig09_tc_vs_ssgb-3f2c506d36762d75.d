@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig09_tc_vs_ssgb-3f2c506d36762d75.d: crates/bench/src/bin/fig09_tc_vs_ssgb.rs
+
+/root/repo/target/release/deps/fig09_tc_vs_ssgb-3f2c506d36762d75: crates/bench/src/bin/fig09_tc_vs_ssgb.rs
+
+crates/bench/src/bin/fig09_tc_vs_ssgb.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/fig10_tc_scale-3d33022ea6e00c50.d: crates/bench/src/bin/fig10_tc_scale.rs Cargo.toml
+
+/root/repo/target/release/deps/libfig10_tc_scale-3d33022ea6e00c50.rmeta: crates/bench/src/bin/fig10_tc_scale.rs Cargo.toml
+
+crates/bench/src/bin/fig10_tc_scale.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

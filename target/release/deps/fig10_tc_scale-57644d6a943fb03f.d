@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig10_tc_scale-57644d6a943fb03f.d: crates/bench/src/bin/fig10_tc_scale.rs
+
+/root/repo/target/release/deps/fig10_tc_scale-57644d6a943fb03f: crates/bench/src/bin/fig10_tc_scale.rs
+
+crates/bench/src/bin/fig10_tc_scale.rs:

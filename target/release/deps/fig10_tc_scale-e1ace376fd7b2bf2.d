@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig10_tc_scale-e1ace376fd7b2bf2.d: crates/bench/src/bin/fig10_tc_scale.rs
+
+/root/repo/target/release/deps/fig10_tc_scale-e1ace376fd7b2bf2: crates/bench/src/bin/fig10_tc_scale.rs
+
+crates/bench/src/bin/fig10_tc_scale.rs:

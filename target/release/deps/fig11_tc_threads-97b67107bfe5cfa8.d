@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/fig11_tc_threads-97b67107bfe5cfa8.d: crates/bench/src/bin/fig11_tc_threads.rs Cargo.toml
+
+/root/repo/target/release/deps/libfig11_tc_threads-97b67107bfe5cfa8.rmeta: crates/bench/src/bin/fig11_tc_threads.rs Cargo.toml
+
+crates/bench/src/bin/fig11_tc_threads.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig11_tc_threads-cf3d71ccb4f93f1f.d: crates/bench/src/bin/fig11_tc_threads.rs
+
+/root/repo/target/release/deps/fig11_tc_threads-cf3d71ccb4f93f1f: crates/bench/src/bin/fig11_tc_threads.rs
+
+crates/bench/src/bin/fig11_tc_threads.rs:

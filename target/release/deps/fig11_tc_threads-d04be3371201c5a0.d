@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig11_tc_threads-d04be3371201c5a0.d: crates/bench/src/bin/fig11_tc_threads.rs
+
+/root/repo/target/release/deps/fig11_tc_threads-d04be3371201c5a0: crates/bench/src/bin/fig11_tc_threads.rs
+
+crates/bench/src/bin/fig11_tc_threads.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/fig11_tc_threads-d0a193780f60653a.d: crates/bench/src/bin/fig11_tc_threads.rs Cargo.toml
+
+/root/repo/target/release/deps/libfig11_tc_threads-d0a193780f60653a.rmeta: crates/bench/src/bin/fig11_tc_threads.rs Cargo.toml
+
+crates/bench/src/bin/fig11_tc_threads.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

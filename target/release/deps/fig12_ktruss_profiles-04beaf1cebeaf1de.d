@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig12_ktruss_profiles-04beaf1cebeaf1de.d: crates/bench/src/bin/fig12_ktruss_profiles.rs
+
+/root/repo/target/release/deps/fig12_ktruss_profiles-04beaf1cebeaf1de: crates/bench/src/bin/fig12_ktruss_profiles.rs
+
+crates/bench/src/bin/fig12_ktruss_profiles.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig12_ktruss_profiles-4f854f87818a28d5.d: crates/bench/src/bin/fig12_ktruss_profiles.rs
+
+/root/repo/target/release/deps/fig12_ktruss_profiles-4f854f87818a28d5: crates/bench/src/bin/fig12_ktruss_profiles.rs
+
+crates/bench/src/bin/fig12_ktruss_profiles.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/fig12_ktruss_profiles-9896106ab7f5b94c.d: crates/bench/src/bin/fig12_ktruss_profiles.rs Cargo.toml
+
+/root/repo/target/release/deps/libfig12_ktruss_profiles-9896106ab7f5b94c.rmeta: crates/bench/src/bin/fig12_ktruss_profiles.rs Cargo.toml
+
+crates/bench/src/bin/fig12_ktruss_profiles.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/fig13_ktruss_vs_ssgb-4e44f0e8bec8d39a.d: crates/bench/src/bin/fig13_ktruss_vs_ssgb.rs Cargo.toml
+
+/root/repo/target/release/deps/libfig13_ktruss_vs_ssgb-4e44f0e8bec8d39a.rmeta: crates/bench/src/bin/fig13_ktruss_vs_ssgb.rs Cargo.toml
+
+crates/bench/src/bin/fig13_ktruss_vs_ssgb.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig13_ktruss_vs_ssgb-4fd6d52671bb7459.d: crates/bench/src/bin/fig13_ktruss_vs_ssgb.rs
+
+/root/repo/target/release/deps/fig13_ktruss_vs_ssgb-4fd6d52671bb7459: crates/bench/src/bin/fig13_ktruss_vs_ssgb.rs
+
+crates/bench/src/bin/fig13_ktruss_vs_ssgb.rs:

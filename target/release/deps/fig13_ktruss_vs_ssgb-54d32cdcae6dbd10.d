@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig13_ktruss_vs_ssgb-54d32cdcae6dbd10.d: crates/bench/src/bin/fig13_ktruss_vs_ssgb.rs
+
+/root/repo/target/release/deps/fig13_ktruss_vs_ssgb-54d32cdcae6dbd10: crates/bench/src/bin/fig13_ktruss_vs_ssgb.rs
+
+crates/bench/src/bin/fig13_ktruss_vs_ssgb.rs:

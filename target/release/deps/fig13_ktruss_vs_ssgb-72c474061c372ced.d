@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/fig13_ktruss_vs_ssgb-72c474061c372ced.d: crates/bench/src/bin/fig13_ktruss_vs_ssgb.rs Cargo.toml
+
+/root/repo/target/release/deps/libfig13_ktruss_vs_ssgb-72c474061c372ced.rmeta: crates/bench/src/bin/fig13_ktruss_vs_ssgb.rs Cargo.toml
+
+crates/bench/src/bin/fig13_ktruss_vs_ssgb.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig14_ktruss_scale-1902747f080bfb40.d: crates/bench/src/bin/fig14_ktruss_scale.rs
+
+/root/repo/target/release/deps/fig14_ktruss_scale-1902747f080bfb40: crates/bench/src/bin/fig14_ktruss_scale.rs
+
+crates/bench/src/bin/fig14_ktruss_scale.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/fig14_ktruss_scale-ba3fa1ee7223ec63.d: crates/bench/src/bin/fig14_ktruss_scale.rs Cargo.toml
+
+/root/repo/target/release/deps/libfig14_ktruss_scale-ba3fa1ee7223ec63.rmeta: crates/bench/src/bin/fig14_ktruss_scale.rs Cargo.toml
+
+crates/bench/src/bin/fig14_ktruss_scale.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

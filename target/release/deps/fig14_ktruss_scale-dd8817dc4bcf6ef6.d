@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig14_ktruss_scale-dd8817dc4bcf6ef6.d: crates/bench/src/bin/fig14_ktruss_scale.rs
+
+/root/repo/target/release/deps/fig14_ktruss_scale-dd8817dc4bcf6ef6: crates/bench/src/bin/fig14_ktruss_scale.rs
+
+crates/bench/src/bin/fig14_ktruss_scale.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig15_bc_scale-07ff4696451aeca5.d: crates/bench/src/bin/fig15_bc_scale.rs
+
+/root/repo/target/release/deps/fig15_bc_scale-07ff4696451aeca5: crates/bench/src/bin/fig15_bc_scale.rs
+
+crates/bench/src/bin/fig15_bc_scale.rs:

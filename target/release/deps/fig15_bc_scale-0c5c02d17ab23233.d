@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig15_bc_scale-0c5c02d17ab23233.d: crates/bench/src/bin/fig15_bc_scale.rs
+
+/root/repo/target/release/deps/fig15_bc_scale-0c5c02d17ab23233: crates/bench/src/bin/fig15_bc_scale.rs
+
+crates/bench/src/bin/fig15_bc_scale.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/fig15_bc_scale-64401e6df9724e77.d: crates/bench/src/bin/fig15_bc_scale.rs Cargo.toml
+
+/root/repo/target/release/deps/libfig15_bc_scale-64401e6df9724e77.rmeta: crates/bench/src/bin/fig15_bc_scale.rs Cargo.toml
+
+crates/bench/src/bin/fig15_bc_scale.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

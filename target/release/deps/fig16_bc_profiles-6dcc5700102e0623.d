@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig16_bc_profiles-6dcc5700102e0623.d: crates/bench/src/bin/fig16_bc_profiles.rs
+
+/root/repo/target/release/deps/fig16_bc_profiles-6dcc5700102e0623: crates/bench/src/bin/fig16_bc_profiles.rs
+
+crates/bench/src/bin/fig16_bc_profiles.rs:

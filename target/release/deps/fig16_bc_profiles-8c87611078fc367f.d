@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/fig16_bc_profiles-8c87611078fc367f.d: crates/bench/src/bin/fig16_bc_profiles.rs Cargo.toml
+
+/root/repo/target/release/deps/libfig16_bc_profiles-8c87611078fc367f.rmeta: crates/bench/src/bin/fig16_bc_profiles.rs Cargo.toml
+
+crates/bench/src/bin/fig16_bc_profiles.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/fig16_bc_profiles-b4a6f48cc4512754.d: crates/bench/src/bin/fig16_bc_profiles.rs Cargo.toml
+
+/root/repo/target/release/deps/libfig16_bc_profiles-b4a6f48cc4512754.rmeta: crates/bench/src/bin/fig16_bc_profiles.rs Cargo.toml
+
+crates/bench/src/bin/fig16_bc_profiles.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig16_bc_profiles-d176b9f8874cfe09.d: crates/bench/src/bin/fig16_bc_profiles.rs
+
+/root/repo/target/release/deps/fig16_bc_profiles-d176b9f8874cfe09: crates/bench/src/bin/fig16_bc_profiles.rs
+
+crates/bench/src/bin/fig16_bc_profiles.rs:

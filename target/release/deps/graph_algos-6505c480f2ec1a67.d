@@ -1,0 +1,17 @@
+/root/repo/target/release/deps/graph_algos-6505c480f2ec1a67.d: crates/graph-algos/src/lib.rs crates/graph-algos/src/auto.rs crates/graph-algos/src/bc.rs crates/graph-algos/src/bfs.rs crates/graph-algos/src/ktruss.rs crates/graph-algos/src/reference.rs crates/graph-algos/src/scheme.rs crates/graph-algos/src/similarity.rs crates/graph-algos/src/triangle.rs Cargo.toml
+
+/root/repo/target/release/deps/libgraph_algos-6505c480f2ec1a67.rmeta: crates/graph-algos/src/lib.rs crates/graph-algos/src/auto.rs crates/graph-algos/src/bc.rs crates/graph-algos/src/bfs.rs crates/graph-algos/src/ktruss.rs crates/graph-algos/src/reference.rs crates/graph-algos/src/scheme.rs crates/graph-algos/src/similarity.rs crates/graph-algos/src/triangle.rs Cargo.toml
+
+crates/graph-algos/src/lib.rs:
+crates/graph-algos/src/auto.rs:
+crates/graph-algos/src/bc.rs:
+crates/graph-algos/src/bfs.rs:
+crates/graph-algos/src/ktruss.rs:
+crates/graph-algos/src/reference.rs:
+crates/graph-algos/src/scheme.rs:
+crates/graph-algos/src/similarity.rs:
+crates/graph-algos/src/triangle.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/graph_algos-b4d6c29ccaf28a86.d: crates/graph-algos/src/lib.rs crates/graph-algos/src/auto.rs crates/graph-algos/src/bc.rs crates/graph-algos/src/bfs.rs crates/graph-algos/src/ktruss.rs crates/graph-algos/src/reference.rs crates/graph-algos/src/scheme.rs crates/graph-algos/src/similarity.rs crates/graph-algos/src/triangle.rs
+
+/root/repo/target/release/deps/libgraph_algos-b4d6c29ccaf28a86.rlib: crates/graph-algos/src/lib.rs crates/graph-algos/src/auto.rs crates/graph-algos/src/bc.rs crates/graph-algos/src/bfs.rs crates/graph-algos/src/ktruss.rs crates/graph-algos/src/reference.rs crates/graph-algos/src/scheme.rs crates/graph-algos/src/similarity.rs crates/graph-algos/src/triangle.rs
+
+/root/repo/target/release/deps/libgraph_algos-b4d6c29ccaf28a86.rmeta: crates/graph-algos/src/lib.rs crates/graph-algos/src/auto.rs crates/graph-algos/src/bc.rs crates/graph-algos/src/bfs.rs crates/graph-algos/src/ktruss.rs crates/graph-algos/src/reference.rs crates/graph-algos/src/scheme.rs crates/graph-algos/src/similarity.rs crates/graph-algos/src/triangle.rs
+
+crates/graph-algos/src/lib.rs:
+crates/graph-algos/src/auto.rs:
+crates/graph-algos/src/bc.rs:
+crates/graph-algos/src/bfs.rs:
+crates/graph-algos/src/ktruss.rs:
+crates/graph-algos/src/reference.rs:
+crates/graph-algos/src/scheme.rs:
+crates/graph-algos/src/similarity.rs:
+crates/graph-algos/src/triangle.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/graph_algos-dc4487176568af31.d: crates/graph-algos/src/lib.rs crates/graph-algos/src/auto.rs crates/graph-algos/src/bc.rs crates/graph-algos/src/bfs.rs crates/graph-algos/src/ktruss.rs crates/graph-algos/src/reference.rs crates/graph-algos/src/scheme.rs crates/graph-algos/src/similarity.rs crates/graph-algos/src/triangle.rs
+
+/root/repo/target/release/deps/graph_algos-dc4487176568af31: crates/graph-algos/src/lib.rs crates/graph-algos/src/auto.rs crates/graph-algos/src/bc.rs crates/graph-algos/src/bfs.rs crates/graph-algos/src/ktruss.rs crates/graph-algos/src/reference.rs crates/graph-algos/src/scheme.rs crates/graph-algos/src/similarity.rs crates/graph-algos/src/triangle.rs
+
+crates/graph-algos/src/lib.rs:
+crates/graph-algos/src/auto.rs:
+crates/graph-algos/src/bc.rs:
+crates/graph-algos/src/bfs.rs:
+crates/graph-algos/src/ktruss.rs:
+crates/graph-algos/src/reference.rs:
+crates/graph-algos/src/scheme.rs:
+crates/graph-algos/src/similarity.rs:
+crates/graph-algos/src/triangle.rs:

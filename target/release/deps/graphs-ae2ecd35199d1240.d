@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/graphs-ae2ecd35199d1240.d: crates/graphs/src/lib.rs crates/graphs/src/erdos_renyi.rs crates/graphs/src/rmat.rs crates/graphs/src/stats.rs crates/graphs/src/structured.rs crates/graphs/src/suite.rs crates/graphs/src/util.rs
+
+/root/repo/target/release/deps/graphs-ae2ecd35199d1240: crates/graphs/src/lib.rs crates/graphs/src/erdos_renyi.rs crates/graphs/src/rmat.rs crates/graphs/src/stats.rs crates/graphs/src/structured.rs crates/graphs/src/suite.rs crates/graphs/src/util.rs
+
+crates/graphs/src/lib.rs:
+crates/graphs/src/erdos_renyi.rs:
+crates/graphs/src/rmat.rs:
+crates/graphs/src/stats.rs:
+crates/graphs/src/structured.rs:
+crates/graphs/src/suite.rs:
+crates/graphs/src/util.rs:

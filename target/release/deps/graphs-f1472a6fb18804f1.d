@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/graphs-f1472a6fb18804f1.d: crates/graphs/src/lib.rs crates/graphs/src/erdos_renyi.rs crates/graphs/src/rmat.rs crates/graphs/src/stats.rs crates/graphs/src/structured.rs crates/graphs/src/suite.rs crates/graphs/src/util.rs Cargo.toml
+
+/root/repo/target/release/deps/libgraphs-f1472a6fb18804f1.rmeta: crates/graphs/src/lib.rs crates/graphs/src/erdos_renyi.rs crates/graphs/src/rmat.rs crates/graphs/src/stats.rs crates/graphs/src/structured.rs crates/graphs/src/suite.rs crates/graphs/src/util.rs Cargo.toml
+
+crates/graphs/src/lib.rs:
+crates/graphs/src/erdos_renyi.rs:
+crates/graphs/src/rmat.rs:
+crates/graphs/src/stats.rs:
+crates/graphs/src/structured.rs:
+crates/graphs/src/suite.rs:
+crates/graphs/src/util.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

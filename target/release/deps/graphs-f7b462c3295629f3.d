@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/graphs-f7b462c3295629f3.d: crates/graphs/src/lib.rs crates/graphs/src/erdos_renyi.rs crates/graphs/src/rmat.rs crates/graphs/src/stats.rs crates/graphs/src/structured.rs crates/graphs/src/suite.rs crates/graphs/src/util.rs
+
+/root/repo/target/release/deps/libgraphs-f7b462c3295629f3.rlib: crates/graphs/src/lib.rs crates/graphs/src/erdos_renyi.rs crates/graphs/src/rmat.rs crates/graphs/src/stats.rs crates/graphs/src/structured.rs crates/graphs/src/suite.rs crates/graphs/src/util.rs
+
+/root/repo/target/release/deps/libgraphs-f7b462c3295629f3.rmeta: crates/graphs/src/lib.rs crates/graphs/src/erdos_renyi.rs crates/graphs/src/rmat.rs crates/graphs/src/stats.rs crates/graphs/src/structured.rs crates/graphs/src/suite.rs crates/graphs/src/util.rs
+
+crates/graphs/src/lib.rs:
+crates/graphs/src/erdos_renyi.rs:
+crates/graphs/src/rmat.rs:
+crates/graphs/src/stats.rs:
+crates/graphs/src/structured.rs:
+crates/graphs/src/suite.rs:
+crates/graphs/src/util.rs:

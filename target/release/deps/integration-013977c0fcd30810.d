@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/integration-013977c0fcd30810.d: crates/integration/src/lib.rs
+
+/root/repo/target/release/deps/libintegration-013977c0fcd30810.rlib: crates/integration/src/lib.rs
+
+/root/repo/target/release/deps/libintegration-013977c0fcd30810.rmeta: crates/integration/src/lib.rs
+
+crates/integration/src/lib.rs:

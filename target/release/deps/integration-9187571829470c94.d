@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/integration-9187571829470c94.d: crates/integration/src/lib.rs Cargo.toml
+
+/root/repo/target/release/deps/libintegration-9187571829470c94.rmeta: crates/integration/src/lib.rs Cargo.toml
+
+crates/integration/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/integration-95ffb0c17e06017e.d: crates/integration/src/lib.rs
+
+/root/repo/target/release/deps/integration-95ffb0c17e06017e: crates/integration/src/lib.rs
+
+crates/integration/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/io_and_suite-1e8f24d297bb67e2.d: crates/integration/../../tests/io_and_suite.rs Cargo.toml
+
+/root/repo/target/release/deps/libio_and_suite-1e8f24d297bb67e2.rmeta: crates/integration/../../tests/io_and_suite.rs Cargo.toml
+
+crates/integration/../../tests/io_and_suite.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

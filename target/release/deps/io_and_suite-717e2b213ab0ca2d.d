@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/io_and_suite-717e2b213ab0ca2d.d: crates/integration/../../tests/io_and_suite.rs
+
+/root/repo/target/release/deps/io_and_suite-717e2b213ab0ca2d: crates/integration/../../tests/io_and_suite.rs
+
+crates/integration/../../tests/io_and_suite.rs:

@@ -1,0 +1,23 @@
+/root/repo/target/release/deps/masked_spgemm-aa629bbf3f8dcf0a.d: crates/core/src/lib.rs crates/core/src/accum/mod.rs crates/core/src/accum/hash.rs crates/core/src/accum/mca.rs crates/core/src/accum/msa.rs crates/core/src/algos/mod.rs crates/core/src/algos/hash.rs crates/core/src/algos/heap.rs crates/core/src/algos/inner.rs crates/core/src/algos/mca.rs crates/core/src/algos/msa.rs crates/core/src/api.rs crates/core/src/dcsr_exec.rs crates/core/src/estimate.rs crates/core/src/exec.rs crates/core/src/hybrid.rs crates/core/src/kernel.rs crates/core/src/scratch.rs crates/core/src/spgevm.rs
+
+/root/repo/target/release/deps/masked_spgemm-aa629bbf3f8dcf0a: crates/core/src/lib.rs crates/core/src/accum/mod.rs crates/core/src/accum/hash.rs crates/core/src/accum/mca.rs crates/core/src/accum/msa.rs crates/core/src/algos/mod.rs crates/core/src/algos/hash.rs crates/core/src/algos/heap.rs crates/core/src/algos/inner.rs crates/core/src/algos/mca.rs crates/core/src/algos/msa.rs crates/core/src/api.rs crates/core/src/dcsr_exec.rs crates/core/src/estimate.rs crates/core/src/exec.rs crates/core/src/hybrid.rs crates/core/src/kernel.rs crates/core/src/scratch.rs crates/core/src/spgevm.rs
+
+crates/core/src/lib.rs:
+crates/core/src/accum/mod.rs:
+crates/core/src/accum/hash.rs:
+crates/core/src/accum/mca.rs:
+crates/core/src/accum/msa.rs:
+crates/core/src/algos/mod.rs:
+crates/core/src/algos/hash.rs:
+crates/core/src/algos/heap.rs:
+crates/core/src/algos/inner.rs:
+crates/core/src/algos/mca.rs:
+crates/core/src/algos/msa.rs:
+crates/core/src/api.rs:
+crates/core/src/dcsr_exec.rs:
+crates/core/src/estimate.rs:
+crates/core/src/exec.rs:
+crates/core/src/hybrid.rs:
+crates/core/src/kernel.rs:
+crates/core/src/scratch.rs:
+crates/core/src/spgevm.rs:

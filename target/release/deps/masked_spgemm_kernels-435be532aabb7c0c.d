@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/masked_spgemm_kernels-435be532aabb7c0c.d: crates/bench/benches/masked_spgemm_kernels.rs Cargo.toml
+
+/root/repo/target/release/deps/libmasked_spgemm_kernels-435be532aabb7c0c.rmeta: crates/bench/benches/masked_spgemm_kernels.rs Cargo.toml
+
+crates/bench/benches/masked_spgemm_kernels.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

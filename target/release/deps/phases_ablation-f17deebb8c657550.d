@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/phases_ablation-f17deebb8c657550.d: crates/bench/benches/phases_ablation.rs Cargo.toml
+
+/root/repo/target/release/deps/libphases_ablation-f17deebb8c657550.rmeta: crates/bench/benches/phases_ablation.rs Cargo.toml
+
+crates/bench/benches/phases_ablation.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/plandiag-03e2ddb8b19b42eb.d: crates/bench/src/bin/plandiag.rs
+
+/root/repo/target/release/deps/plandiag-03e2ddb8b19b42eb: crates/bench/src/bin/plandiag.rs
+
+crates/bench/src/bin/plandiag.rs:

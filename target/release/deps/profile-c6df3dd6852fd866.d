@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/profile-c6df3dd6852fd866.d: crates/profile/src/lib.rs crates/profile/src/ascii.rs crates/profile/src/perf_profile.rs crates/profile/src/table.rs crates/profile/src/timer.rs
+
+/root/repo/target/release/deps/profile-c6df3dd6852fd866: crates/profile/src/lib.rs crates/profile/src/ascii.rs crates/profile/src/perf_profile.rs crates/profile/src/table.rs crates/profile/src/timer.rs
+
+crates/profile/src/lib.rs:
+crates/profile/src/ascii.rs:
+crates/profile/src/perf_profile.rs:
+crates/profile/src/table.rs:
+crates/profile/src/timer.rs:

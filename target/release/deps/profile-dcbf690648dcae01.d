@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/profile-dcbf690648dcae01.d: crates/profile/src/lib.rs crates/profile/src/ascii.rs crates/profile/src/perf_profile.rs crates/profile/src/table.rs crates/profile/src/timer.rs Cargo.toml
+
+/root/repo/target/release/deps/libprofile-dcbf690648dcae01.rmeta: crates/profile/src/lib.rs crates/profile/src/ascii.rs crates/profile/src/perf_profile.rs crates/profile/src/table.rs crates/profile/src/timer.rs Cargo.toml
+
+crates/profile/src/lib.rs:
+crates/profile/src/ascii.rs:
+crates/profile/src/perf_profile.rs:
+crates/profile/src/table.rs:
+crates/profile/src/timer.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

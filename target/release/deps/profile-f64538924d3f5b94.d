@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/profile-f64538924d3f5b94.d: crates/profile/src/lib.rs crates/profile/src/ascii.rs crates/profile/src/perf_profile.rs crates/profile/src/table.rs crates/profile/src/timer.rs
+
+/root/repo/target/release/deps/libprofile-f64538924d3f5b94.rlib: crates/profile/src/lib.rs crates/profile/src/ascii.rs crates/profile/src/perf_profile.rs crates/profile/src/table.rs crates/profile/src/timer.rs
+
+/root/repo/target/release/deps/libprofile-f64538924d3f5b94.rmeta: crates/profile/src/lib.rs crates/profile/src/ascii.rs crates/profile/src/perf_profile.rs crates/profile/src/table.rs crates/profile/src/timer.rs
+
+crates/profile/src/lib.rs:
+crates/profile/src/ascii.rs:
+crates/profile/src/perf_profile.rs:
+crates/profile/src/table.rs:
+crates/profile/src/timer.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/property_masked_spgemm-69df24562fe7d0ce.d: crates/integration/../../tests/property_masked_spgemm.rs
+
+/root/repo/target/release/deps/property_masked_spgemm-69df24562fe7d0ce: crates/integration/../../tests/property_masked_spgemm.rs
+
+crates/integration/../../tests/property_masked_spgemm.rs:

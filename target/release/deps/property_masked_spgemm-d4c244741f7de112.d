@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/property_masked_spgemm-d4c244741f7de112.d: crates/integration/../../tests/property_masked_spgemm.rs Cargo.toml
+
+/root/repo/target/release/deps/libproperty_masked_spgemm-d4c244741f7de112.rmeta: crates/integration/../../tests/property_masked_spgemm.rs Cargo.toml
+
+crates/integration/../../tests/property_masked_spgemm.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/proptest-445fc2d990d97e00.d: crates/shims/proptest/src/lib.rs crates/shims/proptest/src/collection.rs
+
+/root/repo/target/release/deps/libproptest-445fc2d990d97e00.rlib: crates/shims/proptest/src/lib.rs crates/shims/proptest/src/collection.rs
+
+/root/repo/target/release/deps/libproptest-445fc2d990d97e00.rmeta: crates/shims/proptest/src/lib.rs crates/shims/proptest/src/collection.rs
+
+crates/shims/proptest/src/lib.rs:
+crates/shims/proptest/src/collection.rs:

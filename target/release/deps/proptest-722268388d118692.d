@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/proptest-722268388d118692.d: crates/shims/proptest/src/lib.rs crates/shims/proptest/src/collection.rs Cargo.toml
+
+/root/repo/target/release/deps/libproptest-722268388d118692.rmeta: crates/shims/proptest/src/lib.rs crates/shims/proptest/src/collection.rs Cargo.toml
+
+crates/shims/proptest/src/lib.rs:
+crates/shims/proptest/src/collection.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,6 @@
+/root/repo/target/release/deps/proptest-f2241e015558004e.d: crates/shims/proptest/src/lib.rs crates/shims/proptest/src/collection.rs
+
+/root/repo/target/release/deps/proptest-f2241e015558004e: crates/shims/proptest/src/lib.rs crates/shims/proptest/src/collection.rs
+
+crates/shims/proptest/src/lib.rs:
+crates/shims/proptest/src/collection.rs:

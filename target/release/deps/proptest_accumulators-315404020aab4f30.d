@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/proptest_accumulators-315404020aab4f30.d: crates/core/tests/proptest_accumulators.rs
+
+/root/repo/target/release/deps/proptest_accumulators-315404020aab4f30: crates/core/tests/proptest_accumulators.rs
+
+crates/core/tests/proptest_accumulators.rs:

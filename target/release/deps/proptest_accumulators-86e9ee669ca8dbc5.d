@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/proptest_accumulators-86e9ee669ca8dbc5.d: crates/core/tests/proptest_accumulators.rs Cargo.toml
+
+/root/repo/target/release/deps/libproptest_accumulators-86e9ee669ca8dbc5.rmeta: crates/core/tests/proptest_accumulators.rs Cargo.toml
+
+crates/core/tests/proptest_accumulators.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

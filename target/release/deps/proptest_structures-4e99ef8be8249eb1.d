@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/proptest_structures-4e99ef8be8249eb1.d: crates/sparse/tests/proptest_structures.rs Cargo.toml
+
+/root/repo/target/release/deps/libproptest_structures-4e99ef8be8249eb1.rmeta: crates/sparse/tests/proptest_structures.rs Cargo.toml
+
+crates/sparse/tests/proptest_structures.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

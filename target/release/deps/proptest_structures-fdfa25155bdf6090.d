@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/proptest_structures-fdfa25155bdf6090.d: crates/sparse/tests/proptest_structures.rs
+
+/root/repo/target/release/deps/proptest_structures-fdfa25155bdf6090: crates/sparse/tests/proptest_structures.rs
+
+crates/sparse/tests/proptest_structures.rs:

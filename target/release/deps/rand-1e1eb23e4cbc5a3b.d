@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/rand-1e1eb23e4cbc5a3b.d: crates/shims/rand/src/lib.rs
+
+/root/repo/target/release/deps/rand-1e1eb23e4cbc5a3b: crates/shims/rand/src/lib.rs
+
+crates/shims/rand/src/lib.rs:

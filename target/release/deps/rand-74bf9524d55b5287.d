@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/rand-74bf9524d55b5287.d: crates/shims/rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-74bf9524d55b5287.rlib: crates/shims/rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-74bf9524d55b5287.rmeta: crates/shims/rand/src/lib.rs
+
+crates/shims/rand/src/lib.rs:

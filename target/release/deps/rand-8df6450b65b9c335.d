@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/rand-8df6450b65b9c335.d: crates/shims/rand/src/lib.rs Cargo.toml
+
+/root/repo/target/release/deps/librand-8df6450b65b9c335.rmeta: crates/shims/rand/src/lib.rs Cargo.toml
+
+crates/shims/rand/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

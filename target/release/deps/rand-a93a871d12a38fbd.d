@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/rand-a93a871d12a38fbd.d: crates/shims/rand/src/lib.rs Cargo.toml
+
+/root/repo/target/release/deps/librand-a93a871d12a38fbd.rmeta: crates/shims/rand/src/lib.rs Cargo.toml
+
+crates/shims/rand/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

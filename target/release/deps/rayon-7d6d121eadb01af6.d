@@ -1,0 +1,6 @@
+/root/repo/target/release/deps/rayon-7d6d121eadb01af6.d: crates/shims/rayon/src/lib.rs crates/shims/rayon/src/iter.rs
+
+/root/repo/target/release/deps/rayon-7d6d121eadb01af6: crates/shims/rayon/src/lib.rs crates/shims/rayon/src/iter.rs
+
+crates/shims/rayon/src/lib.rs:
+crates/shims/rayon/src/iter.rs:

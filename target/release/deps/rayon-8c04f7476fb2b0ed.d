@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/rayon-8c04f7476fb2b0ed.d: crates/shims/rayon/src/lib.rs crates/shims/rayon/src/iter.rs Cargo.toml
+
+/root/repo/target/release/deps/librayon-8c04f7476fb2b0ed.rmeta: crates/shims/rayon/src/lib.rs crates/shims/rayon/src/iter.rs Cargo.toml
+
+crates/shims/rayon/src/lib.rs:
+crates/shims/rayon/src/iter.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/rayon-c49ff069b5ce52e1.d: crates/shims/rayon/src/lib.rs crates/shims/rayon/src/iter.rs Cargo.toml
+
+/root/repo/target/release/deps/librayon-c49ff069b5ce52e1.rmeta: crates/shims/rayon/src/lib.rs crates/shims/rayon/src/iter.rs Cargo.toml
+
+crates/shims/rayon/src/lib.rs:
+crates/shims/rayon/src/iter.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

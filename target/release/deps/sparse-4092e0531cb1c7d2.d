@@ -1,0 +1,26 @@
+/root/repo/target/release/deps/sparse-4092e0531cb1c7d2.d: crates/sparse/src/lib.rs crates/sparse/src/coo.rs crates/sparse/src/csc.rs crates/sparse/src/csr.rs crates/sparse/src/dcsr.rs crates/sparse/src/degree.rs crates/sparse/src/dense.rs crates/sparse/src/error.rs crates/sparse/src/ewise.rs crates/sparse/src/index.rs crates/sparse/src/io.rs crates/sparse/src/permute.rs crates/sparse/src/reduce.rs crates/sparse/src/semiring.rs crates/sparse/src/spmv.rs crates/sparse/src/spvec.rs crates/sparse/src/transpose.rs crates/sparse/src/triangular.rs Cargo.toml
+
+/root/repo/target/release/deps/libsparse-4092e0531cb1c7d2.rmeta: crates/sparse/src/lib.rs crates/sparse/src/coo.rs crates/sparse/src/csc.rs crates/sparse/src/csr.rs crates/sparse/src/dcsr.rs crates/sparse/src/degree.rs crates/sparse/src/dense.rs crates/sparse/src/error.rs crates/sparse/src/ewise.rs crates/sparse/src/index.rs crates/sparse/src/io.rs crates/sparse/src/permute.rs crates/sparse/src/reduce.rs crates/sparse/src/semiring.rs crates/sparse/src/spmv.rs crates/sparse/src/spvec.rs crates/sparse/src/transpose.rs crates/sparse/src/triangular.rs Cargo.toml
+
+crates/sparse/src/lib.rs:
+crates/sparse/src/coo.rs:
+crates/sparse/src/csc.rs:
+crates/sparse/src/csr.rs:
+crates/sparse/src/dcsr.rs:
+crates/sparse/src/degree.rs:
+crates/sparse/src/dense.rs:
+crates/sparse/src/error.rs:
+crates/sparse/src/ewise.rs:
+crates/sparse/src/index.rs:
+crates/sparse/src/io.rs:
+crates/sparse/src/permute.rs:
+crates/sparse/src/reduce.rs:
+crates/sparse/src/semiring.rs:
+crates/sparse/src/spmv.rs:
+crates/sparse/src/spvec.rs:
+crates/sparse/src/transpose.rs:
+crates/sparse/src/triangular.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,24 @@
+/root/repo/target/release/deps/sparse-c2ec96fb53ea5f33.d: crates/sparse/src/lib.rs crates/sparse/src/coo.rs crates/sparse/src/csc.rs crates/sparse/src/csr.rs crates/sparse/src/dcsr.rs crates/sparse/src/degree.rs crates/sparse/src/dense.rs crates/sparse/src/error.rs crates/sparse/src/ewise.rs crates/sparse/src/index.rs crates/sparse/src/io.rs crates/sparse/src/permute.rs crates/sparse/src/reduce.rs crates/sparse/src/semiring.rs crates/sparse/src/spmv.rs crates/sparse/src/spvec.rs crates/sparse/src/transpose.rs crates/sparse/src/triangular.rs
+
+/root/repo/target/release/deps/libsparse-c2ec96fb53ea5f33.rlib: crates/sparse/src/lib.rs crates/sparse/src/coo.rs crates/sparse/src/csc.rs crates/sparse/src/csr.rs crates/sparse/src/dcsr.rs crates/sparse/src/degree.rs crates/sparse/src/dense.rs crates/sparse/src/error.rs crates/sparse/src/ewise.rs crates/sparse/src/index.rs crates/sparse/src/io.rs crates/sparse/src/permute.rs crates/sparse/src/reduce.rs crates/sparse/src/semiring.rs crates/sparse/src/spmv.rs crates/sparse/src/spvec.rs crates/sparse/src/transpose.rs crates/sparse/src/triangular.rs
+
+/root/repo/target/release/deps/libsparse-c2ec96fb53ea5f33.rmeta: crates/sparse/src/lib.rs crates/sparse/src/coo.rs crates/sparse/src/csc.rs crates/sparse/src/csr.rs crates/sparse/src/dcsr.rs crates/sparse/src/degree.rs crates/sparse/src/dense.rs crates/sparse/src/error.rs crates/sparse/src/ewise.rs crates/sparse/src/index.rs crates/sparse/src/io.rs crates/sparse/src/permute.rs crates/sparse/src/reduce.rs crates/sparse/src/semiring.rs crates/sparse/src/spmv.rs crates/sparse/src/spvec.rs crates/sparse/src/transpose.rs crates/sparse/src/triangular.rs
+
+crates/sparse/src/lib.rs:
+crates/sparse/src/coo.rs:
+crates/sparse/src/csc.rs:
+crates/sparse/src/csr.rs:
+crates/sparse/src/dcsr.rs:
+crates/sparse/src/degree.rs:
+crates/sparse/src/dense.rs:
+crates/sparse/src/error.rs:
+crates/sparse/src/ewise.rs:
+crates/sparse/src/index.rs:
+crates/sparse/src/io.rs:
+crates/sparse/src/permute.rs:
+crates/sparse/src/reduce.rs:
+crates/sparse/src/semiring.rs:
+crates/sparse/src/spmv.rs:
+crates/sparse/src/spvec.rs:
+crates/sparse/src/transpose.rs:
+crates/sparse/src/triangular.rs:

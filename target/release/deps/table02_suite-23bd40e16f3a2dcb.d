@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table02_suite-23bd40e16f3a2dcb.d: crates/bench/src/bin/table02_suite.rs
+
+/root/repo/target/release/deps/table02_suite-23bd40e16f3a2dcb: crates/bench/src/bin/table02_suite.rs
+
+crates/bench/src/bin/table02_suite.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/table02_suite-28f23fa9f2bc11b6.d: crates/bench/src/bin/table02_suite.rs Cargo.toml
+
+/root/repo/target/release/deps/libtable02_suite-28f23fa9f2bc11b6.rmeta: crates/bench/src/bin/table02_suite.rs Cargo.toml
+
+crates/bench/src/bin/table02_suite.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

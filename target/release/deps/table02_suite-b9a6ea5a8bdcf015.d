@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table02_suite-b9a6ea5a8bdcf015.d: crates/bench/src/bin/table02_suite.rs
+
+/root/repo/target/release/deps/table02_suite-b9a6ea5a8bdcf015: crates/bench/src/bin/table02_suite.rs
+
+crates/bench/src/bin/table02_suite.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/algorithm_tour-8f4a6882c9fd8a55.d: crates/integration/../../examples/algorithm_tour.rs
+
+/root/repo/target/release/examples/algorithm_tour-8f4a6882c9fd8a55: crates/integration/../../examples/algorithm_tour.rs
+
+crates/integration/../../examples/algorithm_tour.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/examples/algorithm_tour-9f41609172c36a4d.d: crates/integration/../../examples/algorithm_tour.rs Cargo.toml
+
+/root/repo/target/release/examples/libalgorithm_tour-9f41609172c36a4d.rmeta: crates/integration/../../examples/algorithm_tour.rs Cargo.toml
+
+crates/integration/../../examples/algorithm_tour.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/release/examples/betweenness-53cf1b2c928b9a92.d: crates/integration/../../examples/betweenness.rs Cargo.toml
+
+/root/repo/target/release/examples/libbetweenness-53cf1b2c928b9a92.rmeta: crates/integration/../../examples/betweenness.rs Cargo.toml
+
+crates/integration/../../examples/betweenness.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

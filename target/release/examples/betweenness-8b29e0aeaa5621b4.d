@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/betweenness-8b29e0aeaa5621b4.d: crates/integration/../../examples/betweenness.rs
+
+/root/repo/target/release/examples/betweenness-8b29e0aeaa5621b4: crates/integration/../../examples/betweenness.rs
+
+crates/integration/../../examples/betweenness.rs:

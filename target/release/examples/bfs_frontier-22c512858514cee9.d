@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/bfs_frontier-22c512858514cee9.d: crates/integration/../../examples/bfs_frontier.rs
+
+/root/repo/target/release/examples/bfs_frontier-22c512858514cee9: crates/integration/../../examples/bfs_frontier.rs
+
+crates/integration/../../examples/bfs_frontier.rs:

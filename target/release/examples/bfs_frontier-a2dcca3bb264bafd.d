@@ -1,0 +1,9 @@
+/root/repo/target/release/examples/bfs_frontier-a2dcca3bb264bafd.d: crates/integration/../../examples/bfs_frontier.rs Cargo.toml
+
+/root/repo/target/release/examples/libbfs_frontier-a2dcca3bb264bafd.rmeta: crates/integration/../../examples/bfs_frontier.rs Cargo.toml
+
+crates/integration/../../examples/bfs_frontier.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/ktruss_peeling-3bc58ce060442477.d: crates/integration/../../examples/ktruss_peeling.rs
+
+/root/repo/target/release/examples/ktruss_peeling-3bc58ce060442477: crates/integration/../../examples/ktruss_peeling.rs
+
+crates/integration/../../examples/ktruss_peeling.rs:

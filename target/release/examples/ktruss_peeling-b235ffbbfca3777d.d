@@ -1,0 +1,9 @@
+/root/repo/target/release/examples/ktruss_peeling-b235ffbbfca3777d.d: crates/integration/../../examples/ktruss_peeling.rs Cargo.toml
+
+/root/repo/target/release/examples/libktruss_peeling-b235ffbbfca3777d.rmeta: crates/integration/../../examples/ktruss_peeling.rs Cargo.toml
+
+crates/integration/../../examples/ktruss_peeling.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

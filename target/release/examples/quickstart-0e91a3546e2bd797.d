@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/quickstart-0e91a3546e2bd797.d: crates/integration/../../examples/quickstart.rs
+
+/root/repo/target/release/examples/quickstart-0e91a3546e2bd797: crates/integration/../../examples/quickstart.rs
+
+crates/integration/../../examples/quickstart.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/examples/quickstart-c58ede1ffe18e35e.d: crates/integration/../../examples/quickstart.rs Cargo.toml
+
+/root/repo/target/release/examples/libquickstart-c58ede1ffe18e35e.rmeta: crates/integration/../../examples/quickstart.rs Cargo.toml
+
+crates/integration/../../examples/quickstart.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

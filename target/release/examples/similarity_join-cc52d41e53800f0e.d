@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/similarity_join-cc52d41e53800f0e.d: crates/integration/../../examples/similarity_join.rs
+
+/root/repo/target/release/examples/similarity_join-cc52d41e53800f0e: crates/integration/../../examples/similarity_join.rs
+
+crates/integration/../../examples/similarity_join.rs:

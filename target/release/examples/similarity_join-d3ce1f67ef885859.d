@@ -1,0 +1,9 @@
+/root/repo/target/release/examples/similarity_join-d3ce1f67ef885859.d: crates/integration/../../examples/similarity_join.rs Cargo.toml
+
+/root/repo/target/release/examples/libsimilarity_join-d3ce1f67ef885859.rmeta: crates/integration/../../examples/similarity_join.rs Cargo.toml
+
+crates/integration/../../examples/similarity_join.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/release/examples/triangle_census-4344ec24a7e0d19b.d: crates/integration/../../examples/triangle_census.rs Cargo.toml
+
+/root/repo/target/release/examples/libtriangle_census-4344ec24a7e0d19b.rmeta: crates/integration/../../examples/triangle_census.rs Cargo.toml
+
+crates/integration/../../examples/triangle_census.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

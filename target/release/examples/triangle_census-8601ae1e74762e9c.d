@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/triangle_census-8601ae1e74762e9c.d: crates/integration/../../examples/triangle_census.rs
+
+/root/repo/target/release/examples/triangle_census-8601ae1e74762e9c: crates/integration/../../examples/triangle_census.rs
+
+crates/integration/../../examples/triangle_census.rs:

@@ -1,0 +1,1 @@
+/root/repo/target/release/libintegration.rlib: /root/repo/crates/integration/src/lib.rs

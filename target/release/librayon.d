@@ -1,0 +1,1 @@
+/root/repo/target/release/librayon.rlib: /root/repo/crates/shims/rayon/src/iter.rs /root/repo/crates/shims/rayon/src/lib.rs
