@@ -1,23 +1,30 @@
-//! Engine acceptance harness: repeated-multiply loops and batch execution,
-//! engine path vs. direct calls.
+//! Engine acceptance harness: repeated-multiply loops, k-truss peeling,
+//! and heterogeneous streamed batches — engine path vs. direct calls.
 //!
-//! Three measurements, each best-of-`reps`:
+//! Four measurements, each best-of-`reps`:
 //!
 //! 1. **repeat** — the same masked multiply issued `iters` times the way
 //!    the scheme-based callers do it (CSC copy + selection per call)
-//!    vs. through `engine::Context` (auxiliaries cached on handles);
+//!    vs. through the engine's `OpBuilder` (auxiliaries cached on handles);
 //! 2. **ktruss** — the full peeling loop, `Scheme` path vs. `ktruss_auto`;
+//!    the harness also checks that peel planning hits the
+//!    fingerprint-keyed plan cache (≥ 1 plan reused across versions);
 //! 3. **batch** — `batch` independent multiplies, sequential direct calls
-//!    vs. `Context::run_batch` (inter-op parallel, per-worker scratch).
+//!    vs. `Context::run_batch_collect` (inter-op parallel, per-worker
+//!    scratch);
+//! 4. **mixed stream** — one heterogeneous batch mixing `plus_times` and
+//!    `plus_pair` ops, streamed through a `for_each_result` sink that
+//!    consumes and drops each output, vs. sequential direct calls.
 //!
-//! The acceptance bar (ISSUE 1): the engine path must be no slower than
-//! direct calls on the repeated-multiply loops. The harness prints a ratio
-//! table and exits nonzero if the engine regresses beyond 10%.
+//! The acceptance bar (ISSUE 1, carried forward): the engine path must be
+//! no slower than direct calls on the repeated-multiply loops. The harness
+//! prints a ratio table and exits nonzero if the engine regresses beyond
+//! 10% or if peel planning shows no fingerprint-cache reuse.
 //!
 //! Run with `cargo run --release -p bench --bin engine_repeat [--quick]`.
 
 use bench::{banner, HarnessArgs};
-use engine::{BatchOp, Context};
+use engine::{Context, SemiringKind};
 use graph_algos::{ktruss, ktruss_auto, Scheme};
 use masked_spgemm::{Algorithm, Phases};
 use profile::table::{write_text, Table};
@@ -78,7 +85,11 @@ fn main() {
     let (_, engine) = profile::best_of(args.reps, || {
         let mut nnz = 0usize;
         for _ in 0..iters {
-            let c = ctx.masked_spgemm(sr, h, false, h, h).expect("plain");
+            let c = ctx
+                .op(h, h, h)
+                .semiring(SemiringKind::PlusPair)
+                .run()
+                .expect("plain");
             nnz = c.nnz();
         }
         nnz
@@ -90,17 +101,24 @@ fn main() {
         engine.secs(),
     );
 
-    // 2. Full k-truss peeling loop.
+    // 2. Full k-truss peeling loop. The engine side must show plan reuse
+    //    across peeled versions (fingerprint-cache hits).
     let (_, direct) = profile::best_of(args.reps, || {
         ktruss(scheme, &adj, 5).expect("plain").iterations
     });
     let ha = ctx.insert(adj.clone());
-    let (_, engine) = profile::best_of(args.reps, || {
+    let hits_before = ctx.plan_cache_stats().hits;
+    let (peel_iters, engine) = profile::best_of(args.reps, || {
         ktruss_auto(&ctx, ha, 5).expect("plain").iterations
     });
+    let peel_plan_hits = ctx.plan_cache_stats().hits - hits_before;
     record(&mut table, "ktruss_k5_loop", direct.secs(), engine.secs());
+    println!(
+        "ktruss peel planning: {peel_iters} iterations/run, \
+         {peel_plan_hits} fingerprint-cache hits across all reps"
+    );
 
-    // 3. Independent batch: one multiply per distinct mask.
+    // 3. Independent homogeneous batch: one multiply per distinct mask.
     let srt = PlusTimes::<f64>::new();
     let masks: Vec<_> = (0..batch)
         .map(|i| graphs::erdos_renyi(l.nrows(), 8.0, 100 + i as u64))
@@ -114,17 +132,12 @@ fn main() {
         total
     });
     let mask_handles: Vec<_> = masks.iter().map(|m| ctx.insert(m.clone())).collect();
-    let ops: Vec<BatchOp> = mask_handles
+    let ops: Vec<engine::MaskedOp> = mask_handles
         .iter()
-        .map(|&m| BatchOp {
-            mask: m,
-            complemented: false,
-            a: h,
-            b: h,
-        })
+        .map(|&m| ctx.op(m, h, h).build())
         .collect();
     let (_, engine) = profile::best_of(args.reps, || {
-        ctx.run_batch(srt, &ops)
+        ctx.run_batch_collect(&ops)
             .into_iter()
             .map(|r| r.expect("plain").nnz())
             .sum::<usize>()
@@ -136,6 +149,73 @@ fn main() {
         engine.secs(),
     );
 
+    // 4. Heterogeneous streamed batch: the same masks, but alternating
+    //    plus_times and plus_pair ops in ONE batch, consumed by a sink
+    //    that keeps only a running nnz total (outputs are dropped as
+    //    workers finish — never all resident). The direct side runs the
+    //    same mixed workload sequentially with typed semirings.
+    let (_, direct) = profile::best_of(args.reps, || {
+        let lc = CscMatrix::from_csr(&l);
+        let mut total = 0usize;
+        for (i, m) in masks.iter().enumerate() {
+            total += if i % 2 == 0 {
+                scheme.run(srt, m, false, &l, &l, &lc).expect("plain").nnz()
+            } else {
+                scheme.run(sr, m, false, &l, &l, &lc).expect("plain").nnz()
+            };
+        }
+        total
+    });
+    let mixed_ops: Vec<engine::MaskedOp> = mask_handles
+        .iter()
+        .enumerate()
+        .map(|(i, &m)| {
+            let kind = if i % 2 == 0 {
+                SemiringKind::PlusTimes
+            } else {
+                SemiringKind::PlusPair
+            };
+            ctx.op(m, h, h).semiring(kind).build()
+        })
+        .collect();
+    let (_, engine) = profile::best_of(args.reps, || {
+        let mut total = 0usize;
+        ctx.for_each_result(&mixed_ops, |_i, r: Result<sparse::CsrMatrix<f64>, _>| {
+            total += r.expect("plain").nnz();
+        });
+        total
+    });
+    record(
+        &mut table,
+        "mixed_semiring_stream",
+        direct.secs(),
+        engine.secs(),
+    );
+
+    // Sanity: the dyn-semiring stream computes the same nnz totals as the
+    // typed direct path.
+    {
+        let lc = CscMatrix::from_csr(&l);
+        let mut direct_nnz = vec![0usize; masks.len()];
+        for (i, m) in masks.iter().enumerate() {
+            direct_nnz[i] = if i % 2 == 0 {
+                scheme.run(srt, m, false, &l, &l, &lc).expect("plain").nnz()
+            } else {
+                scheme.run(sr, m, false, &l, &l, &lc).expect("plain").nnz()
+            };
+        }
+        let mut mismatches = 0usize;
+        ctx.for_each_result(
+            &mixed_ops,
+            |i: usize, r: Result<sparse::CsrMatrix<f64>, _>| {
+                if r.expect("plain").nnz() != direct_nnz[i] {
+                    mismatches += 1;
+                }
+            },
+        );
+        assert_eq!(mismatches, 0, "mixed stream disagrees with direct calls");
+    }
+
     println!("{}", table.to_console());
     table
         .write_csv(args.out_dir.join("engine_repeat.csv"))
@@ -143,9 +223,18 @@ fn main() {
     write_text(args.out_dir.join("engine_repeat.txt"), &table.to_console()).expect("write txt");
 
     println!("worst engine/direct ratio: {worst_ratio:.3}");
+    let mut failed = false;
     if worst_ratio > 1.10 {
         eprintln!("FAIL: engine repeated-multiply path regressed beyond 10%");
+        failed = true;
+    }
+    if peel_iters >= 2 && peel_plan_hits == 0 {
+        eprintln!("FAIL: k-truss peeling never hit the fingerprint plan cache");
+        failed = true;
+    }
+    if failed {
         std::process::exit(1);
     }
     println!("engine repeated-multiply loops are no slower than direct calls ✓");
+    println!("k-truss peel planning reuses fingerprint-cached plans ✓");
 }

@@ -53,7 +53,27 @@ impl Algorithm {
     pub fn supports_complement(self) -> bool {
         !matches!(self, Algorithm::Mca)
     }
+
+    /// Validate a requested mask polarity against this algorithm.
+    ///
+    /// Every execution path in this workspace — direct calls, the serial
+    /// scratch drivers, DCSR execution, and the engine's planned/forced/
+    /// batched paths — funnels complement support through this check, so a
+    /// complemented-mask request on [`Algorithm::Mca`] uniformly yields
+    /// [`SparseError::Unsupported`] with [`COMPLEMENT_UNSUPPORTED`] instead
+    /// of a panic or a silent fallback.
+    pub fn check_complement_support(self, complemented: bool) -> Result<(), SparseError> {
+        if complemented && !self.supports_complement() {
+            return Err(SparseError::Unsupported(COMPLEMENT_UNSUPPORTED));
+        }
+        Ok(())
+    }
 }
+
+/// The one error message for "MCA × complemented mask", shared by every
+/// entry point (the MCA accumulator is addressed by mask *rank*, which
+/// presupposes the output pattern is a subset of the mask — Section 5.4).
+pub const COMPLEMENT_UNSUPPORTED: &str = "MCA does not support complemented masks";
 
 /// One-phase (numeric only) vs. two-phase (symbolic + numeric) execution.
 #[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
@@ -201,11 +221,7 @@ where
     MT: Copy + Sync,
 {
     check_shapes(mask, a, b.shape())?;
-    if complemented && !algorithm.supports_complement() {
-        return Err(SparseError::Unsupported(
-            "MCA does not support complemented masks",
-        ));
-    }
+    algorithm.check_complement_support(complemented)?;
     let c = match (algorithm, phases) {
         (Algorithm::Msa, Phases::One) => {
             push_one_phase::<S, MsaKernel<S>, MT>(sr, mask, complemented, a, b)
@@ -268,11 +284,7 @@ where
             "masked_spgemm_csc supports only Algorithm::Inner",
         ));
     }
-    if complemented && !algorithm.supports_complement() {
-        return Err(SparseError::Unsupported(
-            "this algorithm does not support complemented masks",
-        ));
-    }
+    algorithm.check_complement_support(complemented)?;
     Ok(inner_driver(
         sr,
         mask,

@@ -64,9 +64,7 @@ where
         });
     }
     if complemented && !K::SUPPORTS_COMPLEMENT {
-        return Err(SparseError::Unsupported(
-            "this kernel does not support complemented masks",
-        ));
+        return Err(SparseError::Unsupported(crate::api::COMPLEMENT_UNSUPPORTED));
     }
 
     // Rows that can produce output: under the plain mask, both the mask row

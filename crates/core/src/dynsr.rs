@@ -1,0 +1,213 @@
+//! Runtime-selected semirings for heterogeneous batches.
+//!
+//! The kernels in this crate are generic over [`Semiring`], which
+//! monomorphizes one copy of every kernel per semiring — the right call for
+//! a single hot multiply, but it forces any *batch* API to fix one semiring
+//! type for the whole batch. The engine's operation-descriptor API instead
+//! describes each multiply with a [`SemiringKind`] value and executes it on
+//! [`DynSemiring`]: one erased semiring over `f64` whose `mul`/`add`
+//! dispatch on the kind at runtime. One monomorphized kernel instance then
+//! serves a batch that mixes, say, `plus_times` BC sweeps with `plus_pair`
+//! triangle ops.
+//!
+//! The dispatch is a branch on a register-resident enum that stays constant
+//! for a whole multiply, so it predicts perfectly; the measurable cost
+//! against the typed kernels is within noise for the workloads in
+//! `bench/engine_repeat`.
+//!
+//! All operands and results are `f64`. Counting semirings accumulate exact
+//! integers up to 2⁵³, far beyond any mask population this crate can
+//! represent (indices are `u32`).
+
+use sparse::Semiring;
+
+/// Which semiring a [`DynSemiring`] evaluates, mirroring the typed
+/// semirings of [`sparse::semiring`] instantiated at `f64`.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
+pub enum SemiringKind {
+    /// Arithmetic `(+, ×)` — [`sparse::PlusTimes`].
+    PlusTimes,
+    /// `mul = 1`, `add = +` (contribution counting) — [`sparse::PlusPair`].
+    PlusPair,
+    /// `mul(a, b) = a`, `add = +` — [`sparse::PlusFirst`].
+    PlusFirst,
+    /// `mul(a, b) = b`, `add = +` — [`sparse::PlusSecond`].
+    PlusSecond,
+    /// Tropical `(min, +)` — [`sparse::MinPlus`].
+    MinPlus,
+}
+
+impl SemiringKind {
+    /// Every kind, for exhaustive tests.
+    pub const ALL: [SemiringKind; 5] = [
+        SemiringKind::PlusTimes,
+        SemiringKind::PlusPair,
+        SemiringKind::PlusFirst,
+        SemiringKind::PlusSecond,
+        SemiringKind::MinPlus,
+    ];
+
+    /// GraphBLAS-style name (`plus_times`, `plus_pair`, ...).
+    pub fn name(self) -> &'static str {
+        match self {
+            SemiringKind::PlusTimes => "plus_times",
+            SemiringKind::PlusPair => "plus_pair",
+            SemiringKind::PlusFirst => "plus_first",
+            SemiringKind::PlusSecond => "plus_second",
+            SemiringKind::MinPlus => "min_plus",
+        }
+    }
+}
+
+/// A [`Semiring`] over `f64` that dispatches on a [`SemiringKind`] at
+/// runtime.
+///
+/// Results are bit-identical to the corresponding typed semiring at `f64`:
+/// the kernels fix the order in which products of one output entry are
+/// combined, and `mul`/`add` here perform the same float operations in the
+/// same order.
+///
+/// ```
+/// use masked_spgemm::{DynSemiring, SemiringKind};
+/// use sparse::Semiring;
+///
+/// let tc = DynSemiring::new(SemiringKind::PlusPair);
+/// assert_eq!(tc.mul(3.5, -2.0), 1.0); // pair: every product counts 1
+/// assert_eq!(tc.add(1.0, 1.0), 2.0);
+/// ```
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct DynSemiring {
+    kind: SemiringKind,
+}
+
+impl DynSemiring {
+    /// Erased semiring evaluating `kind`.
+    pub fn new(kind: SemiringKind) -> Self {
+        DynSemiring { kind }
+    }
+
+    /// The kind this semiring evaluates.
+    pub fn kind(self) -> SemiringKind {
+        self.kind
+    }
+}
+
+impl From<SemiringKind> for DynSemiring {
+    fn from(kind: SemiringKind) -> Self {
+        DynSemiring::new(kind)
+    }
+}
+
+impl Semiring for DynSemiring {
+    type A = f64;
+    type B = f64;
+    type C = f64;
+
+    #[inline(always)]
+    fn mul(&self, a: f64, b: f64) -> f64 {
+        match self.kind {
+            SemiringKind::PlusTimes => a * b,
+            SemiringKind::PlusPair => 1.0,
+            SemiringKind::PlusFirst => a,
+            SemiringKind::PlusSecond => b,
+            SemiringKind::MinPlus => a + b,
+        }
+    }
+
+    #[inline(always)]
+    fn add(&self, x: f64, y: f64) -> f64 {
+        match self.kind {
+            SemiringKind::MinPlus => {
+                if y < x {
+                    y
+                } else {
+                    x
+                }
+            }
+            _ => x + y,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::api::{masked_spgemm, Algorithm, Phases};
+    use crate::kernel::testutil::random_csr;
+    use sparse::{MinPlus, PlusFirst, PlusPair, PlusSecond, PlusTimes};
+
+    #[test]
+    fn scalar_ops_match_typed_semirings() {
+        let (a, b) = (2.5f64, -4.0f64);
+        let pt = PlusTimes::<f64>::new();
+        let d = DynSemiring::new(SemiringKind::PlusTimes);
+        assert_eq!(d.mul(a, b), pt.mul(a, b));
+        assert_eq!(d.add(a, b), pt.add(a, b));
+        let pp = PlusPair::<f64, f64, f64>::new();
+        let d = DynSemiring::new(SemiringKind::PlusPair);
+        assert_eq!(d.mul(a, b), pp.mul(a, b));
+        let pf = PlusFirst::<f64, f64>::new();
+        let d = DynSemiring::new(SemiringKind::PlusFirst);
+        assert_eq!(d.mul(a, b), pf.mul(a, b));
+        let ps = PlusSecond::<f64, f64>::new();
+        let d = DynSemiring::new(SemiringKind::PlusSecond);
+        assert_eq!(d.mul(a, b), ps.mul(a, b));
+        let mp = MinPlus::<f64>::new();
+        let d = DynSemiring::new(SemiringKind::MinPlus);
+        assert_eq!(d.mul(a, b), mp.mul(a, b));
+        assert_eq!(d.add(a, b), mp.add(a, b));
+        assert_eq!(d.add(b, a), mp.add(b, a));
+    }
+
+    #[test]
+    fn erased_products_are_bit_identical_to_typed() {
+        let a = random_csr(24, 24, 11, 30);
+        let b = random_csr(24, 24, 12, 30);
+        let m = random_csr(24, 24, 13, 40).pattern();
+        for alg in Algorithm::ALL {
+            let typed = masked_spgemm(alg, Phases::One, false, PlusTimes::<f64>::new(), &m, &a, &b)
+                .unwrap();
+            let erased = masked_spgemm(
+                alg,
+                Phases::One,
+                false,
+                DynSemiring::new(SemiringKind::PlusTimes),
+                &m,
+                &a,
+                &b,
+            )
+            .unwrap();
+            assert_eq!(typed, erased, "{alg:?} plus_times");
+            let typed = masked_spgemm(
+                alg,
+                Phases::One,
+                false,
+                PlusPair::<f64, f64, f64>::new(),
+                &m,
+                &a,
+                &b,
+            )
+            .unwrap();
+            let erased = masked_spgemm(
+                alg,
+                Phases::One,
+                false,
+                DynSemiring::new(SemiringKind::PlusPair),
+                &m,
+                &a,
+                &b,
+            )
+            .unwrap();
+            assert_eq!(typed, erased, "{alg:?} plus_pair");
+        }
+    }
+
+    #[test]
+    fn names_and_kind_roundtrip() {
+        for kind in SemiringKind::ALL {
+            assert_eq!(DynSemiring::new(kind).kind(), kind);
+            assert_eq!(DynSemiring::from(kind).kind(), kind);
+            assert!(!kind.name().is_empty());
+        }
+    }
+}

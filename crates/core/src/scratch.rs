@@ -67,6 +67,9 @@ impl<S: Semiring, K: RowKernel<S>> KernelScratch<S, K> {
 /// Row-by-row single-pass execution with exact output assembly (rows are
 /// appended in order, so no transient copy is needed). Intended for batch
 /// workers that parallelize *across* products.
+///
+/// A complemented mask on a kernel without complement support (MCA) is a
+/// uniform [`SparseError::Unsupported`], never a panic.
 pub fn masked_spgemm_serial<S, K, MT>(
     sr: S,
     mask: &CsrMatrix<MT>,
@@ -74,12 +77,15 @@ pub fn masked_spgemm_serial<S, K, MT>(
     a: &CsrMatrix<S::A>,
     b: &CsrMatrix<S::B>,
     scratch: &mut KernelScratch<S, K>,
-) -> CsrMatrix<S::C>
+) -> Result<CsrMatrix<S::C>, SparseError>
 where
     S: Semiring,
     K: RowKernel<S>,
     MT: Copy + Sync,
 {
+    if complemented && !K::SUPPORTS_COMPLEMENT {
+        return Err(SparseError::Unsupported(crate::api::COMPLEMENT_UNSUPPORTED));
+    }
     check_dims(mask, a, b.nrows(), b.ncols());
     let kernel = scratch.acquire(b.ncols(), max_mask_row_nnz(mask));
     let nrows = a.nrows();
@@ -97,7 +103,13 @@ where
         }
         rowptr.push(cols.len());
     }
-    CsrMatrix::from_parts_unchecked(nrows, b.ncols(), rowptr, cols, vals)
+    Ok(CsrMatrix::from_parts_unchecked(
+        nrows,
+        b.ncols(),
+        rowptr,
+        cols,
+        vals,
+    ))
 }
 
 /// Serial pull-based (`Inner`) masked SpGEMM against a CSC `B`.
@@ -186,12 +198,8 @@ where
         MT: Copy + Sync,
         S::B: Clone,
     {
-        if complemented && !algorithm.supports_complement() {
-            return Err(SparseError::Unsupported(
-                "this algorithm does not support complemented masks",
-            ));
-        }
-        Ok(match algorithm {
+        algorithm.check_complement_support(complemented)?;
+        match algorithm {
             Algorithm::Msa => masked_spgemm_serial(sr, mask, complemented, a, b, &mut self.msa),
             Algorithm::Hash => masked_spgemm_serial(sr, mask, complemented, a, b, &mut self.hash),
             Algorithm::Mca => masked_spgemm_serial(sr, mask, complemented, a, b, &mut self.mca),
@@ -199,14 +207,14 @@ where
             Algorithm::HeapDot => {
                 masked_spgemm_serial(sr, mask, complemented, a, b, &mut self.heap_dot)
             }
-            Algorithm::Inner => match b_csc {
+            Algorithm::Inner => Ok(match b_csc {
                 Some(csc) => masked_spgemm_serial_csc(sr, mask, complemented, a, csc),
                 None => {
                     let csc = CscMatrix::from_csr(b);
                     masked_spgemm_serial_csc(sr, mask, complemented, a, &csc)
                 }
-            },
-        })
+            }),
+        }
     }
 }
 

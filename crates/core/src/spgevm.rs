@@ -40,11 +40,7 @@ where
             rhs: (1, b.ncols()),
         });
     }
-    if complemented && !algorithm.supports_complement() {
-        return Err(SparseError::Unsupported(
-            "this algorithm does not support complemented masks",
-        ));
-    }
+    algorithm.check_complement_support(complemented)?;
     let (mcols, ucols, uvals) = (mask.indices(), u.indices(), u.values());
     let mut out_cols = Vec::new();
     let mut out_vals = Vec::new();

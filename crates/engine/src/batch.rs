@@ -1,13 +1,23 @@
-//! Concurrent execution of many independent masked multiplies.
+//! Concurrent execution of many independent masked multiplies, streamed.
 //!
 //! Batch mode inverts the parallelization axis: instead of one product
 //! parallelized across rows, the [`Context`]'s workers each run whole
 //! products serially and pull the next operation from a shared queue. Each
 //! worker holds one [`masked_spgemm::ScratchSet`] for the entire batch, so
 //! accumulator scratch (the `O(ncols)` MSA arrays, hash tables, heap state)
-//! is allocated once per worker rather than once per product — the
-//! per-worker reuse the paper's row-parallel drivers already do within one
-//! multiply, extended across a workload.
+//! is allocated once per worker rather than once per product.
+//!
+//! Two things distinguish this from a plain parallel map:
+//!
+//! * **heterogeneous semirings** — each [`MaskedOp`] carries its own
+//!   [`SemiringKind`](masked_spgemm::SemiringKind); execution erases them
+//!   through [`DynSemiring`], so one batch mixes plus-pair triangle ops
+//!   with plus-times BC sweeps on the same worker scratch;
+//! * **streamed delivery** — finished products flow through a channel to
+//!   the calling thread, which hands them to a [`ResultSink`] in
+//!   *completion order*. A sink that consumes-and-drops keeps memory flat
+//!   regardless of batch size; [`Context::run_batch_collect`] is the
+//!   convenience that collects into input order when you do want them all.
 //!
 //! Plans are computed up front on the calling thread (they read cached
 //! auxiliaries, so this is cheap) and forced to fixed algorithms: per-row
@@ -15,15 +25,23 @@
 //! workers, and fixed plans let scratch be reused by family.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::OnceLock;
+use std::sync::mpsc;
+use std::sync::Arc;
 
-use masked_spgemm::{Algorithm, ScratchSet};
-use sparse::{CsrMatrix, Semiring, SparseError};
+use masked_spgemm::{Algorithm, DynSemiring, ScratchSet};
+use sparse::{CscMatrix, CsrMatrix, Semiring, SparseError};
 
 use crate::context::{Context, MatrixHandle};
-use crate::plan::Choice;
+use crate::op::{AccumMode, MaskedOp, ResultSink};
+use crate::plan::{Choice, Plan};
 
-/// One masked multiply in a batch: `C = M ⊙ (A·B)` or `¬M ⊙ (A·B)`.
+/// One masked multiply in a legacy homogeneous batch: `C = M ⊙ (A·B)` or
+/// `¬M ⊙ (A·B)` on the batch-wide semiring.
+#[deprecated(
+    since = "0.3.0",
+    note = "describe operations with `MaskedOp` (via `Context::op(..).build()`), \
+            which carries its own semiring and overrides"
+)]
 #[derive(Copy, Clone, Debug)]
 pub struct BatchOp {
     /// Mask handle.
@@ -36,72 +54,79 @@ pub struct BatchOp {
     pub b: MatrixHandle,
 }
 
+/// A batch entry resolved to the data a worker needs: operand `Arc`s, a
+/// fixed algorithm, and the per-op semiring value.
+struct Prepared<S: Semiring> {
+    sr: S,
+    mask: Arc<CsrMatrix<f64>>,
+    a: Arc<CsrMatrix<f64>>,
+    b: Arc<CsrMatrix<f64>>,
+    b_csc: Option<Arc<CscMatrix<S::B>>>,
+    algorithm: Algorithm,
+    complemented: bool,
+}
+
+/// Reduce a plan to the fixed algorithm batch workers run: when the
+/// planner wanted the per-row hybrid, take the fixed family its own cost
+/// breakdown ranked best.
+fn fixed_algorithm(plan: &Plan) -> Algorithm {
+    match plan.choice {
+        Choice::Fixed(alg) => alg,
+        Choice::Hybrid => {
+            let c = &plan.costs;
+            let mut best = (Algorithm::Msa, c.msa);
+            for cand in [
+                (Algorithm::Mca, c.mca),
+                (Algorithm::Heap, c.heap),
+                (Algorithm::Inner, c.inner),
+            ] {
+                let supported = !plan.complemented || cand.0.supports_complement();
+                if supported && cand.1 < best.1 {
+                    best = cand;
+                }
+            }
+            best.0
+        }
+    }
+}
+
 impl Context {
-    /// Execute all `ops` concurrently; results arrive in input order.
-    ///
-    /// Each operation is planned individually (forced to a fixed
-    /// algorithm), then the context's workers drain the queue with
-    /// per-worker reused kernel scratch. Operations are independent: one
-    /// failing plan (dimension mismatch) yields an `Err` in its slot
-    /// without affecting the rest.
-    pub fn run_batch<S>(&self, sr: S, ops: &[BatchOp]) -> Vec<Result<CsrMatrix<S::C>, SparseError>>
+    /// Resolve one descriptor for batch execution.
+    fn prepare_op(&self, op: &MaskedOp) -> Result<Prepared<DynSemiring>, SparseError> {
+        let plan = self.resolve_plan(op)?;
+        let algorithm = fixed_algorithm(&plan);
+        Ok(Prepared {
+            sr: DynSemiring::new(op.semiring),
+            mask: self.matrix(op.mask),
+            a: self.matrix(op.a),
+            b: self.matrix(op.b),
+            // Materialize the cached CSC only when the plan actually pulls.
+            b_csc: (algorithm == Algorithm::Inner).then(|| self.csc(op.b)),
+            algorithm,
+            complemented: op.complemented,
+        })
+    }
+
+    /// The shared batch engine: workers drain the queue with per-worker
+    /// reused scratch and send `(index, result)` pairs to the calling
+    /// thread, which invokes `deliver` in completion order.
+    fn execute_batch<S, F>(&self, prepared: &[Result<Prepared<S>, SparseError>], mut deliver: F)
     where
         S: Semiring<A = f64, B = f64> + Send + Sync,
         S::C: Default + Send + Sync,
+        F: FnMut(usize, Result<CsrMatrix<S::C>, SparseError>),
     {
-        // Resolve handles and plans on the caller; workers touch only Arcs.
-        struct Prepared<S: Semiring> {
-            mask: std::sync::Arc<CsrMatrix<f64>>,
-            a: std::sync::Arc<CsrMatrix<f64>>,
-            b: std::sync::Arc<CsrMatrix<f64>>,
-            b_csc: Option<std::sync::Arc<sparse::CscMatrix<S::B>>>,
-            algorithm: Algorithm,
-            complemented: bool,
+        if prepared.is_empty() {
+            return;
         }
-        let mut prepared: Vec<Result<Prepared<S>, SparseError>> = Vec::with_capacity(ops.len());
-        for op in ops {
-            prepared.push(self.plan(op.mask, op.complemented, op.a, op.b).map(|plan| {
-                let algorithm = match plan.choice {
-                    Choice::Fixed(alg) => alg,
-                    // Batch mode forces fixed plans; when the planner wanted
-                    // the per-row hybrid, take the fixed family its own cost
-                    // breakdown ranked best.
-                    Choice::Hybrid => {
-                        let c = &plan.costs;
-                        let mut best = (Algorithm::Msa, c.msa);
-                        for cand in [
-                            (Algorithm::Mca, c.mca),
-                            (Algorithm::Heap, c.heap),
-                            (Algorithm::Inner, c.inner),
-                        ] {
-                            let supported = !plan.complemented || cand.0.supports_complement();
-                            if supported && cand.1 < best.1 {
-                                best = cand;
-                            }
-                        }
-                        best.0
-                    }
-                };
-                Prepared {
-                    mask: self.matrix(op.mask),
-                    a: self.matrix(op.a),
-                    b: self.matrix(op.b),
-                    // Materialize the cached CSC only when the plan
-                    // actually pulls.
-                    b_csc: (algorithm == Algorithm::Inner).then(|| self.csc(op.b)),
-                    algorithm,
-                    complemented: op.complemented,
-                }
-            }));
-        }
-
-        let slots: Vec<OnceLock<Result<CsrMatrix<S::C>, SparseError>>> =
-            (0..ops.len()).map(|_| OnceLock::new()).collect();
         let cursor = AtomicUsize::new(0);
-        let workers = self.threads.min(ops.len()).max(1);
+        let workers = self.threads.min(prepared.len()).max(1);
+        let (tx, rx) = mpsc::channel::<(usize, Result<CsrMatrix<S::C>, SparseError>)>();
         std::thread::scope(|scope| {
+            let cursor = &cursor;
             for _ in 0..workers {
-                scope.spawn(|| {
+                let tx = tx.clone();
+                scope.spawn(move || {
                     let mut scratch: ScratchSet<S> = ScratchSet::new();
                     loop {
                         let i = cursor.fetch_add(1, Ordering::Relaxed);
@@ -113,21 +138,124 @@ impl Context {
                             Ok(p) => scratch.run(
                                 p.algorithm,
                                 p.complemented,
-                                sr,
+                                p.sr,
                                 &p.mask,
                                 &p.a,
                                 &p.b,
                                 p.b_csc.as_deref(),
                             ),
                         };
-                        slots[i].set(result).ok().expect("slot set once");
+                        if tx.send((i, result)).is_err() {
+                            break; // receiver gone — nothing left to deliver to
+                        }
                     }
                 });
             }
+            drop(tx);
+            // Deliver on the calling thread as workers finish. Receiving
+            // inside the scope keeps results flowing while workers run —
+            // this loop IS the streaming path.
+            for (i, result) in rx {
+                deliver(i, result);
+            }
+        });
+    }
+
+    /// Execute a heterogeneous batch, streaming each result to `sink` as
+    /// its worker finishes (completion order, calling thread).
+    ///
+    /// Each [`MaskedOp`] is planned individually (forced to a fixed
+    /// algorithm; the serial drivers assemble rows exactly, so the 1P/2P
+    /// phase distinction does not arise here — see [`MaskedOp::phases`])
+    /// and runs on its own semiring. Operations are independent:
+    /// one failing op (dimension mismatch, unsupported override) delivers
+    /// an `Err` for its index without affecting the rest. Accumulating ops
+    /// ([`AccumMode::AddInto`]) are merged on the calling thread before the
+    /// sink sees them, so concurrent ops never race on a target handle.
+    ///
+    /// ```
+    /// use engine::{Context, SemiringKind};
+    /// use sparse::CsrMatrix;
+    ///
+    /// let ctx = Context::with_threads(2);
+    /// let h = ctx.insert(CsrMatrix::diagonal(6, 2.0));
+    /// let ops = vec![
+    ///     ctx.op(h, h, h).build(),
+    ///     ctx.op(h, h, h).semiring(SemiringKind::PlusPair).build(),
+    /// ];
+    /// let mut seen = 0;
+    /// ctx.for_each_result(&ops, |_i, r: Result<CsrMatrix<f64>, _>| {
+    ///     seen += usize::from(r.unwrap().nnz() == 6);
+    /// });
+    /// assert_eq!(seen, 2);
+    /// ```
+    pub fn for_each_result(&self, ops: &[MaskedOp], mut sink: impl ResultSink) {
+        let prepared: Vec<Result<Prepared<DynSemiring>, SparseError>> =
+            ops.iter().map(|op| self.prepare_op(op)).collect();
+        self.execute_batch(&prepared, |i, result| {
+            let result = match result {
+                Ok(c) if !matches!(ops[i].accum, AccumMode::Replace) => {
+                    self.apply_accum(&ops[i], c)
+                }
+                other => other,
+            };
+            sink.absorb(i, result);
+        });
+    }
+
+    /// Execute a heterogeneous batch and collect every result in input
+    /// order — the convenience wrapper over [`Context::for_each_result`]
+    /// for callers that do want all outputs resident.
+    pub fn run_batch_collect(&self, ops: &[MaskedOp]) -> Vec<Result<CsrMatrix<f64>, SparseError>> {
+        let mut slots: Vec<Option<Result<CsrMatrix<f64>, SparseError>>> =
+            (0..ops.len()).map(|_| None).collect();
+        self.for_each_result(ops, |i: usize, result| {
+            slots[i] = Some(result);
         });
         slots
             .into_iter()
-            .map(|slot| slot.into_inner().expect("all slots filled"))
+            .map(|slot| slot.expect("every op delivered"))
+            .collect()
+    }
+
+    /// Execute all `ops` concurrently on one semiring; results arrive in
+    /// input order.
+    #[deprecated(
+        since = "0.3.0",
+        note = "build `MaskedOp`s with `Context::op` and use \
+                `run_batch_collect` (or stream with `for_each_result`)"
+    )]
+    #[allow(deprecated)]
+    pub fn run_batch<S>(&self, sr: S, ops: &[BatchOp]) -> Vec<Result<CsrMatrix<S::C>, SparseError>>
+    where
+        S: Semiring<A = f64, B = f64> + Send + Sync,
+        S::C: Default + Send + Sync,
+    {
+        let prepared: Vec<Result<Prepared<S>, SparseError>> = ops
+            .iter()
+            .map(|op| {
+                self.plan(op.mask, op.complemented, op.a, op.b).map(|plan| {
+                    let algorithm = fixed_algorithm(&plan);
+                    Prepared {
+                        sr,
+                        mask: self.matrix(op.mask),
+                        a: self.matrix(op.a),
+                        b: self.matrix(op.b),
+                        b_csc: (algorithm == Algorithm::Inner).then(|| self.csc(op.b)),
+                        algorithm,
+                        complemented: op.complemented,
+                    }
+                })
+            })
+            .collect();
+        let mut slots: Vec<Option<Result<CsrMatrix<S::C>, SparseError>>> =
+            (0..ops.len()).map(|_| None).collect();
+        self.execute_batch(&prepared, |i, result| {
+            slots[i] = Some(result);
+        });
+        slots
+            .into_iter()
+            .map(|slot| slot.expect("every op delivered"))
             .collect()
     }
 }

@@ -1,9 +1,10 @@
-//! The [`Context`]: matrix registry, auxiliary cache, and execution entry
-//! points.
+//! The [`Context`]: matrix registry, budgeted auxiliary cache, and
+//! execution entry points.
 
 use std::collections::HashMap;
+use std::mem;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, OnceLock, RwLock};
+use std::sync::{Arc, Mutex, OnceLock, RwLock};
 
 use masked_spgemm::{
     hybrid_masked_spgemm, masked_spgemm, masked_spgemm_csc, Algorithm, HybridConfig, Phases,
@@ -20,27 +21,32 @@ use crate::plan::{self, Choice, Plan};
 /// auxiliaries are invalidated, the identity persists) and dangles only
 /// after [`Context::remove`].
 #[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
-pub struct MatrixHandle(u64);
+pub struct MatrixHandle(pub(crate) u64);
+
+/// An evictable auxiliary slot: built on demand, dropped under memory
+/// pressure, rebuilt on the next request.
+type Slot<T> = RwLock<Option<Arc<T>>>;
 
 /// One registered matrix plus lazily-computed auxiliaries.
 ///
-/// Auxiliaries are built on first demand (`OnceLock`) so a workload that
-/// never runs a pull-based scheme never pays for a CSC copy, and one that
-/// never transposes never pays for `Aᵀ`. [`Context::update`] replaces the
+/// The heavyweight auxiliaries (CSC copy, transpose, degree vector) live in
+/// evictable [`Slot`]s accounted against the context's byte budget; cheap
+/// scalar statistics stay in `OnceLock`s. [`Context::update`] replaces the
 /// whole entry, which is what makes invalidation correct by construction:
 /// stale auxiliaries are unreachable, not flagged.
 pub(crate) struct Entry {
     pub(crate) matrix: Arc<CsrMatrix<f64>>,
     pub(crate) version: u64,
-    csc: OnceLock<Arc<CscMatrix<f64>>>,
-    transposed: OnceLock<Arc<CsrMatrix<f64>>>,
+    csc: Slot<CscMatrix<f64>>,
+    transposed: Slot<CsrMatrix<f64>>,
     /// Registered handle for the transpose, so engine operations can use
     /// `Aᵀ` as an operand with its own cached auxiliaries. Owned by this
     /// entry: removed alongside it on update/remove.
     transpose_handle: OnceLock<MatrixHandle>,
-    row_degrees: OnceLock<Arc<Vec<u32>>>,
+    row_degrees: Slot<Vec<u32>>,
     max_row_nnz: OnceLock<usize>,
     nonempty_rows: OnceLock<usize>,
+    plan_class: OnceLock<u64>,
 }
 
 impl Entry {
@@ -48,33 +54,14 @@ impl Entry {
         Entry {
             matrix,
             version,
-            csc: OnceLock::new(),
-            transposed: OnceLock::new(),
+            csc: RwLock::new(None),
+            transposed: RwLock::new(None),
             transpose_handle: OnceLock::new(),
-            row_degrees: OnceLock::new(),
+            row_degrees: RwLock::new(None),
             max_row_nnz: OnceLock::new(),
             nonempty_rows: OnceLock::new(),
+            plan_class: OnceLock::new(),
         }
-    }
-
-    pub(crate) fn csc(&self) -> &Arc<CscMatrix<f64>> {
-        self.csc
-            .get_or_init(|| Arc::new(CscMatrix::from_csr(&self.matrix)))
-    }
-
-    pub(crate) fn transposed(&self) -> &Arc<CsrMatrix<f64>> {
-        self.transposed
-            .get_or_init(|| Arc::new(transpose(&self.matrix)))
-    }
-
-    pub(crate) fn row_degrees(&self) -> &Arc<Vec<u32>> {
-        self.row_degrees.get_or_init(|| {
-            Arc::new(
-                (0..self.matrix.nrows())
-                    .map(|i| self.matrix.row_nnz(i) as u32)
-                    .collect(),
-            )
-        })
     }
 
     pub(crate) fn max_row_nnz(&self) -> usize {
@@ -86,6 +73,59 @@ impl Entry {
             .nonempty_rows
             .get_or_init(|| self.matrix.nonempty_rows())
     }
+
+    fn clear_aux(&self, kind: AuxKind) {
+        match kind {
+            AuxKind::Csc => *self.csc.write().expect("csc slot lock") = None,
+            AuxKind::Transpose => *self.transposed.write().expect("transpose slot lock") = None,
+            AuxKind::RowDegrees => *self.row_degrees.write().expect("degrees slot lock") = None,
+        }
+    }
+}
+
+/// Which evictable auxiliary a ledger record tracks.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
+enum AuxKind {
+    Csc,
+    Transpose,
+    RowDegrees,
+}
+
+/// Byte accounting for the evictable auxiliaries, LRU-stamped.
+struct AuxLedger {
+    total_bytes: usize,
+    budget_bytes: usize,
+    stamp: u64,
+    /// `(matrix id, kind)` → `(bytes, entry version, recency stamp)`.
+    records: HashMap<(u64, AuxKind), (usize, u64, u64)>,
+    evictions: u64,
+}
+
+impl AuxLedger {
+    fn new() -> Self {
+        AuxLedger {
+            total_bytes: 0,
+            budget_bytes: usize::MAX,
+            stamp: 0,
+            records: HashMap::new(),
+            evictions: 0,
+        }
+    }
+}
+
+/// Observable state of the auxiliary cache (diagnostics and eviction
+/// tests); obtained from [`Context::aux_cache_stats`].
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct AuxCacheStats {
+    /// Bytes currently charged for materialized CSC copies, transposes, and
+    /// degree vectors.
+    pub bytes: usize,
+    /// Budget the cache is held under (`usize::MAX` = unbounded, the
+    /// default).
+    pub budget_bytes: usize,
+    /// Auxiliaries dropped to stay under budget since the context was
+    /// created.
+    pub evictions: u64,
 }
 
 /// Which auxiliaries a handle currently has materialized (diagnostics and
@@ -116,15 +156,70 @@ pub struct MatrixStats {
     pub nonempty_rows: usize,
 }
 
+/// Plan-cache key: the structural fingerprint classes of the three operands
+/// plus mask polarity. Versions and handle identities are deliberately
+/// *absent* — structurally-similar matrices (same shape, same nnz regime)
+/// share plans, which is what lets k-truss peels reuse a plan across
+/// versions without even one re-planning pass.
+type PlanKey = (u64, u64, u64, bool);
+
+/// Approximate heap footprint of one plan-cache entry (key + plan + LRU
+/// stamp + hash-map overhead), used for the byte budget.
+const PLAN_ENTRY_BYTES: usize = mem::size_of::<(PlanKey, (Plan, u64))>() + 48;
+
+struct PlanCacheState {
+    map: HashMap<PlanKey, (Plan, u64)>,
+    stamp: u64,
+    budget_bytes: usize,
+    hits: u64,
+    misses: u64,
+    evictions: u64,
+}
+
+impl PlanCacheState {
+    fn new() -> Self {
+        PlanCacheState {
+            map: HashMap::new(),
+            stamp: 0,
+            // ~1500 plans — far more operation classes than any workload
+            // here produces, small enough to stay cache-resident.
+            budget_bytes: 256 * 1024,
+            hits: 0,
+            misses: 0,
+            evictions: 0,
+        }
+    }
+}
+
+/// Hit/miss/eviction counters of the fingerprint-keyed plan cache
+/// ([`Context::plan_cache_stats`]).
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub struct PlanCacheStats {
+    /// Plans served from cache. A hit after [`Context::update`] is a plan
+    /// reused *across versions* — the k-truss peeling payoff.
+    pub hits: u64,
+    /// Plans computed by the cost model.
+    pub misses: u64,
+    /// Entries dropped by the byte-budgeted LRU.
+    pub evictions: u64,
+    /// Entries currently cached.
+    pub entries: usize,
+    /// Approximate bytes currently cached.
+    pub bytes: usize,
+}
+
 /// Orchestration context for masked SpGEMM workloads.
 ///
 /// Owns the worker pool, a registry of matrices with lazily-cached
 /// auxiliaries (CSC form, transpose, degree vectors, row statistics, flop
 /// estimates), and the cost-model configuration used by [`Context::plan`].
+/// Operations are described by [`crate::MaskedOp`] descriptors built with
+/// [`Context::op`] and executed one at a time ([`crate::OpBuilder::run`]) or
+/// as heterogeneous streaming batches ([`Context::for_each_result`]).
 ///
 /// ```
-/// use engine::Context;
-/// use sparse::{CsrMatrix, PlusTimes};
+/// use engine::{Context, SemiringKind};
+/// use sparse::CsrMatrix;
 ///
 /// let ctx = Context::new();
 /// let tri = CsrMatrix::try_new(
@@ -135,7 +230,7 @@ pub struct MatrixStats {
 /// ).unwrap();
 /// let h = ctx.insert(tri);
 /// // Count wedges closing each edge: M ⊙ (A·A) planned automatically.
-/// let c = ctx.masked_spgemm(PlusTimes::<f64>::new(), h, false, h, h).unwrap();
+/// let c = ctx.op(h, h, h).semiring(SemiringKind::PlusPair).run().unwrap();
 /// assert_eq!(c.nnz(), 6);
 /// ```
 pub struct Context {
@@ -146,17 +241,25 @@ pub struct Context {
     next_id: AtomicU64,
     next_version: AtomicU64,
     flops_cache: RwLock<HashMap<(u64, u64, u64, u64), u64>>,
-    plan_cache: RwLock<HashMap<PlanKey, Plan>>,
+    plan_cache: Mutex<PlanCacheState>,
+    aux_ledger: Mutex<AuxLedger>,
 }
-
-/// Plan-cache key: operand identities *and versions* plus polarity, so any
-/// `update` to an operand automatically invalidates affected plans.
-type PlanKey = (u64, u64, u64, u64, u64, u64, bool);
 
 impl Default for Context {
     fn default() -> Self {
         Self::new()
     }
+}
+
+/// Quantize a count to ~1.5× steps (most-significant bit plus the bit
+/// below): counts within one step land in the same structural class.
+fn log_bucket(n: usize) -> u64 {
+    if n == 0 {
+        return 0;
+    }
+    let b = 63 - (n as u64).leading_zeros() as u64;
+    let half = if b >= 1 { (n as u64 >> (b - 1)) & 1 } else { 0 };
+    1 + ((b << 1) | half)
 }
 
 impl Context {
@@ -180,7 +283,8 @@ impl Context {
             next_id: AtomicU64::new(1),
             next_version: AtomicU64::new(1),
             flops_cache: RwLock::new(HashMap::new()),
-            plan_cache: RwLock::new(HashMap::new()),
+            plan_cache: Mutex::new(PlanCacheState::new()),
+            aux_ledger: Mutex::new(AuxLedger::new()),
         }
     }
 
@@ -194,11 +298,56 @@ impl Context {
         *self.cfg.read().expect("config lock")
     }
 
-    /// Replace the cost-model constants (see [`crate::calibrate`]).
+    /// Replace the cost-model constants (see [`Context::calibrate`]).
     pub fn set_config(&self, cfg: HybridConfig) {
         *self.cfg.write().expect("config lock") = cfg;
         // Plans embed cost estimates; a new model invalidates them.
-        self.plan_cache.write().expect("plan lock").clear();
+        let mut pc = self.plan_cache.lock().expect("plan lock");
+        pc.map.clear();
+    }
+
+    // ------------------------------------------------------------- budgets
+
+    /// Cap the bytes held by evictable auxiliaries (CSC copies, transposes,
+    /// degree vectors). When a newly built auxiliary pushes the total over
+    /// the budget, the least-recently-used auxiliaries are dropped (and
+    /// transparently rebuilt if requested again). Default: unbounded.
+    pub fn set_aux_budget(&self, bytes: usize) {
+        {
+            let mut ledger = self.aux_ledger.lock().expect("aux ledger lock");
+            ledger.budget_bytes = bytes;
+        }
+        self.enforce_aux_budget(None);
+    }
+
+    /// Current auxiliary-cache accounting.
+    pub fn aux_cache_stats(&self) -> AuxCacheStats {
+        let ledger = self.aux_ledger.lock().expect("aux ledger lock");
+        AuxCacheStats {
+            bytes: ledger.total_bytes,
+            budget_bytes: ledger.budget_bytes,
+            evictions: ledger.evictions,
+        }
+    }
+
+    /// Cap the bytes held by the fingerprint-keyed plan cache (LRU
+    /// eviction). Default: 256 KiB.
+    pub fn set_plan_budget(&self, bytes: usize) {
+        let mut pc = self.plan_cache.lock().expect("plan lock");
+        pc.budget_bytes = bytes;
+        Self::enforce_plan_budget(&mut pc);
+    }
+
+    /// Hit/miss/eviction counters of the plan cache.
+    pub fn plan_cache_stats(&self) -> PlanCacheStats {
+        let pc = self.plan_cache.lock().expect("plan lock");
+        PlanCacheStats {
+            hits: pc.hits,
+            misses: pc.misses,
+            evictions: pc.evictions,
+            entries: pc.map.len(),
+            bytes: pc.map.len() * PLAN_ENTRY_BYTES,
+        }
     }
 
     // ------------------------------------------------------------ registry
@@ -219,7 +368,7 @@ impl Context {
     }
 
     /// Replace the matrix behind `handle`, invalidating all cached
-    /// auxiliaries (including superseded plan/flops cache entries and any
+    /// auxiliaries (including superseded flops-cache entries and any
     /// derived transpose handle). An update with an identical matrix (same
     /// structure and values) keeps the cache warm instead.
     pub fn update(&self, handle: MatrixHandle, matrix: CsrMatrix<f64>) {
@@ -271,20 +420,33 @@ impl Context {
     pub fn cache_sizes(&self) -> (usize, usize) {
         (
             self.flops_cache.read().expect("flops lock").len(),
-            self.plan_cache.read().expect("plan lock").len(),
+            self.plan_cache.lock().expect("plan lock").map.len(),
         )
     }
 
-    /// Drop every flops/plan cache entry mentioning matrix id `id`.
+    /// Drop every flops-cache and ledger record mentioning matrix id `id`.
+    /// (Plan-cache entries are keyed by structural class, not identity, so
+    /// they stay — they remain valid for any future operand of the same
+    /// class and are bounded by the LRU budget.)
     fn purge_caches(&self, id: u64) {
         self.flops_cache
             .write()
             .expect("flops lock")
             .retain(|&(a, _, b, _), _| a != id && b != id);
-        self.plan_cache
-            .write()
-            .expect("plan lock")
-            .retain(|&(m, _, a, _, b, _, _), _| m != id && a != id && b != id);
+        let mut ledger = self.aux_ledger.lock().expect("aux ledger lock");
+        let AuxLedger {
+            records,
+            total_bytes,
+            ..
+        } = &mut *ledger;
+        records.retain(|&(rid, _), &mut (bytes, _, _)| {
+            if rid == id {
+                *total_bytes -= bytes;
+                false
+            } else {
+                true
+            }
+        });
     }
 
     pub(crate) fn entry(&self, handle: MatrixHandle) -> Arc<Entry> {
@@ -301,14 +463,137 @@ impl Context {
         self.entry(handle).matrix.clone()
     }
 
-    /// Cached CSC form (built on first call).
-    pub fn csc(&self, handle: MatrixHandle) -> Arc<CscMatrix<f64>> {
-        self.entry(handle).csc().clone()
+    // --------------------------------------------------- evictable caches
+
+    /// Record use of `(id, kind)` in the ledger (insert or touch), then
+    /// evict least-recently-used auxiliaries if over budget.
+    fn charge_aux(&self, handle: MatrixHandle, version: u64, kind: AuxKind, bytes: usize) {
+        // An update/remove may have superseded `version` while the builder
+        // ran (it held the old entry Arc, not the store lock). Charging
+        // then would leave a phantom record: the purge already happened,
+        // and the built auxiliary is reachable only through the caller's
+        // transient Arc. Holding the store read lock across the check and
+        // the insert excludes a concurrent update's replace-then-purge
+        // (update purges only after releasing its store write lock, so it
+        // will see and remove any record inserted here first).
+        {
+            let store = self.store.read().expect("store lock");
+            if store.get(&handle.0).is_none_or(|e| e.version != version) {
+                return;
+            }
+            let mut ledger = self.aux_ledger.lock().expect("aux ledger lock");
+            ledger.stamp += 1;
+            let stamp = ledger.stamp;
+            if let Some(old) = ledger
+                .records
+                .insert((handle.0, kind), (bytes, version, stamp))
+            {
+                ledger.total_bytes -= old.0;
+            }
+            ledger.total_bytes += bytes;
+        }
+        self.enforce_aux_budget(Some((handle.0, kind)));
     }
 
-    /// Cached transpose (built on first call).
+    /// Bump the recency stamp of `(id, kind)` on a cache hit.
+    fn touch_aux(&self, handle: MatrixHandle, kind: AuxKind) {
+        let mut ledger = self.aux_ledger.lock().expect("aux ledger lock");
+        ledger.stamp += 1;
+        let stamp = ledger.stamp;
+        if let Some(rec) = ledger.records.get_mut(&(handle.0, kind)) {
+            rec.2 = stamp;
+        }
+    }
+
+    /// Evict LRU auxiliaries until the ledger is back under budget.
+    /// `protect` (the auxiliary just built) is evicted only last, so one
+    /// oversized auxiliary cannot thrash itself out while still in use.
+    fn enforce_aux_budget(&self, protect: Option<(u64, AuxKind)>) {
+        loop {
+            let victim = {
+                let mut ledger = self.aux_ledger.lock().expect("aux ledger lock");
+                if ledger.total_bytes <= ledger.budget_bytes {
+                    return;
+                }
+                let victim_key = ledger
+                    .records
+                    .iter()
+                    .filter(|(k, _)| Some(**k) != protect)
+                    .min_by_key(|(_, (_, _, stamp))| *stamp)
+                    .map(|(k, _)| *k);
+                match victim_key {
+                    None => return, // only the protected record remains
+                    Some(key) => {
+                        let (bytes, version, _) =
+                            ledger.records.remove(&key).expect("victim present");
+                        ledger.total_bytes -= bytes;
+                        ledger.evictions += 1;
+                        (key, version)
+                    }
+                }
+            };
+            let ((id, kind), version) = victim;
+            // Drop the Arc from the slot (borrowers keep theirs alive).
+            // Skip if the entry was replaced since the record was written.
+            let entry = self.store.read().expect("store lock").get(&id).cloned();
+            if let Some(entry) = entry {
+                if entry.version == version {
+                    entry.clear_aux(kind);
+                }
+            }
+        }
+    }
+
+    /// Cached CSC form (built on first call, dropped under budget
+    /// pressure, rebuilt on demand).
+    pub fn csc(&self, handle: MatrixHandle) -> Arc<CscMatrix<f64>> {
+        let e = self.entry(handle);
+        if let Some(c) = e.csc.read().expect("csc slot lock").clone() {
+            self.touch_aux(handle, AuxKind::Csc);
+            return c;
+        }
+        let built = Arc::new(CscMatrix::from_csr(&e.matrix));
+        let m = &e.matrix;
+        let bytes = (m.ncols() + 1) * mem::size_of::<usize>()
+            + m.nnz() * (mem::size_of::<u32>() + mem::size_of::<f64>());
+        let out = {
+            let mut slot = e.csc.write().expect("csc slot lock");
+            match &*slot {
+                Some(existing) => existing.clone(), // lost a build race
+                None => {
+                    *slot = Some(built.clone());
+                    built
+                }
+            }
+        };
+        self.charge_aux(handle, e.version, AuxKind::Csc, bytes);
+        out
+    }
+
+    /// Cached transpose (built on first call, dropped under budget
+    /// pressure, rebuilt on demand).
     pub fn transposed(&self, handle: MatrixHandle) -> Arc<CsrMatrix<f64>> {
-        self.entry(handle).transposed().clone()
+        let e = self.entry(handle);
+        if let Some(t) = e.transposed.read().expect("transpose slot lock").clone() {
+            self.touch_aux(handle, AuxKind::Transpose);
+            return t;
+        }
+        let built = Arc::new(transpose(&e.matrix));
+        let m = &e.matrix;
+        let bytes = (m.ncols() + 1) * mem::size_of::<usize>()
+            + m.nnz() * (mem::size_of::<u32>() + mem::size_of::<f64>());
+        let out = {
+            let mut slot = e.transposed.write().expect("transpose slot lock");
+            match &*slot {
+                Some(existing) => existing.clone(),
+                None => {
+                    *slot = Some(built.clone());
+                    built
+                }
+            }
+        };
+        self.charge_aux(handle, e.version, AuxKind::Transpose, bytes);
+        out
     }
 
     /// Handle for the cached transpose, registered on first call and owned
@@ -319,12 +604,35 @@ impl Context {
     pub fn transpose_handle(&self, handle: MatrixHandle) -> MatrixHandle {
         let e = self.entry(handle);
         *e.transpose_handle
-            .get_or_init(|| self.insert_shared(e.transposed().clone()))
+            .get_or_init(|| self.insert_shared(self.transposed(handle)))
     }
 
-    /// Cached row-degree vector (built on first call).
+    /// Cached row-degree vector (built on first call, dropped under budget
+    /// pressure, rebuilt on demand).
     pub fn row_degrees(&self, handle: MatrixHandle) -> Arc<Vec<u32>> {
-        self.entry(handle).row_degrees().clone()
+        let e = self.entry(handle);
+        if let Some(d) = e.row_degrees.read().expect("degrees slot lock").clone() {
+            self.touch_aux(handle, AuxKind::RowDegrees);
+            return d;
+        }
+        let built = Arc::new(
+            (0..e.matrix.nrows())
+                .map(|i| e.matrix.row_nnz(i) as u32)
+                .collect::<Vec<u32>>(),
+        );
+        let bytes = e.matrix.nrows() * mem::size_of::<u32>();
+        let out = {
+            let mut slot = e.row_degrees.write().expect("degrees slot lock");
+            match &*slot {
+                Some(existing) => existing.clone(),
+                None => {
+                    *slot = Some(built.clone());
+                    built
+                }
+            }
+        };
+        self.charge_aux(handle, e.version, AuxKind::RowDegrees, bytes);
+        out
     }
 
     /// Cheap cached statistics.
@@ -341,12 +649,39 @@ impl Context {
     /// Which auxiliaries are currently materialized for `handle`.
     pub fn aux_status(&self, handle: MatrixHandle) -> AuxStatus {
         let e = self.entry(handle);
+        let has_csc = e.csc.read().expect("csc slot lock").is_some();
+        let has_transpose = e.transposed.read().expect("transpose slot lock").is_some();
+        let has_row_degrees = e.row_degrees.read().expect("degrees slot lock").is_some();
         AuxStatus {
             version: e.version,
-            has_csc: e.csc.get().is_some(),
-            has_transpose: e.transposed.get().is_some(),
-            has_row_degrees: e.row_degrees.get().is_some(),
+            has_csc,
+            has_transpose,
+            has_row_degrees,
         }
+    }
+
+    /// The structural fingerprint class of the matrix behind `handle` —
+    /// the quantity that keys the plan cache.
+    ///
+    /// Where [`CsrMatrix::structural_fingerprint`] hashes the exact
+    /// structure (equal only for identical patterns), this class hashes the
+    /// *regime* the planner's cost model actually discriminates on: the
+    /// shape plus the nonzero count quantized to ~1.5× steps. Two versions
+    /// of a peeled edge set whose nnz stays within one step share a class,
+    /// so a plan computed for one is served for the other.
+    pub fn plan_fingerprint(&self, handle: MatrixHandle) -> u64 {
+        let e = self.entry(handle);
+        *e.plan_class.get_or_init(|| {
+            let mut h = 0xcbf2_9ce4_8422_2325u64;
+            let mut mix = |word: u64| {
+                h ^= word;
+                h = h.wrapping_mul(0x0000_0100_0000_01B3);
+            };
+            mix(e.matrix.nrows() as u64);
+            mix(e.matrix.ncols() as u64);
+            mix(log_bucket(e.matrix.nnz()));
+            h
+        })
     }
 
     /// `flops(A·B)` with pair-level caching (invalidated by updates to
@@ -357,7 +692,7 @@ impl Context {
         if let Some(&f) = self.flops_cache.read().expect("flops lock").get(&key) {
             return f;
         }
-        let bdeg = eb.row_degrees();
+        let bdeg = self.row_degrees(b);
         let f: u64 = ea
             .matrix
             .colidx()
@@ -368,15 +703,35 @@ impl Context {
         f
     }
 
-    // ----------------------------------------------------------- execution
+    // ----------------------------------------------------------- planning
+
+    fn enforce_plan_budget(pc: &mut PlanCacheState) {
+        while pc.map.len() * PLAN_ENTRY_BYTES > pc.budget_bytes {
+            let victim = pc
+                .map
+                .iter()
+                .min_by_key(|(_, (_, stamp))| *stamp)
+                .map(|(k, _)| *k);
+            match victim {
+                Some(k) => {
+                    pc.map.remove(&k);
+                    pc.evictions += 1;
+                }
+                None => return,
+            }
+        }
+    }
 
     /// Choose an algorithm and phase discipline for `M ⊙ (A·B)`
     /// (or `¬M ⊙` with `complemented`) from cached statistics.
     ///
-    /// Plans are cached by operand identity *and version*: re-planning the
-    /// same multiply (the common case in repeated-multiply loops) is a map
-    /// lookup, while any [`Context::update`] to an operand transparently
-    /// invalidates affected plans.
+    /// Plans are cached under the operands' structural fingerprint classes
+    /// ([`Context::plan_fingerprint`]): re-planning the same multiply is a
+    /// map lookup, and so is planning a *structurally similar* one — after
+    /// a [`Context::update`] that stays in the same nnz regime (a k-truss
+    /// peel, a re-weighted graph), the cached plan is served without even
+    /// one cost-model pass. The cache is a byte-budgeted LRU
+    /// ([`Context::set_plan_budget`], [`Context::plan_cache_stats`]).
     pub fn plan(
         &self,
         mask: MatrixHandle,
@@ -384,31 +739,42 @@ impl Context {
         a: MatrixHandle,
         b: MatrixHandle,
     ) -> Result<Plan, SparseError> {
-        let key: PlanKey = {
-            let (em, ea, eb) = (self.entry(mask), self.entry(a), self.entry(b));
-            (
-                mask.0,
-                em.version,
-                a.0,
-                ea.version,
-                b.0,
-                eb.version,
-                complemented,
-            )
-        };
-        if let Some(plan) = self.plan_cache.read().expect("plan lock").get(&key) {
-            return Ok(*plan);
+        plan::validate(self, mask, a, b)?;
+        let key: PlanKey = (
+            self.plan_fingerprint(mask),
+            self.plan_fingerprint(a),
+            self.plan_fingerprint(b),
+            complemented,
+        );
+        {
+            let mut pc = self.plan_cache.lock().expect("plan lock");
+            pc.stamp += 1;
+            let stamp = pc.stamp;
+            let cached = pc.map.get_mut(&key).map(|entry| {
+                entry.1 = stamp;
+                entry.0
+            });
+            if let Some(plan) = cached {
+                pc.hits += 1;
+                return Ok(plan);
+            }
         }
         let plan = plan::plan(self, mask, complemented, a, b)?;
-        self.plan_cache
-            .write()
-            .expect("plan lock")
-            .insert(key, plan);
+        let mut pc = self.plan_cache.lock().expect("plan lock");
+        pc.misses += 1;
+        pc.stamp += 1;
+        let stamp = pc.stamp;
+        pc.map.insert(key, (plan, stamp));
+        Self::enforce_plan_budget(&mut pc);
         Ok(plan)
     }
 
-    /// Run one masked SpGEMM under an explicit plan.
-    pub fn run_planned<S>(
+    // ----------------------------------------------------------- execution
+
+    /// Run one masked SpGEMM under an explicit plan (row-parallel kernels
+    /// on the context's pool, cached auxiliaries). The non-deprecated core
+    /// all execution entry points share.
+    pub(crate) fn execute_planned<S>(
         &self,
         plan: &Plan,
         sr: S,
@@ -422,38 +788,75 @@ impl Context {
     {
         let (em, ea, eb) = (self.entry(mask), self.entry(a), self.entry(b));
         let cfg = self.config();
-        self.pool.install(|| match plan.choice {
-            Choice::Fixed(Algorithm::Inner) => masked_spgemm_csc(
-                Algorithm::Inner,
-                plan.phases,
-                plan.complemented,
-                sr,
-                &em.matrix,
-                &ea.matrix,
-                eb.csc(),
-            ),
-            Choice::Fixed(alg) => masked_spgemm(
-                alg,
-                plan.phases,
-                plan.complemented,
-                sr,
-                &em.matrix,
-                &ea.matrix,
-                &eb.matrix,
-            ),
-            Choice::Hybrid => hybrid_masked_spgemm(
-                plan.phases,
-                cfg,
-                sr,
-                &em.matrix,
-                &ea.matrix,
-                &eb.matrix,
-                eb.csc(),
-            ),
-        })
+        match plan.choice {
+            Choice::Fixed(Algorithm::Inner) => {
+                let b_csc = self.csc(b);
+                self.pool.install(|| {
+                    masked_spgemm_csc(
+                        Algorithm::Inner,
+                        plan.phases,
+                        plan.complemented,
+                        sr,
+                        &em.matrix,
+                        &ea.matrix,
+                        &b_csc,
+                    )
+                })
+            }
+            Choice::Fixed(alg) => self.pool.install(|| {
+                masked_spgemm(
+                    alg,
+                    plan.phases,
+                    plan.complemented,
+                    sr,
+                    &em.matrix,
+                    &ea.matrix,
+                    &eb.matrix,
+                )
+            }),
+            Choice::Hybrid => {
+                let b_csc = self.csc(b);
+                self.pool.install(|| {
+                    hybrid_masked_spgemm(
+                        plan.phases,
+                        cfg,
+                        sr,
+                        &em.matrix,
+                        &ea.matrix,
+                        &eb.matrix,
+                        &b_csc,
+                    )
+                })
+            }
+        }
+    }
+
+    /// Run one masked SpGEMM under an explicit plan.
+    #[deprecated(
+        since = "0.3.0",
+        note = "build a `MaskedOp` with `Context::op` and set explicit \
+                `algorithm`/`phases` overrides instead"
+    )]
+    pub fn run_planned<S>(
+        &self,
+        plan: &Plan,
+        sr: S,
+        mask: MatrixHandle,
+        a: MatrixHandle,
+        b: MatrixHandle,
+    ) -> Result<CsrMatrix<S::C>, SparseError>
+    where
+        S: Semiring<A = f64, B = f64>,
+        S::C: Default + Send + Sync,
+    {
+        self.execute_planned(plan, sr, mask, a, b)
     }
 
     /// Plan and run one masked SpGEMM: `C = M ⊙ (A·B)` (or `¬M ⊙`).
+    #[deprecated(
+        since = "0.3.0",
+        note = "use `Context::op(mask, a, b).semiring(...).run()`"
+    )]
     pub fn masked_spgemm<S>(
         &self,
         sr: S,
@@ -467,11 +870,12 @@ impl Context {
         S::C: Default + Send + Sync,
     {
         let plan = self.plan(mask, complemented, a, b)?;
-        self.run_planned(&plan, sr, mask, a, b)
+        self.execute_planned(&plan, sr, mask, a, b)
     }
 
     /// Run with a forced algorithm and phase discipline (bypasses the
-    /// planner but still uses cached auxiliaries).
+    /// planner but still uses cached auxiliaries). The typed-semiring
+    /// counterpart of `Context::op(..).algorithm(..).phases(..).run()`.
     #[allow(clippy::too_many_arguments)]
     pub fn run_with<S>(
         &self,
@@ -488,6 +892,6 @@ impl Context {
         S::C: Default + Send + Sync,
     {
         let plan = Plan::fixed(algorithm, phases, complemented);
-        self.run_planned(&plan, sr, mask, a, b)
+        self.execute_planned(&plan, sr, mask, a, b)
     }
 }

@@ -10,46 +10,67 @@
 //! betweenness centrality, which issue hundreds of masked multiplies over
 //! slowly-evolving operands, want a layer that:
 //!
+//! * **describes operations first-class** — a [`MaskedOp`] (built with the
+//!   fluent [`OpBuilder`] from [`Context::op`]) carries operands, mask
+//!   polarity, a runtime [`SemiringKind`], optional algorithm/phase
+//!   overrides, and an accumulation mode, decoupling *what* to compute
+//!   from *how* it runs;
 //! * **caches auxiliaries per matrix** — CSC copies for pull-based schemes,
 //!   transposes, degree vectors, row statistics, and pairwise flop counts
-//!   are computed lazily and reused until the matrix changes
-//!   ([`Context::insert`] / [`Context::update`]);
+//!   are computed lazily, reused until the matrix changes
+//!   ([`Context::insert`] / [`Context::update`]), and evicted
+//!   least-recently-used under a byte budget ([`Context::set_aux_budget`]);
 //! * **plans per operation** — [`Context::plan`] aggregates the per-row
 //!   cost model over cached statistics and picks a fixed algorithm or the
-//!   per-row hybrid, plus a phase discipline ([`Plan`]);
+//!   per-row hybrid ([`Plan`]); plans are cached under structural
+//!   *fingerprint classes* ([`Context::plan_fingerprint`]), so
+//!   structurally-similar versions (k-truss peels) reuse plans without
+//!   re-planning at all;
 //! * **calibrates the model** — [`Context::calibrate`] measures the
 //!   machine's actual MSA/heap cost ratios and rescales [`HybridConfig`];
-//! * **executes batches** — [`Context::run_batch`] runs many independent
-//!   multiplies concurrently, one worker per product, with per-worker
-//!   kernel scratch reused across the whole batch.
+//! * **streams heterogeneous batches** — [`Context::for_each_result`] runs
+//!   many independent multiplies concurrently (one worker per product,
+//!   per-worker reused kernel scratch), mixing semirings freely, and hands
+//!   each result to a [`ResultSink`] as it finishes instead of keeping
+//!   every output resident ([`Context::run_batch_collect`] collects when
+//!   you do want them all).
 //!
 //! ```
-//! use engine::{BatchOp, Context};
-//! use sparse::{CsrMatrix, PlusTimes};
+//! use engine::{Context, SemiringKind};
+//! use sparse::CsrMatrix;
 //!
 //! let ctx = Context::with_threads(2);
 //! let a = ctx.insert(CsrMatrix::diagonal(8, 2.0));
 //! let m = ctx.insert(CsrMatrix::diagonal(8, 1.0));
-//! let sr = PlusTimes::<f64>::new();
 //!
 //! // One planned multiply…
-//! let c = ctx.masked_spgemm(sr, m, false, a, a).unwrap();
+//! let c = ctx.op(m, a, a).run().unwrap();
 //! assert_eq!(c.get(3, 3), Some(&4.0));
 //!
-//! // …and a concurrent batch of the same shape.
-//! let ops = vec![BatchOp { mask: m, complemented: false, a, b: a }; 4];
-//! for r in ctx.run_batch(sr, &ops) {
-//!     assert_eq!(r.unwrap(), c);
-//! }
+//! // …and a streamed batch mixing two semirings over the same operands.
+//! let ops = vec![
+//!     ctx.op(m, a, a).build(),
+//!     ctx.op(m, a, a).semiring(SemiringKind::PlusPair).build(),
+//!     ctx.op(m, a, a).semiring(SemiringKind::MinPlus).build(),
+//! ];
+//! let mut done = 0;
+//! ctx.for_each_result(&ops, |_i, r: Result<CsrMatrix<f64>, _>| {
+//!     r.unwrap();
+//!     done += 1;
+//! });
+//! assert_eq!(done, 3);
 //! ```
 
 mod batch;
 mod calibrate;
 mod context;
+mod op;
 mod plan;
 
+#[allow(deprecated)]
 pub use batch::BatchOp;
 pub use calibrate::Calibration;
-pub use context::{AuxStatus, Context, MatrixHandle, MatrixStats};
-pub use masked_spgemm::{Algorithm, HybridConfig, Phases};
+pub use context::{AuxCacheStats, AuxStatus, Context, MatrixHandle, MatrixStats, PlanCacheStats};
+pub use masked_spgemm::{Algorithm, DynSemiring, HybridConfig, Phases, SemiringKind};
+pub use op::{AccumMode, MaskedOp, OpBuilder, ResultSink};
 pub use plan::{Choice, CostBreakdown, Plan};

@@ -1,0 +1,270 @@
+//! First-class operation descriptors: [`MaskedOp`], its fluent
+//! [`OpBuilder`], and the [`ResultSink`] consumer interface.
+//!
+//! The paper's central claim is that no single masked-SpGEMM scheme wins
+//! everywhere — selection must happen *per operation*. The descriptor API
+//! encodes that: a [`MaskedOp`] says **what** to compute (operands, mask
+//! polarity, semiring, optional algorithm/phase overrides, accumulation
+//! mode) and the [`Context`](crate::Context) decides **how** (planner,
+//! cached auxiliaries, worker scheduling). Because the semiring is a
+//! [`SemiringKind`] value rather than a type parameter, one batch can mix
+//! operations over different semirings — plus-times BC sweeps next to
+//! plus-pair triangle ops — and stream their results through a sink as
+//! workers finish instead of materializing every output at once.
+//!
+//! ```
+//! use engine::{Context, SemiringKind};
+//! use sparse::CsrMatrix;
+//!
+//! let ctx = Context::with_threads(2);
+//! let a = ctx.insert(CsrMatrix::diagonal(8, 2.0));
+//! let m = ctx.insert(CsrMatrix::diagonal(8, 1.0));
+//!
+//! // One planned multiply…
+//! let c = ctx.op(m, a, a).run().unwrap();
+//! assert_eq!(c.get(3, 3), Some(&4.0));
+//!
+//! // …and a heterogeneous streamed batch of the same shape.
+//! let ops = vec![
+//!     ctx.op(m, a, a).build(),                                  // plus_times
+//!     ctx.op(m, a, a).semiring(SemiringKind::PlusPair).build(), // plus_pair
+//! ];
+//! let mut nnz_total = 0;
+//! ctx.for_each_result(&ops, |_idx, result: Result<CsrMatrix<f64>, _>| {
+//!     nnz_total += result.unwrap().nnz(); // consumed and dropped here
+//! });
+//! assert_eq!(nnz_total, 16);
+//! ```
+
+use masked_spgemm::{Algorithm, DynSemiring, Phases, SemiringKind};
+use sparse::ewise::ewise_union;
+use sparse::{CsrMatrix, Semiring, SparseError};
+
+use crate::context::{Context, MatrixHandle};
+use crate::plan::{self, Choice, Plan};
+
+/// What happens to an operation's result before it reaches the caller.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum AccumMode {
+    /// Deliver the product as computed (the default).
+    Replace,
+    /// Element-wise add the product into the matrix behind the handle
+    /// (using the operation's semiring `add`), [`Context::update`] the
+    /// handle with the merged matrix, and deliver the merged matrix.
+    ///
+    /// In a batch, accumulation is applied on the *calling* thread in
+    /// completion order, so two operations targeting the same handle never
+    /// race — but their merge order (and therefore float rounding) follows
+    /// completion order, which is nondeterministic across runs.
+    ///
+    /// Both the handle and the caller receive the merged matrix, which
+    /// costs one `O(nnz)` copy on top of the merge itself (the two owners
+    /// cannot share storage through an owned return type).
+    AddInto(MatrixHandle),
+}
+
+/// A fully-described masked multiply: `C = M ⊙ (A·B)` or `¬M ⊙ (A·B)` on a
+/// runtime-selected semiring, with optional execution overrides.
+///
+/// Build one with [`Context::op`]; run it alone ([`OpBuilder::run`]) or in
+/// a heterogeneous batch ([`Context::for_each_result`],
+/// [`Context::run_batch_collect`]). All fields are public — a descriptor is
+/// plain data, inspectable and rewritable by schedulers layered above the
+/// engine.
+#[derive(Copy, Clone, Debug)]
+pub struct MaskedOp {
+    /// Mask handle.
+    pub mask: MatrixHandle,
+    /// Mask polarity (`true` = `¬M ⊙ (A·B)`).
+    pub complemented: bool,
+    /// Left operand handle.
+    pub a: MatrixHandle,
+    /// Right operand handle.
+    pub b: MatrixHandle,
+    /// Which semiring the multiply runs on.
+    pub semiring: SemiringKind,
+    /// Force this algorithm instead of consulting the planner.
+    pub algorithm: Option<Algorithm>,
+    /// Force this phase discipline instead of the planner's choice.
+    ///
+    /// Honored by the row-parallel single-op path ([`OpBuilder::run`]).
+    /// Batch execution instead uses the serial exact-assembly driver, where
+    /// the 1P/2P distinction does not arise (rows are appended in order
+    /// with no transient copy) — results are bit-identical either way.
+    pub phases: Option<Phases>,
+    /// What happens to the result (see [`AccumMode`]).
+    pub accum: AccumMode,
+}
+
+/// Fluent constructor for [`MaskedOp`], obtained from [`Context::op`].
+///
+/// Defaults: plain mask, [`SemiringKind::PlusTimes`], planner-chosen
+/// algorithm and phases, [`AccumMode::Replace`].
+#[derive(Copy, Clone)]
+#[must_use = "an OpBuilder does nothing until .run() or .build()"]
+pub struct OpBuilder<'c> {
+    ctx: &'c Context,
+    op: MaskedOp,
+}
+
+impl<'c> OpBuilder<'c> {
+    /// Select the semiring the multiply runs on.
+    pub fn semiring(mut self, kind: SemiringKind) -> Self {
+        self.op.semiring = kind;
+        self
+    }
+
+    /// Use the complement of the mask (`C = ¬M ⊙ (A·B)`).
+    pub fn complemented(mut self, yes: bool) -> Self {
+        self.op.complemented = yes;
+        self
+    }
+
+    /// Force an algorithm instead of consulting the planner.
+    pub fn algorithm(mut self, algorithm: Algorithm) -> Self {
+        self.op.algorithm = Some(algorithm);
+        self
+    }
+
+    /// Force a phase discipline instead of the planner's choice (see
+    /// [`MaskedOp::phases`] for how batch execution treats this).
+    pub fn phases(mut self, phases: Phases) -> Self {
+        self.op.phases = Some(phases);
+        self
+    }
+
+    /// Element-wise add the result into the matrix behind `target` (see
+    /// [`AccumMode::AddInto`]).
+    pub fn accumulate_into(mut self, target: MatrixHandle) -> Self {
+        self.op.accum = AccumMode::AddInto(target);
+        self
+    }
+
+    /// The finished descriptor, for batching or later execution.
+    pub fn build(self) -> MaskedOp {
+        self.op
+    }
+
+    /// Resolve the execution plan this descriptor would run under
+    /// (overrides applied), without executing.
+    pub fn plan(&self) -> Result<Plan, SparseError> {
+        self.ctx.resolve_plan(&self.op)
+    }
+
+    /// Plan (or apply overrides) and execute now, returning the result.
+    pub fn run(self) -> Result<CsrMatrix<f64>, SparseError> {
+        self.ctx.run_op(&self.op)
+    }
+}
+
+/// Consumer of streamed batch results.
+///
+/// [`Context::for_each_result`] hands each finished operation to the sink
+/// **in completion order** (not input order) together with its index into
+/// the submitted slice, on the calling thread. A sink that drops the
+/// matrix immediately (e.g. one that only tallies `nnz`) keeps at most a
+/// few results resident at any moment, no matter how large the batch.
+///
+/// Any `FnMut(usize, Result<CsrMatrix<f64>, SparseError>)` closure is a
+/// sink.
+pub trait ResultSink {
+    /// Receive the result of `ops[index]`.
+    fn absorb(&mut self, index: usize, result: Result<CsrMatrix<f64>, SparseError>);
+}
+
+impl<F> ResultSink for F
+where
+    F: FnMut(usize, Result<CsrMatrix<f64>, SparseError>),
+{
+    fn absorb(&mut self, index: usize, result: Result<CsrMatrix<f64>, SparseError>) {
+        self(index, result)
+    }
+}
+
+impl Context {
+    /// Start describing the masked multiply `M ⊙ (A·B)`.
+    ///
+    /// ```
+    /// use engine::{Context, SemiringKind};
+    /// use sparse::CsrMatrix;
+    ///
+    /// let ctx = Context::with_threads(1);
+    /// let h = ctx.insert(CsrMatrix::diagonal(4, 3.0));
+    /// let c = ctx.op(h, h, h).semiring(SemiringKind::PlusPair).run().unwrap();
+    /// assert_eq!(c.get(2, 2), Some(&1.0)); // one contributing product
+    /// ```
+    pub fn op(&self, mask: MatrixHandle, a: MatrixHandle, b: MatrixHandle) -> OpBuilder<'_> {
+        OpBuilder {
+            ctx: self,
+            op: MaskedOp {
+                mask,
+                complemented: false,
+                a,
+                b,
+                semiring: SemiringKind::PlusTimes,
+                algorithm: None,
+                phases: None,
+                accum: AccumMode::Replace,
+            },
+        }
+    }
+
+    /// Resolve the plan a descriptor runs under: the planner's choice, with
+    /// the descriptor's algorithm/phase overrides applied on top. A forced
+    /// algorithm that cannot honor the mask polarity (MCA × complemented)
+    /// is a uniform [`SparseError::Unsupported`].
+    pub(crate) fn resolve_plan(&self, op: &MaskedOp) -> Result<Plan, SparseError> {
+        if let Some(alg) = op.algorithm {
+            alg.check_complement_support(op.complemented)?;
+            plan::validate(self, op.mask, op.a, op.b)?;
+            // A fully-overridden op skips the cost model entirely.
+            if let Some(ph) = op.phases {
+                return Ok(Plan::fixed(alg, ph, op.complemented));
+            }
+            let planned = self.plan(op.mask, op.complemented, op.a, op.b)?;
+            return Ok(Plan {
+                choice: Choice::Fixed(alg),
+                ..planned
+            });
+        }
+        let mut planned = self.plan(op.mask, op.complemented, op.a, op.b)?;
+        if let Some(ph) = op.phases {
+            planned.phases = ph;
+        }
+        Ok(planned)
+    }
+
+    /// Execute one descriptor now (row-parallel kernels on the context's
+    /// pool), applying its accumulation mode.
+    pub fn run_op(&self, op: &MaskedOp) -> Result<CsrMatrix<f64>, SparseError> {
+        let plan = self.resolve_plan(op)?;
+        let sr = DynSemiring::new(op.semiring);
+        let c = self.execute_planned(&plan, sr, op.mask, op.a, op.b)?;
+        self.apply_accum(op, c)
+    }
+
+    /// Apply a descriptor's [`AccumMode`] to its freshly-computed product.
+    pub(crate) fn apply_accum(
+        &self,
+        op: &MaskedOp,
+        c: CsrMatrix<f64>,
+    ) -> Result<CsrMatrix<f64>, SparseError> {
+        match op.accum {
+            AccumMode::Replace => Ok(c),
+            AccumMode::AddInto(target) => {
+                let sr = DynSemiring::new(op.semiring);
+                let existing = self.matrix(target);
+                if existing.shape() != c.shape() {
+                    return Err(SparseError::DimMismatch {
+                        op: "accumulate_into",
+                        lhs: existing.shape(),
+                        rhs: c.shape(),
+                    });
+                }
+                let merged = ewise_union(&existing, &c, |x, y| sr.add(*x, *y), |x| *x, |y| *y);
+                self.update(target, merged.clone());
+                Ok(merged)
+            }
+        }
+    }
+}

@@ -90,13 +90,14 @@ const HYBRID_ROW_DISPATCH: f64 = 8.0;
 /// under a complemented mask, so exact allocation wins for heavy products).
 const COMPLEMENTED_TWO_PHASE_FLOPS: u64 = 1 << 22;
 
-pub(crate) fn plan(
+/// Validate that the three operands form a well-shaped masked multiply
+/// (shared by the planner, the cache lookup, and the descriptor path).
+pub(crate) fn validate(
     ctx: &Context,
     mask: MatrixHandle,
-    complemented: bool,
     a: MatrixHandle,
     b: MatrixHandle,
-) -> Result<Plan, SparseError> {
+) -> Result<(), SparseError> {
     let (em, ea, eb) = (ctx.entry(mask), ctx.entry(a), ctx.entry(b));
     if ea.matrix.ncols() != eb.matrix.nrows() {
         return Err(SparseError::DimMismatch {
@@ -112,12 +113,26 @@ pub(crate) fn plan(
             rhs: (ea.matrix.nrows(), eb.matrix.ncols()),
         });
     }
+    Ok(())
+}
+
+/// Cost-model planning proper. Operand shapes are the caller's
+/// responsibility ([`Context::plan`] runs [`validate`] before the cache
+/// lookup, which is the only path here).
+pub(crate) fn plan(
+    ctx: &Context,
+    mask: MatrixHandle,
+    complemented: bool,
+    a: MatrixHandle,
+    b: MatrixHandle,
+) -> Result<Plan, SparseError> {
+    let (ea, eb) = (ctx.entry(a), ctx.entry(b));
 
     let cfg = ctx.config();
     let flops_total = ctx.flops(a, b);
-    let mask_deg = em.row_degrees().clone();
-    let a_deg = ea.row_degrees().clone();
-    let b_deg = eb.row_degrees().clone();
+    let mask_deg = ctx.row_degrees(mask);
+    let a_deg = ctx.row_degrees(a);
+    let b_deg = ctx.row_degrees(b);
     let avg_b_col_nnz = if eb.matrix.ncols() > 0 {
         eb.matrix.nnz() as f64 / eb.matrix.ncols() as f64
     } else {

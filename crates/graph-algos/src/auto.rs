@@ -1,15 +1,17 @@
 //! Engine-backed application entry points.
 //!
-//! These are the ports of the paper benchmarks onto [`engine::Context`]:
-//! instead of a caller-chosen [`crate::Scheme`] with hand-threaded CSC
-//! copies, each masked multiply is planned per iteration from cached
-//! statistics, and auxiliaries (CSC form, transposes, degree vectors, flop
-//! counts) live in the context's cache. The payoff shows in the iterative
-//! benchmarks:
+//! These are the ports of the paper benchmarks onto [`engine::Context`]'s
+//! operation-descriptor API: instead of a caller-chosen [`crate::Scheme`]
+//! with hand-threaded CSC copies, each masked multiply is described with
+//! [`Context::op`] and planned per iteration from cached statistics, with
+//! auxiliaries (CSC form, transposes, degree vectors, flop counts) living
+//! in the context's cache. The payoff shows in the iterative benchmarks:
 //!
 //! * k-truss recomputed a CSC copy of the current edge set every iteration
 //!   *regardless of scheme* in the direct path; here a CSC is built only
-//!   when the plan actually pulls;
+//!   when the plan actually pulls — and because the plan cache is keyed by
+//!   structural fingerprint class, consecutive peels in the same nnz
+//!   regime reuse the cached plan without re-running the cost model;
 //! * betweenness centrality re-derived `Aᵀ` and two CSC copies on every
 //!   call; here they are cached on the adjacency handle and reused across
 //!   calls, batches, and repetitions;
@@ -18,12 +20,14 @@
 //!
 //! Results are bit-identical to the scheme-based entry points — the engine
 //! only changes *which* kernel runs and *what* is recomputed, never the
-//! arithmetic.
+//! arithmetic. (The erased [`engine::SemiringKind`] semirings perform the
+//! same float operations in the same order as the typed ones; counting
+//! semirings count in `f64`, exact to 2⁵³.)
 
-use engine::{Context, MatrixHandle};
+use engine::{Context, MatrixHandle, SemiringKind};
 use sparse::ewise::{ewise_mult, ewise_union};
 use sparse::reduce::sum_all;
-use sparse::{CsrMatrix, Idx, PlusPair, PlusTimes, SparseError};
+use sparse::{CsrMatrix, Idx, SparseError};
 
 use crate::bc::{one_plus_delta_over_sigma, BcResult};
 use crate::ktruss::KtrussResult;
@@ -33,9 +37,8 @@ use crate::ktruss::KtrussResult;
 /// `l` is the prepared lower-triangular input (see
 /// [`crate::prepare_triangle_input`]) registered in `ctx`.
 pub fn triangle_count_auto(ctx: &Context, l: MatrixHandle) -> Result<u64, SparseError> {
-    let sr = PlusPair::<f64, f64, u64>::new();
-    let c = ctx.masked_spgemm(sr, l, false, l, l)?;
-    Ok(sum_all(&c))
+    let c = ctx.op(l, l, l).semiring(SemiringKind::PlusPair).run()?;
+    Ok(sum_all(&c) as u64)
 }
 
 /// k-truss via engine-planned support computations.
@@ -43,42 +46,32 @@ pub fn triangle_count_auto(ctx: &Context, l: MatrixHandle) -> Result<u64, Sparse
 /// `adj` must have a symmetric pattern. The shrinking edge set lives in a
 /// scratch handle whose auxiliaries are invalidated by each peel —
 /// [`Context::update`] is exactly the mutation the cache is built around.
+/// Plan reuse across peels comes from the context's fingerprint-keyed plan
+/// cache: while the edge set stays in the same nnz regime, each iteration's
+/// `Context::op(..).run()` serves the cached plan instead of re-running the
+/// cost model (watch it with [`Context::plan_cache_stats`]).
 pub fn ktruss_auto(
     ctx: &Context,
     adj: MatrixHandle,
     k: usize,
 ) -> Result<KtrussResult, SparseError> {
     assert!(k >= 3, "k-truss needs k >= 3");
-    let min_support = (k - 2) as u64;
-    let sr = PlusPair::<f64, f64, u64>::new();
+    let min_support = (k - 2) as f64;
     let work = ctx.insert_shared(ctx.matrix(adj));
     let mut iterations = 0usize;
     let mut total_flops = 0u64;
-    // Plans are reused across peels until the edge set shrinks materially
-    // (below 3/4 of the size it was planned at): the regime only changes
-    // with density, so estimating every iteration would reintroduce the
-    // very per-iteration cost the engine exists to avoid.
-    let mut last_plan: Option<(engine::Plan, usize)> = None;
     let result = loop {
         iterations += 1;
         total_flops += ctx.flops(work, work);
         let current_nnz = ctx.stats(work).nnz;
-        let plan = match last_plan {
-            Some((plan, planned_at)) if current_nnz * 4 > planned_at * 3 => plan,
-            _ => match ctx.plan(work, false, work, work) {
-                Ok(plan) => {
-                    last_plan = Some((plan, current_nnz));
-                    plan
-                }
-                Err(e) => {
-                    ctx.remove(work);
-                    return Err(e);
-                }
-            },
-        };
         // Support of every surviving edge: common-neighbor counts masked to
-        // the current edge set; algorithm re-chosen as the mask sparsifies.
-        let support = match ctx.run_planned(&plan, sr, work, work, work) {
+        // the current edge set; algorithm re-chosen as the mask sparsifies
+        // (plan served from the fingerprint cache while the regime holds).
+        let support = match ctx
+            .op(work, work, work)
+            .semiring(SemiringKind::PlusPair)
+            .run()
+        {
             Ok(support) => support,
             Err(e) => {
                 ctx.remove(work);
@@ -113,7 +106,6 @@ pub fn betweenness_centrality_auto(
     assert_eq!(adj_m.ncols(), n, "adjacency must be square");
     let s = sources.len();
     assert!(s > 0, "empty source batch");
-    let sr = PlusTimes::<f64>::new();
 
     // Owned by the adjacency's entry: reused across calls, invalidated
     // with it. Not removed here.
@@ -132,7 +124,7 @@ pub fn betweenness_centrality_auto(
         r
     };
     loop {
-        let next = match ctx.masked_spgemm(sr, paths_handle, true, frontier, adj) {
+        let next = match ctx.op(paths_handle, frontier, adj).complemented(true).run() {
             Ok(next) => next,
             Err(e) => return cleanup(Err(e)),
         };
@@ -163,7 +155,7 @@ pub fn betweenness_centrality_auto(
         let t = one_plus_delta_over_sigma(sigma_d, &delta);
         ctx.update(t_handle, t);
         ctx.update(sigma_handle, sigma_prev.clone());
-        let w = match ctx.masked_spgemm(sr, sigma_handle, false, t_handle, adj_t) {
+        let w = match ctx.op(sigma_handle, t_handle, adj_t).run() {
             Ok(w) => w,
             Err(e) => {
                 ctx.remove(t_handle);
@@ -205,8 +197,7 @@ pub fn masked_cosine_similarity_auto(
 ) -> Result<CsrMatrix<f64>, SparseError> {
     // Owned by `a`'s entry: stays cached for the next call.
     let at = ctx.transpose_handle(a);
-    let sr = PlusTimes::<f64>::new();
-    let mut out = ctx.masked_spgemm(sr, mask, false, a, at)?;
+    let mut out = ctx.op(mask, a, at).run()?;
     let a_m = ctx.matrix(a);
     let norms: Vec<f64> = (0..a_m.nrows())
         .map(|i| {
@@ -274,6 +265,24 @@ mod tests {
             }
             ctx.remove(h);
         }
+    }
+
+    #[test]
+    fn ktruss_auto_reuses_plans_across_peels() {
+        // The fingerprint-keyed plan cache must serve at least one peel
+        // iteration from cache when the edge set shrinks gradually.
+        let ctx = Context::with_threads(2);
+        let adj = to_undirected_simple(&graphs::erdos_renyi(96, 10.0, 5));
+        let h = ctx.insert(adj);
+        let before = ctx.plan_cache_stats();
+        let r = ktruss_auto(&ctx, h, 4).unwrap();
+        let after = ctx.plan_cache_stats();
+        assert!(r.iterations >= 2, "want a multi-iteration peel");
+        assert!(
+            after.hits > before.hits,
+            "no plan reuse across {} peels: {before:?} -> {after:?}",
+            r.iterations
+        );
     }
 
     #[test]

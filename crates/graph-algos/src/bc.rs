@@ -1,6 +1,6 @@
 //! Batch (multi-source) Betweenness Centrality (paper Section 8.4).
 //!
-//! Brandes' two-stage algorithm [8] expressed over matrices, processing a
+//! Brandes' two-stage algorithm \[8\] expressed over matrices, processing a
 //! batch of sources at once as in the GraphBLAS C API's
 //! `BC_batch` reference:
 //!

@@ -5,7 +5,7 @@
 //! parameterized over the [`Scheme`] (our six algorithms × 1P/2P, plus the
 //! SS:GB-like baselines) so the harnesses in `crates/bench` can sweep them.
 //!
-//! Serial textbook implementations in [`reference`] validate every
+//! Serial textbook implementations in [`mod@reference`] validate every
 //! benchmark end-to-end.
 
 pub mod auto;

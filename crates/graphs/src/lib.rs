@@ -5,7 +5,7 @@
 //! The paper's controlled experiments use Erdős-Rényi graphs and R-MAT
 //! graphs with Graph500 parameters; its real-world experiments use 26
 //! SuiteSparse matrices. The SuiteSparse collection is not available in
-//! this offline reproduction, so [`suite`] provides a deterministic
+//! this offline reproduction, so [`mod@suite`] provides a deterministic
 //! 26-graph synthetic substitute spanning the same axes (size, density,
 //! degree skew, structure) — see DESIGN.md, substitution 1.
 //!

@@ -3,7 +3,7 @@
 //! Measurement substrate for the benchmark harnesses.
 //!
 //! * [`timer`] — wall-clock measurement with warmup and best-of-N repeats;
-//! * [`perf_profile`] — Dolan-Moré performance profiles [20], the plot type
+//! * [`perf_profile`] — Dolan-Moré performance profiles \[20\], the plot type
 //!   of the paper's Figures 8, 9, 12, 13, 16;
 //! * [`table`] — CSV emission and fixed-width console tables;
 //! * [`ascii`] — terminal line charts and heat maps so every figure has a

@@ -1,5 +1,5 @@
 //! Doubly-Compressed Sparse Row (DCSR) — the hypersparse format of Buluç &
-//! Gilbert [10], referenced by the paper (Sections 2.1 and 3:
+//! Gilbert \[10\], referenced by the paper (Sections 2.1 and 3:
 //! SuiteSparse:GraphBLAS stores hypersparse matrices as DCSR/DCSC).
 //!
 //! When most rows are empty (`nnz ≪ nrows`), CSR's `nrows + 1` row-pointer

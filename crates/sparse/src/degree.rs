@@ -12,7 +12,7 @@ pub fn row_degrees<T>(a: &CsrMatrix<T>) -> Vec<usize> {
 /// vertex id for determinism). `perm[new] = old`.
 ///
 /// The triangle-counting benchmark relabels vertices this way before taking
-/// the lower-triangular part (Section 8.2, citing [29]).
+/// the lower-triangular part (Section 8.2, citing \[29\]).
 pub fn degree_sort_perm<T>(a: &CsrMatrix<T>) -> Vec<Idx> {
     let deg = row_degrees(a);
     let mut perm: Vec<Idx> = (0..a.nrows() as Idx).collect();

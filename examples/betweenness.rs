@@ -11,7 +11,7 @@
 //!
 //! Run with `cargo run --release --example betweenness -p integration`.
 
-use engine::Context;
+use engine::{Context, SemiringKind};
 use graph_algos::{betweenness_centrality, betweenness_centrality_auto, Scheme};
 use graphs::preferential_attachment;
 use sparse::Idx;
@@ -48,6 +48,25 @@ fn main() {
     for &(v, score) in ranked.iter().take(10) {
         println!("  v{v:<6} {score:>12.1}   deg {}", adj.row_nnz(v));
     }
+
+    // A heterogeneous streamed batch over the same adjacency: common-
+    // neighbor counts (plus_pair) and weighted two-hop mass (plus_times)
+    // of existing edges, in ONE batch, consumed as workers finish.
+    let ops = vec![
+        ctx.op(h, h, h).semiring(SemiringKind::PlusPair).build(),
+        ctx.op(h, h, h).semiring(SemiringKind::PlusTimes).build(),
+    ];
+    let labels = ["common neighbors per edge", "two-hop mass per edge"];
+    ctx.for_each_result(&ops, |i: usize, r: Result<sparse::CsrMatrix<f64>, _>| {
+        let c = r.expect("square operands");
+        println!(
+            "streamed op {i} ({}): {} masked entries, total {:.0}",
+            labels[i],
+            c.nnz(),
+            sparse::reduce::sum_all(&c)
+        );
+        // `c` drops here — the batch never holds every output at once.
+    });
 
     // Cross-check the direct scheme path end to end.
     let r2 = betweenness_centrality(Scheme::SsSaxpy, &adj, &sources).expect("supported");

@@ -11,7 +11,7 @@
 //!
 //! Run with `cargo run --release --example ktruss_peeling -p integration`.
 
-use engine::Context;
+use engine::{Context, SemiringKind};
 use graph_algos::{ktruss, ktruss_auto, Scheme};
 use graphs::{rmat, to_undirected_simple, RmatParams};
 use masked_spgemm::{Algorithm, Phases};
@@ -28,7 +28,13 @@ fn main() {
     let ctx = Context::new();
     ctx.calibrate(); // measure this machine's cost-model constants
     let h = ctx.insert(adj.clone());
-    let plan = ctx.plan(h, false, h, h).expect("square operands");
+    // Describe the support computation as an operation descriptor and ask
+    // what the planner would do with it.
+    let plan = ctx
+        .op(h, h, h)
+        .semiring(SemiringKind::PlusPair)
+        .plan()
+        .expect("square operands");
     println!(
         "engine plan for the first support computation: {} (flops {})",
         plan.label(),
@@ -56,6 +62,12 @@ fn main() {
             break;
         }
     }
+    let stats = ctx.plan_cache_stats();
+    println!(
+        "fingerprint plan cache: {} hits / {} misses across all peels \
+         (hits after updates are plans reused across versions)",
+        stats.hits, stats.misses
+    );
 
     // The engine-planned decomposition must agree with fixed schemes.
     let auto = ktruss_auto(&ctx, h, 4).expect("plain mask");

@@ -2,7 +2,7 @@
 //! bit-identical to direct `masked_spgemm` calls; the auxiliary cache must
 //! never serve stale data after a matrix is updated.
 
-use engine::{BatchOp, Choice, Context};
+use engine::{Choice, Context};
 use masked_spgemm::{masked_spgemm, Algorithm, Phases};
 use proptest::prelude::*;
 use sparse::{CsrMatrix, Idx, PlusTimes};
@@ -70,7 +70,8 @@ proptest! {
         }
     }
 
-    /// The planner's own choice also matches the direct reference result.
+    /// The planner's own choice (through the descriptor path) also matches
+    /// the direct reference result.
     #[test]
     fn planned_execution_matches_reference(
         a in csr_strategy(12, 12, 0.3),
@@ -88,7 +89,7 @@ proptest! {
             let expect =
                 masked_spgemm(Algorithm::Msa, Phases::One, compl, sr, &mask, &a, &b).unwrap();
             let plan = ctx.plan(hm, compl, ha, hb).unwrap();
-            let got = ctx.run_planned(&plan, sr, hm, ha, hb).unwrap();
+            let got = ctx.op(hm, ha, hb).complemented(compl).run().unwrap();
             prop_assert_eq!(&got, &expect, "plan {} compl={}", plan.label(), compl);
         }
     }
@@ -107,12 +108,12 @@ proptest! {
         let (ha, hb) = (ctx.insert(a.clone()), ctx.insert(b.clone()));
         let (h1, h2) = (ctx.insert(m1.clone()), ctx.insert(m2.clone()));
         let ops = vec![
-            BatchOp { mask: h1, complemented: false, a: ha, b: hb },
-            BatchOp { mask: h2, complemented: false, a: ha, b: hb },
-            BatchOp { mask: h1, complemented: true, a: ha, b: hb },
-            BatchOp { mask: h2, complemented: false, a: hb, b: ha },
+            ctx.op(h1, ha, hb).build(),
+            ctx.op(h2, ha, hb).build(),
+            ctx.op(h1, ha, hb).complemented(true).build(),
+            ctx.op(h2, hb, ha).build(),
         ];
-        let results = ctx.run_batch(sr, &ops);
+        let results = ctx.run_batch_collect(&ops);
         prop_assert_eq!(results.len(), ops.len());
         for (op, result) in ops.iter().zip(&results) {
             let mask_m = ctx.matrix(op.mask);
@@ -187,16 +188,23 @@ fn flops_cache_invalidates_with_versions() {
 }
 
 #[test]
-fn plans_are_cached_per_version_and_invalidated_by_updates() {
+fn plans_are_cached_per_fingerprint_and_refreshed_by_regime_changes() {
     let ctx = Context::with_threads(1);
     let a = graphs::erdos_renyi(64, 6.0, 6);
     let m = graphs::erdos_renyi(64, 6.0, 7);
     let (ha, hm) = (ctx.insert(a), ctx.insert(m));
     let p1 = ctx.plan(hm, false, ha, ha).unwrap();
+    let hits_before = ctx.plan_cache_stats().hits;
     let p2 = ctx.plan(hm, false, ha, ha).unwrap();
     assert_eq!(p1.label(), p2.label());
     assert_eq!(p1.costs.flops, p2.costs.flops);
-    // A denser A changes the cached cost estimates.
+    assert_eq!(
+        ctx.plan_cache_stats().hits,
+        hits_before + 1,
+        "identical replan must be a cache hit"
+    );
+    // A 4× denser A is a different structural class: the cached cost
+    // estimates must be recomputed, not served.
     ctx.update(ha, graphs::erdos_renyi(64, 24.0, 8));
     let p3 = ctx.plan(hm, false, ha, ha).unwrap();
     assert_ne!(p1.costs.flops, p3.costs.flops);
@@ -212,33 +220,13 @@ fn batch_handles_mixed_shapes_and_errors() {
     let mask_small = ctx.insert(graphs::erdos_renyi(16, 4.0, 12));
     let mask_big = ctx.insert(graphs::erdos_renyi(128, 8.0, 13));
     let ops = vec![
-        BatchOp {
-            mask: mask_small,
-            complemented: false,
-            a: small,
-            b: small,
-        },
-        BatchOp {
-            mask: mask_big,
-            complemented: false,
-            a: big,
-            b: big,
-        },
+        ctx.op(mask_small, small, small).build(),
+        ctx.op(mask_big, big, big).build(),
         // Shape mismatch: must fail in its slot only.
-        BatchOp {
-            mask: mask_small,
-            complemented: false,
-            a: big,
-            b: big,
-        },
-        BatchOp {
-            mask: mask_small,
-            complemented: true,
-            a: small,
-            b: small,
-        },
+        ctx.op(mask_small, big, big).build(),
+        ctx.op(mask_small, small, small).complemented(true).build(),
     ];
-    let results = ctx.run_batch(sr, &ops);
+    let results = ctx.run_batch_collect(&ops);
     assert!(results[0].is_ok());
     assert!(results[1].is_ok());
     assert!(results[2].is_err(), "mismatched op must error in isolation");
@@ -294,9 +282,11 @@ fn complemented_plans_never_pick_pull_for_sparse_masks() {
 
 #[test]
 fn update_loops_do_not_grow_derived_caches() {
-    // Regression: every update bumps the version; plan/flops entries for
+    // Regression: every update bumps the version; flops entries for
     // superseded versions must be dropped, or update-in-a-loop workloads
-    // (k-truss) leak cache entries without bound.
+    // (k-truss) leak cache entries without bound. Plan entries are keyed
+    // by structural class, so same-regime updates land on a handful of
+    // keys (and the byte-budgeted LRU bounds them regardless).
     let ctx = Context::with_threads(1);
     let h = ctx.insert(graphs::erdos_renyi(48, 6.0, 40));
     for round in 0..20u64 {
@@ -306,7 +296,10 @@ fn update_loops_do_not_grow_derived_caches() {
     }
     let (flops_len, plan_len) = ctx.cache_sizes();
     assert!(flops_len <= 1, "flops cache grew to {flops_len}");
-    assert!(plan_len <= 1, "plan cache grew to {plan_len}");
+    assert!(
+        plan_len <= 8,
+        "plan cache grew to {plan_len} for one structural regime"
+    );
 }
 
 #[test]
@@ -350,4 +343,41 @@ fn planner_prefers_pull_for_tiny_masks_and_push_for_dense_masks() {
         "dense mask must not plan pure Inner, got {}",
         plan.label()
     );
+}
+
+/// The deprecated 0.2 entry points must keep producing the same bits as
+/// the descriptor path they now wrap.
+#[test]
+#[allow(deprecated)]
+fn deprecated_wrappers_agree_with_descriptor_path() {
+    use engine::BatchOp;
+    let ctx = Context::with_threads(2);
+    let sr = PlusTimes::<f64>::new();
+    let a = graphs::erdos_renyi(40, 6.0, 60);
+    let m = graphs::erdos_renyi(40, 9.0, 61);
+    let (ha, hm) = (ctx.insert(a), ctx.insert(m));
+
+    let via_new = ctx.op(hm, ha, ha).run().unwrap();
+    let via_masked_spgemm = ctx.masked_spgemm(sr, hm, false, ha, ha).unwrap();
+    assert_eq!(via_new, via_masked_spgemm);
+
+    let plan = ctx.plan(hm, false, ha, ha).unwrap();
+    let via_run_planned = ctx.run_planned(&plan, sr, hm, ha, ha).unwrap();
+    assert_eq!(via_new, via_run_planned);
+
+    let old_ops = vec![
+        BatchOp {
+            mask: hm,
+            complemented: false,
+            a: ha,
+            b: ha,
+        };
+        3
+    ];
+    let new_ops = vec![ctx.op(hm, ha, ha).build(); 3];
+    let old_results = ctx.run_batch(sr, &old_ops);
+    let new_results = ctx.run_batch_collect(&new_ops);
+    for (o, n) in old_results.iter().zip(&new_results) {
+        assert_eq!(o.as_ref().unwrap(), n.as_ref().unwrap());
+    }
 }
