@@ -196,6 +196,86 @@ pub fn er_with_csc(n: usize, deg: f64, seed: u64) -> (CsrMatrix<f64>, CscMatrix<
     (a, c)
 }
 
+/// Scheduler-harness workloads shared by `bench_scheduler` (the committed
+/// benchmark record) and the gating section of `engine_repeat` (the CI
+/// acceptance bar), so the recorded numbers and the enforced numbers are
+/// always measurements of the same graphs — sizes, seeds, and degree
+/// parameters cannot drift between the two.
+pub mod scheduler_workloads {
+    use sparse::CsrMatrix;
+
+    /// Small repeated-multiply pair `(A, mask)`. Deliberately fixed-size:
+    /// the quantity under test is per-call dispatch overhead, not kernel
+    /// throughput.
+    pub fn repeat_pair() -> (CsrMatrix<f64>, CsrMatrix<f64>) {
+        (
+            graphs::erdos_renyi(512, 8.0, 11),
+            graphs::erdos_renyi(512, 12.0, 12),
+        )
+    }
+
+    /// Undirected R-MAT hub graph (Graph500 `a = 0.57` skew) at `scale`.
+    pub fn skew_graph(scale: u32) -> CsrMatrix<f64> {
+        graphs::to_undirected_simple(&graphs::rmat(scale, graphs::RmatParams::default(), 13))
+    }
+
+    /// Independent batch masks over an `nrows`-vertex operand.
+    pub fn batch_masks(nrows: usize, count: usize) -> Vec<CsrMatrix<f64>> {
+        (0..count)
+            .map(|i| graphs::erdos_renyi(nrows, 8.0, 100 + i as u64))
+            .collect()
+    }
+
+    /// Balanced (Erdős–Rényi) counterpart of a skew graph with the same
+    /// shape and average degree — the reference input for the skew
+    /// regression guard's ideal-static-splitting prediction.
+    pub fn balanced_counterpart(skew: &CsrMatrix<f64>) -> CsrMatrix<f64> {
+        let avg_deg = skew.nnz() as f64 / skew.nrows() as f64;
+        graphs::erdos_renyi(skew.nrows(), avg_deg, 34)
+    }
+}
+
+/// The batch executor exactly as it worked before the pool migration: one
+/// freshly spawned scoped thread per worker, an atomic op cursor, and mpsc
+/// delivery to the caller — kept as the measured baseline for the
+/// scheduler harnesses (`bench_scheduler`, `engine_repeat`). Runs `M_i ⊙
+/// (A·A)` per mask on the engine's erased plus-times semiring with fixed
+/// MSA, so engine-batch comparisons differ only in scheduling; returns the
+/// summed output nnz.
+pub fn legacy_spawn_batch(masks: &[CsrMatrix<f64>], a: &CsrMatrix<f64>, workers: usize) -> usize {
+    use masked_spgemm::{DynSemiring, ScratchSet, SemiringKind};
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::mpsc;
+
+    let sr = DynSemiring::new(SemiringKind::PlusTimes);
+    let cursor = AtomicUsize::new(0);
+    let workers = workers.min(masks.len()).max(1);
+    let (tx, rx) = mpsc::channel::<(usize, usize)>();
+    std::thread::scope(|scope| {
+        let cursor = &cursor;
+        for _ in 0..workers {
+            let tx = tx.clone();
+            scope.spawn(move || {
+                let mut scratch: ScratchSet<DynSemiring> = ScratchSet::new();
+                loop {
+                    let i = cursor.fetch_add(1, Ordering::Relaxed);
+                    if i >= masks.len() {
+                        break;
+                    }
+                    let c = scratch
+                        .run(Algorithm::Msa, false, sr, &masks[i], a, a, None)
+                        .expect("dims agree");
+                    if tx.send((i, c.nnz())).is_err() {
+                        break;
+                    }
+                }
+            });
+        }
+        drop(tx);
+        rx.iter().map(|(_, nnz)| nnz).sum()
+    })
+}
+
 /// Run a performance-profile experiment over the evaluation suite:
 /// materialize every suite graph up to `max_n` vertices, call `measure`
 /// (which returns one best-of-reps time per scheme, `None` = excluded),

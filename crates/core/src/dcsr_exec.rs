@@ -13,6 +13,7 @@ use rayon::prelude::*;
 use sparse::{CsrMatrix, DcsrMatrix, Idx, Semiring, SparseError};
 
 use crate::kernel::RowKernel;
+use crate::scratch::WorkerLocal;
 
 /// Sorted intersection of two ascending id lists.
 fn intersect_sorted(a: &[Idx], b: &[Idx]) -> Vec<Idx> {
@@ -81,33 +82,44 @@ where
         .max()
         .unwrap_or(0);
     let ncols = b.ncols();
-    let nthreads = rayon::current_num_threads().max(1);
-    let chunk = active.len().div_ceil(nthreads * 8).max(1);
+    // Chunks at the pool scheduler's claim granularity, with one kernel
+    // (accumulator scratch) per worker shared across every chunk it
+    // claims — the same contract as the CSR drivers in `crate::exec`.
+    let chunk = active
+        .len()
+        .div_ceil(rayon::recommended_parts(active.len()))
+        .max(1);
     let chunks: Vec<&[Idx]> = active.chunks(chunk).collect();
+    let kernels: WorkerLocal<K> = WorkerLocal::new();
     type ChunkOut<C> = (Vec<Idx>, Vec<usize>, Vec<Idx>, Vec<C>);
     let outs: Vec<ChunkOut<S::C>> = chunks
         .par_iter()
         .map(|rows| {
-            let mut kernel = K::new(ncols, max_mask);
-            let mut rowids = Vec::new();
-            let mut lens = Vec::new();
-            let mut cols = Vec::new();
-            let mut vals = Vec::new();
-            for &i in *rows {
-                let (mc, _) = mask.row(i as usize);
-                let (ac, av) = a.row(i as usize);
-                let before = cols.len();
-                if complemented {
-                    kernel.compute_row_complemented(sr, mc, ac, av, b, &mut cols, &mut vals);
-                } else {
-                    kernel.compute_row(sr, mc, ac, av, b, &mut cols, &mut vals);
-                }
-                if cols.len() > before {
-                    rowids.push(i);
-                    lens.push(cols.len() - before);
-                }
-            }
-            (rowids, lens, cols, vals)
+            kernels.with(
+                || K::new(ncols, max_mask),
+                |kernel| {
+                    let mut rowids = Vec::new();
+                    let mut lens = Vec::new();
+                    let mut cols = Vec::new();
+                    let mut vals = Vec::new();
+                    for &i in *rows {
+                        let (mc, _) = mask.row(i as usize);
+                        let (ac, av) = a.row(i as usize);
+                        let before = cols.len();
+                        if complemented {
+                            kernel
+                                .compute_row_complemented(sr, mc, ac, av, b, &mut cols, &mut vals);
+                        } else {
+                            kernel.compute_row(sr, mc, ac, av, b, &mut cols, &mut vals);
+                        }
+                        if cols.len() > before {
+                            rowids.push(i);
+                            lens.push(cols.len() - before);
+                        }
+                    }
+                    (rowids, lens, cols, vals)
+                },
+            )
         })
         .collect();
 

@@ -3,10 +3,14 @@
 //!
 //! Parallelism is coarse-grained across rows, as in the paper ("our
 //! algorithms do not parallelize the formation of individual rows").
-//! Rows are grouped into contiguous chunks, oversubscribed ~16× relative to
-//! the worker count so rayon's work stealing absorbs load imbalance from
-//! skewed degree distributions; each worker keeps one kernel (accumulator
-//! scratch) alive across all rows it processes.
+//! Rows are grouped into contiguous chunks at the pool scheduler's own
+//! claim granularity ([`rayon::recommended_parts`]); idle workers pull the
+//! next chunk from a shared atomic cursor, so load imbalance from skewed
+//! degree distributions (power-law hub rows) rebalances dynamically
+//! instead of relying on a hand-tuned oversubscription factor. Each worker
+//! keeps one kernel (accumulator scratch) alive across every chunk it
+//! claims within a driver call ([`crate::scratch::WorkerLocal`] keyed by
+//! the pool's stable worker indices).
 //!
 //! * **One phase**: each chunk computes its rows into growable thread-local
 //!   buffers; per-row counts are prefix-summed into the final row pointers
@@ -24,6 +28,7 @@ use sparse::{CscMatrix, CsrMatrix, Idx, Semiring};
 
 use crate::algos::inner;
 use crate::kernel::RowKernel;
+use crate::scratch::WorkerLocal;
 
 /// Produce rows of the output, one at a time. Implemented by the push
 /// kernels (closing over CSR `B`), by the pull `Inner` algorithm
@@ -110,12 +115,15 @@ where
     }
 }
 
-/// Contiguous row ranges, oversubscribed relative to the thread count.
+/// Contiguous row ranges at the scheduler's claim granularity: the chunk
+/// list is sized so each parallel part is exactly one chunk, making the
+/// pool's atomic chunk claiming the load balancer (no local splitting
+/// policy on top).
 fn row_chunks(nrows: usize) -> Vec<(usize, usize)> {
     if nrows == 0 {
         return Vec::new();
     }
-    let target = rayon::current_num_threads().max(1) * 16;
+    let target = rayon::recommended_parts(nrows);
     let chunk = nrows.div_ceil(target).max(1);
     (0..nrows)
         .step_by(chunk)
@@ -151,19 +159,23 @@ where
         cols: Vec<Idx>,
         vals: Vec<C>,
     }
+    // One producer (kernel scratch) per pool worker, shared across every
+    // chunk that worker claims — with skewed rows a worker may claim many.
+    let producers: WorkerLocal<P> = WorkerLocal::new();
     let outs: Vec<ChunkOut<C>> = chunks
         .par_iter()
         .map(|&(s, e)| {
-            let mut producer = make();
-            let mut counts = Vec::with_capacity(e - s);
-            let mut cols = Vec::new();
-            let mut vals = Vec::new();
-            for i in s..e {
-                let before = cols.len();
-                producer.compute_row(i, &mut cols, &mut vals);
-                counts.push(cols.len() - before);
-            }
-            ChunkOut { counts, cols, vals }
+            producers.with(&make, |producer| {
+                let mut counts = Vec::with_capacity(e - s);
+                let mut cols = Vec::new();
+                let mut vals = Vec::new();
+                for i in s..e {
+                    let before = cols.len();
+                    producer.compute_row(i, &mut cols, &mut vals);
+                    counts.push(cols.len() - before);
+                }
+                ChunkOut { counts, cols, vals }
+            })
         })
         .collect();
 
@@ -202,13 +214,17 @@ where
     F: Fn() -> P + Sync,
 {
     let chunks = row_chunks(nrows);
+    // One producer per pool worker, shared by both passes: the symbolic
+    // count and the numeric write reuse the same accumulator scratch.
+    let producers: WorkerLocal<P> = WorkerLocal::new();
 
     // Symbolic phase.
     let chunk_counts: Vec<Vec<usize>> = chunks
         .par_iter()
         .map(|&(s, e)| {
-            let mut producer = make();
-            (s..e).map(|i| producer.count_row(i)).collect()
+            producers.with(&make, |producer| {
+                (s..e).map(|i| producer.count_row(i)).collect()
+            })
         })
         .collect();
     let mut rowptr = Vec::with_capacity(nrows + 1);
@@ -231,24 +247,25 @@ where
         .zip(col_slices)
         .zip(val_slices)
         .for_each(|((&(s, e), cs), vs)| {
-            let mut producer = make();
-            let mut rc: Vec<Idx> = Vec::new();
-            let mut rv: Vec<C> = Vec::new();
-            let mut cursor = 0usize;
-            for i in s..e {
-                rc.clear();
-                rv.clear();
-                producer.compute_row(i, &mut rc, &mut rv);
-                debug_assert_eq!(
-                    rc.len(),
-                    rowptr[i + 1] - rowptr[i],
-                    "symbolic/numeric mismatch at row {i}"
-                );
-                cs[cursor..cursor + rc.len()].copy_from_slice(&rc);
-                vs[cursor..cursor + rv.len()].copy_from_slice(&rv);
-                cursor += rc.len();
-            }
-            debug_assert_eq!(cursor, cs.len());
+            producers.with(&make, |producer| {
+                let mut rc: Vec<Idx> = Vec::new();
+                let mut rv: Vec<C> = Vec::new();
+                let mut cursor = 0usize;
+                for i in s..e {
+                    rc.clear();
+                    rv.clear();
+                    producer.compute_row(i, &mut rc, &mut rv);
+                    debug_assert_eq!(
+                        rc.len(),
+                        rowptr[i + 1] - rowptr[i],
+                        "symbolic/numeric mismatch at row {i}"
+                    );
+                    cs[cursor..cursor + rc.len()].copy_from_slice(&rc);
+                    vs[cursor..cursor + rv.len()].copy_from_slice(&rv);
+                    cursor += rc.len();
+                }
+                debug_assert_eq!(cursor, cs.len());
+            });
         });
     CsrMatrix::from_parts_unchecked(nrows, ncols, rowptr, colidx, values)
 }
@@ -356,7 +373,12 @@ where
     }
 }
 
-/// Build a rayon thread pool with `n` workers (strong-scaling harnesses).
+/// Build a rayon thread pool with `n` persistent workers (strong-scaling
+/// harnesses). Workers are spawned once and parked between jobs;
+/// `pool.install(op)` scopes both the worker set and the observed
+/// `current_num_threads` — including inside worker closures and across
+/// nested installs — and panics in worker closures propagate to the
+/// caller.
 pub fn thread_pool(n: usize) -> rayon::ThreadPool {
     rayon::ThreadPoolBuilder::new()
         .num_threads(n)

@@ -16,6 +16,7 @@
 //! `engine` crate's batch workers hold.
 
 use std::marker::PhantomData;
+use std::sync::Mutex;
 
 use sparse::{CscMatrix, CsrMatrix, Idx, Semiring, SparseError};
 
@@ -23,6 +24,62 @@ use crate::algos::{inner, ninspect, HashKernel, HeapKernel, McaKernel, MsaKernel
 use crate::api::Algorithm;
 use crate::exec::{check_dims, max_mask_row_nnz};
 use crate::kernel::RowKernel;
+
+/// Per-worker state for one parallel region, keyed by the pool's stable
+/// worker indices ([`rayon::current_thread_index`]).
+///
+/// The pool's chunk-claiming scheduler hands a worker many chunks per
+/// call; state that is expensive to build (a [`RowKernel`]'s `O(ncols)`
+/// accumulator) should be built once per *worker*, not once per chunk.
+/// `WorkerLocal` holds one lazily-initialized slot per worker plus one for
+/// the initiating thread (which participates in claiming but has no worker
+/// index). Slots are `Mutex`ed only to satisfy the borrow checker: a slot
+/// is touched by exactly one thread, so the lock is uncontended; should a
+/// stolen nested job ever re-enter a held slot, `with` falls back to a
+/// transient value rather than deadlocking.
+pub struct WorkerLocal<T> {
+    slots: Vec<Mutex<Option<T>>>,
+}
+
+impl<T> Default for WorkerLocal<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> WorkerLocal<T> {
+    /// One slot per worker at the current pool width, plus the caller's.
+    pub fn new() -> Self {
+        let slots = rayon::current_num_threads().max(1) + 1;
+        WorkerLocal {
+            slots: (0..slots).map(|_| Mutex::new(None)).collect(),
+        }
+    }
+
+    /// Run `body` on this thread's slot, building it with `make` on first
+    /// use. Falls back to a transient `make()` value if the slot is
+    /// somehow re-entered (see type docs).
+    pub fn with<R>(&self, make: impl FnOnce() -> T, body: impl FnOnce(&mut T) -> R) -> R {
+        let last = self.slots.len() - 1;
+        let idx = match rayon::current_thread_index() {
+            Some(i) if i < last => i,
+            Some(i) => i % last.max(1),
+            None => last,
+        };
+        match self.slots[idx].try_lock() {
+            Ok(mut slot) => body(slot.get_or_insert_with(make)),
+            Err(_) => body(&mut make()),
+        }
+    }
+
+    /// How many slots were actually initialized (diagnostics/tests).
+    pub fn initialized(&self) -> usize {
+        self.slots
+            .iter()
+            .filter(|s| s.try_lock().map(|g| g.is_some()).unwrap_or(true))
+            .count()
+    }
+}
 
 /// One reusable row kernel, regrown monotonically.
 pub struct KernelScratch<S: Semiring, K: RowKernel<S>> {
@@ -264,6 +321,42 @@ mod tests {
         assert_eq!((s.ncols_cap, s.max_mask_cap), (100, 10));
         s.acquire(200, 3); // one dimension grows
         assert_eq!((s.ncols_cap, s.max_mask_cap), (200, 10));
+    }
+
+    #[test]
+    fn worker_local_builds_at_most_one_slot_per_thread() {
+        use std::collections::HashSet;
+        use std::sync::Mutex;
+
+        let pool = crate::exec::thread_pool(3);
+        pool.install(|| {
+            let local: WorkerLocal<u64> = WorkerLocal::new();
+            let seen = Mutex::new(HashSet::new());
+            let counter = std::sync::atomic::AtomicU64::new(0);
+            use rayon::prelude::*;
+            (0..64usize).into_par_iter().for_each(|_| {
+                local.with(
+                    || counter.fetch_add(1, std::sync::atomic::Ordering::Relaxed),
+                    |v| {
+                        seen.lock().unwrap().insert(*v);
+                    },
+                );
+            });
+            // At most one distinct value per participant (3 workers +
+            // the initiating thread), each reused across many chunks.
+            let distinct = seen.lock().unwrap().len();
+            assert!(distinct <= 4, "built {distinct} producers for 4 slots");
+            assert!(local.initialized() <= 4);
+        });
+    }
+
+    #[test]
+    fn worker_local_serial_uses_single_slot() {
+        let local: WorkerLocal<usize> = WorkerLocal::new();
+        for _ in 0..10 {
+            local.with(|| 7, |v| *v += 1);
+        }
+        assert_eq!(local.initialized(), 1);
     }
 
     #[test]

@@ -7,6 +7,12 @@
 //! accumulator scratch (the `O(ncols)` MSA arrays, hash tables, heap state)
 //! is allocated once per worker rather than once per product.
 //!
+//! The op queue is drained by the context's own persistent pool workers
+//! ([`rayon::ThreadPool::with_workers`]) — batch execution spawns no
+//! threads of its own, so inter-op parallelism here and intra-op row
+//! parallelism elsewhere share one set of threads and a batch issued while
+//! other work is in flight cannot oversubscribe the machine.
+//!
 //! Two things distinguish this from a plain parallel map:
 //!
 //! * **heterogeneous semirings** — each [`MaskedOp`] carries its own
@@ -107,9 +113,10 @@ impl Context {
         })
     }
 
-    /// The shared batch engine: workers drain the queue with per-worker
-    /// reused scratch and send `(index, result)` pairs to the calling
-    /// thread, which invokes `deliver` in completion order.
+    /// The shared batch engine: the context's pool workers drain the op
+    /// queue with per-worker reused scratch and send `(index, result)`
+    /// pairs to the calling thread, which invokes `deliver` in completion
+    /// order while execution is still in flight.
     fn execute_batch<S, F>(&self, prepared: &[Result<Prepared<S>, SparseError>], mut deliver: F)
     where
         S: Semiring<A = f64, B = f64> + Send + Sync,
@@ -122,43 +129,52 @@ impl Context {
         let cursor = AtomicUsize::new(0);
         let workers = self.threads.min(prepared.len()).max(1);
         let (tx, rx) = mpsc::channel::<(usize, Result<CsrMatrix<S::C>, SparseError>)>();
-        std::thread::scope(|scope| {
-            let cursor = &cursor;
-            for _ in 0..workers {
-                let tx = tx.clone();
-                scope.spawn(move || {
-                    let mut scratch: ScratchSet<S> = ScratchSet::new();
-                    loop {
-                        let i = cursor.fetch_add(1, Ordering::Relaxed);
-                        if i >= prepared.len() {
-                            break;
-                        }
-                        let result = match &prepared[i] {
-                            Err(e) => Err(e.clone()),
-                            Ok(p) => scratch.run(
-                                p.algorithm,
-                                p.complemented,
-                                p.sr,
-                                &p.mask,
-                                &p.a,
-                                &p.b,
-                                p.b_csc.as_deref(),
-                            ),
-                        };
-                        if tx.send((i, result)).is_err() {
-                            break; // receiver gone — nothing left to deliver to
-                        }
+        // Each pool worker takes one pre-cloned sender; the channel closes
+        // when the last worker finishes (or unwinds), which is what ends
+        // the foreground delivery loop below.
+        let senders: Vec<std::sync::Mutex<Option<mpsc::Sender<_>>>> = (0..workers)
+            .map(|_| std::sync::Mutex::new(Some(tx.clone())))
+            .collect();
+        drop(tx);
+        self.pool.with_workers(
+            workers,
+            |slot| {
+                let tx = senders[slot]
+                    .lock()
+                    .expect("sender slot lock")
+                    .take()
+                    .expect("each worker slot claimed once");
+                let mut scratch: ScratchSet<S> = ScratchSet::new();
+                loop {
+                    let i = cursor.fetch_add(1, Ordering::Relaxed);
+                    if i >= prepared.len() {
+                        break;
                     }
-                });
-            }
-            drop(tx);
-            // Deliver on the calling thread as workers finish. Receiving
-            // inside the scope keeps results flowing while workers run —
-            // this loop IS the streaming path.
-            for (i, result) in rx {
-                deliver(i, result);
-            }
-        });
+                    let result = match &prepared[i] {
+                        Err(e) => Err(e.clone()),
+                        Ok(p) => scratch.run(
+                            p.algorithm,
+                            p.complemented,
+                            p.sr,
+                            &p.mask,
+                            &p.a,
+                            &p.b,
+                            p.b_csc.as_deref(),
+                        ),
+                    };
+                    if tx.send((i, result)).is_err() {
+                        break; // receiver gone — nothing left to deliver to
+                    }
+                }
+            },
+            || {
+                // Deliver on the calling thread as workers finish — this
+                // loop IS the streaming path.
+                for (i, result) in rx {
+                    deliver(i, result);
+                }
+            },
+        );
     }
 
     /// Execute a heterogeneous batch, streaming each result to `sink` as

@@ -39,6 +39,14 @@ pub struct Calibration {
     pub heap_secs_per_flop: f64,
     /// Seconds per modeled dot unit of the pull-based probe.
     pub inner_secs_per_unit: f64,
+    /// Seconds to dispatch one parallel region on the context's pool
+    /// (publish chunks, wake parked workers, join) — the fixed cost a
+    /// kernel invocation pays before any row work happens. With the
+    /// persistent pool this is wake latency; the per-call spawn scheduler
+    /// it replaced paid thread creation here instead. Informational: a
+    /// future planner cutoff can route products whose total work is
+    /// comparable to this straight to the serial path.
+    pub dispatch_overhead_secs: f64,
 }
 
 /// Deterministic pseudo-random CSR matrix (xorshift; no `rand` dependency
@@ -89,6 +97,28 @@ impl Context {
     /// return the measurement.
     pub fn calibrate(&self) -> Calibration {
         let sr = PlusTimes::<f64>::new();
+
+        // Pool dispatch overhead: time near-empty parallel regions (the
+        // workers are woken, claim trivial chunks, and the caller joins).
+        // The first region also absorbs any cold-start so the kernel
+        // probes below measure steady-state scheduling.
+        let dispatch_overhead_secs = self.pool.install(|| {
+            use rayon::prelude::*;
+            let probe = || {
+                (0..rayon::current_num_threads() * 16)
+                    .into_par_iter()
+                    .for_each(|i| {
+                        std::hint::black_box(i);
+                    })
+            };
+            probe(); // warm the pool
+            let reps = 64;
+            let t0 = Instant::now();
+            for _ in 0..reps {
+                probe();
+            }
+            t0.elapsed().as_secs_f64() / reps as f64
+        });
 
         // Dense-ish probe: 512 rows, 64 nnz per row of A and B, full mask
         // rows — accumulator initialization amortizes away.
@@ -163,6 +193,7 @@ impl Context {
             msa_secs_per_row,
             heap_secs_per_flop,
             inner_secs_per_unit,
+            dispatch_overhead_secs,
         }
     }
 }
@@ -191,6 +222,12 @@ mod tests {
         assert!(cal.config.msa_overhead >= 8.0 && cal.config.msa_overhead <= 4096.0);
         assert!(cal.config.heap_factor >= 0.25 && cal.config.heap_factor <= 8.0);
         assert!(cal.msa_secs_per_flop > 0.0);
+        assert!(cal.dispatch_overhead_secs >= 0.0);
+        assert!(
+            cal.dispatch_overhead_secs < 0.05,
+            "pool dispatch took {:.6}s — workers are not parked/woken correctly",
+            cal.dispatch_overhead_secs
+        );
         // The installed config is what the context now plans with.
         assert_eq!(
             ctx.config().msa_overhead.to_bits(),

@@ -263,13 +263,17 @@ fn log_bucket(n: usize) -> u64 {
 }
 
 impl Context {
-    /// Context using all available parallelism and the default cost model.
+    /// Context using the ambient parallelism (the `THREADS` env override,
+    /// an enclosing `ThreadPool::install`, or available cores) and the
+    /// default cost model.
     pub fn new() -> Self {
-        Self::with_threads(std::thread::available_parallelism().map_or(1, |n| n.get()))
+        Self::with_threads(rayon::current_num_threads())
     }
 
     /// Context with a fixed worker count (intra-op parallelism and batch
-    /// width).
+    /// width). The workers are persistent: spawned here, parked between
+    /// operations, and shared by single-op row parallelism and batch
+    /// execution alike.
     pub fn with_threads(threads: usize) -> Self {
         let threads = threads.max(1);
         Context {

@@ -38,7 +38,9 @@
 
 use masked_spgemm::{Algorithm, DynSemiring, Phases, SemiringKind};
 use sparse::ewise::ewise_union;
-use sparse::{CsrMatrix, Semiring, SparseError};
+use sparse::{
+    CsrMatrix, MinPlus, PlusFirst, PlusPair, PlusSecond, PlusTimes, Semiring, SparseError,
+};
 
 use crate::context::{Context, MatrixHandle};
 use crate::plan::{self, Choice, Plan};
@@ -236,10 +238,32 @@ impl Context {
 
     /// Execute one descriptor now (row-parallel kernels on the context's
     /// pool), applying its accumulation mode.
+    ///
+    /// The single-op path dispatches to the *typed* `f64`-lane semiring for
+    /// the descriptor's kind, so the kernels' inner loops are monomorphized
+    /// and inlined exactly as on the engine-free entry points — bit-identical
+    /// to [`DynSemiring`] (which exists for heterogeneous batches, where one
+    /// worker's scratch must serve every kind) but without its fn-pointer
+    /// indirection on the hot path.
     pub fn run_op(&self, op: &MaskedOp) -> Result<CsrMatrix<f64>, SparseError> {
         let plan = self.resolve_plan(op)?;
-        let sr = DynSemiring::new(op.semiring);
-        let c = self.execute_planned(&plan, sr, op.mask, op.a, op.b)?;
+        let c = match op.semiring {
+            SemiringKind::PlusTimes => {
+                self.execute_planned(&plan, PlusTimes::<f64>::new(), op.mask, op.a, op.b)
+            }
+            SemiringKind::PlusPair => {
+                self.execute_planned(&plan, PlusPair::<f64, f64, f64>::new(), op.mask, op.a, op.b)
+            }
+            SemiringKind::PlusFirst => {
+                self.execute_planned(&plan, PlusFirst::<f64>::new(), op.mask, op.a, op.b)
+            }
+            SemiringKind::PlusSecond => {
+                self.execute_planned(&plan, PlusSecond::<f64, f64>::new(), op.mask, op.a, op.b)
+            }
+            SemiringKind::MinPlus => {
+                self.execute_planned(&plan, MinPlus::<f64>::new(), op.mask, op.a, op.b)
+            }
+        }?;
         self.apply_accum(op, c)
     }
 

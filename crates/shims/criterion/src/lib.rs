@@ -5,11 +5,19 @@
 //! The build environment has no crates.io access, so this crate provides the
 //! benchmark-definition surface the workspace uses (`criterion_group!` /
 //! `criterion_main!`, benchmark groups, `bench_with_input`, `Bencher::iter`)
-//! with a simple best-of-N wall-clock measurement and plain-text report in
-//! place of criterion's statistical machinery.
+//! with real wall-clock sampling in place of criterion's statistical
+//! machinery: every benchmark collects individual samples and reports
+//! **min / median / mean** (the min is the noise-robust point estimate the
+//! harnesses compare on).
+//!
+//! Completed measurements are also pushed to a process-global registry so
+//! harness binaries can harvest them programmatically and emit
+//! machine-readable output ([`take_reports`], [`reports_to_json`] — this is
+//! how `BENCH_scheduler.json` is produced).
 
 use std::fmt::Display;
 use std::marker::PhantomData;
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
 /// Measurement backends (only wall time in this shim).
@@ -17,6 +25,100 @@ pub mod measurement {
     /// Wall-clock measurement marker.
     #[derive(Debug, Default, Clone, Copy)]
     pub struct WallTime;
+}
+
+/// Summary statistics of one benchmark's samples.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Sample {
+    /// Fastest sample — the point estimate comparisons use.
+    pub min: Duration,
+    /// Middle sample (mean of the middle two for even counts).
+    pub median: Duration,
+    /// Arithmetic mean of all samples.
+    pub mean: Duration,
+    /// Number of samples taken.
+    pub count: usize,
+}
+
+impl Sample {
+    fn from_durations(mut samples: Vec<Duration>) -> Option<Sample> {
+        if samples.is_empty() {
+            return None;
+        }
+        samples.sort_unstable();
+        let count = samples.len();
+        let min = samples[0];
+        let median = if count % 2 == 1 {
+            samples[count / 2]
+        } else {
+            (samples[count / 2 - 1] + samples[count / 2]) / 2
+        };
+        let total: Duration = samples.iter().sum();
+        let mean = total / count as u32;
+        Some(Sample {
+            min,
+            median,
+            mean,
+            count,
+        })
+    }
+}
+
+/// One completed benchmark measurement, as pushed to the global registry.
+#[derive(Debug, Clone)]
+pub struct Report {
+    /// Group name.
+    pub group: String,
+    /// Benchmark label within the group.
+    pub label: String,
+    /// The sampled statistics.
+    pub sample: Sample,
+}
+
+static REPORTS: Mutex<Vec<Report>> = Mutex::new(Vec::new());
+
+/// Drain every report recorded since the last call (process-global).
+pub fn take_reports() -> Vec<Report> {
+    std::mem::take(&mut *REPORTS.lock().expect("reports lock"))
+}
+
+/// Escape a string for embedding in a JSON string literal.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Render reports as a JSON array of
+/// `{group, label, min_s, median_s, mean_s, samples}` objects — the
+/// machine-readable benchmark format harnesses write to disk.
+pub fn reports_to_json(reports: &[Report]) -> String {
+    let mut out = String::from("[\n");
+    for (i, r) in reports.iter().enumerate() {
+        out.push_str(&format!(
+            "  {{\"group\": \"{}\", \"label\": \"{}\", \"min_s\": {:.9}, \
+             \"median_s\": {:.9}, \"mean_s\": {:.9}, \"samples\": {}}}{}\n",
+            json_escape(&r.group),
+            json_escape(&r.label),
+            r.sample.min.as_secs_f64(),
+            r.sample.median.as_secs_f64(),
+            r.sample.mean.as_secs_f64(),
+            r.sample.count,
+            if i + 1 == reports.len() { "" } else { "," },
+        ));
+    }
+    out.push(']');
+    out
 }
 
 /// Benchmark manager; collects and reports group timings.
@@ -135,13 +237,23 @@ impl<M> BenchmarkGroup<'_, M> {
             samples: self.samples,
             warm_up: self.warm_up,
             measurement: self.measurement,
-            best: None,
+            sample: None,
         }
     }
 
     fn report(&self, label: &str, b: &Bencher) {
-        match b.best {
-            Some(best) => println!("  {}/{label}: best {best:?}", self.name),
+        match b.sample {
+            Some(s) => {
+                println!(
+                    "  {}/{label}: min {:?}  median {:?}  mean {:?}  ({} samples)",
+                    self.name, s.min, s.median, s.mean, s.count
+                );
+                REPORTS.lock().expect("reports lock").push(Report {
+                    group: self.name.clone(),
+                    label: label.to_string(),
+                    sample: s,
+                });
+            }
             None => println!("  {}/{label}: no measurement", self.name),
         }
     }
@@ -152,12 +264,14 @@ pub struct Bencher {
     samples: usize,
     warm_up: Duration,
     measurement: Duration,
-    best: Option<Duration>,
+    sample: Option<Sample>,
 }
 
 impl Bencher {
-    /// Measure `f`: warm up, then repeat until the sample count or the
-    /// measurement budget is exhausted; record the best time.
+    /// Measure `f`: warm up for the configured duration, then collect
+    /// individual wall-clock samples until the sample count or the
+    /// measurement budget is exhausted (always at least one), and record
+    /// min / median / mean.
     pub fn iter<O>(&mut self, mut f: impl FnMut() -> O) {
         let warm_deadline = Instant::now() + self.warm_up;
         loop {
@@ -167,18 +281,21 @@ impl Bencher {
             }
         }
         let budget = Instant::now() + self.measurement;
-        let mut best = Duration::MAX;
-        let mut taken = 0usize;
-        while taken < self.samples {
+        let mut samples = Vec::with_capacity(self.samples);
+        while samples.len() < self.samples {
             let t0 = Instant::now();
             std::hint::black_box(f());
-            best = best.min(t0.elapsed());
-            taken += 1;
-            if Instant::now() >= budget && taken > 0 {
+            samples.push(t0.elapsed());
+            if Instant::now() >= budget {
                 break;
             }
         }
-        self.best = Some(best);
+        self.sample = Sample::from_durations(samples);
+    }
+
+    /// The statistics recorded by the last [`Bencher::iter`] call.
+    pub fn sample(&self) -> Option<Sample> {
+        self.sample
     }
 }
 
@@ -208,16 +325,53 @@ mod tests {
     use super::*;
 
     #[test]
-    fn bench_records_a_time() {
+    fn bench_records_full_statistics() {
         let mut c = Criterion::default();
         let mut g = c.benchmark_group("t");
-        g.sample_size(3)
+        g.sample_size(5)
             .warm_up_time(Duration::from_millis(1))
-            .measurement_time(Duration::from_millis(5));
+            .measurement_time(Duration::from_millis(50));
         g.bench_with_input(BenchmarkId::from_parameter("x"), &7u64, |b, &n| {
             b.iter(|| (0..n).sum::<u64>())
         });
         g.bench_function("plain", |b| b.iter(|| 1 + 1));
         g.finish();
+        let reports = take_reports();
+        assert_eq!(reports.len(), 2);
+        for r in &reports {
+            assert!(r.sample.count >= 1);
+            assert!(r.sample.min <= r.sample.median);
+            assert!(r.sample.median <= r.sample.mean.max(r.sample.median));
+        }
+        let json = reports_to_json(&reports);
+        assert!(json.starts_with('['));
+        assert!(json.contains("\"min_s\""));
+        assert!(json.contains("\"median_s\""));
+    }
+
+    #[test]
+    fn json_strings_are_escaped() {
+        assert_eq!(json_escape("plain/label"), "plain/label");
+        assert_eq!(json_escape("say \"hi\""), "say \\\"hi\\\"");
+        assert_eq!(json_escape("back\\slash"), "back\\\\slash");
+        assert_eq!(
+            json_escape("line\nbreak\tand\u{1}"),
+            "line\\nbreak\\tand\\u0001"
+        );
+    }
+
+    #[test]
+    fn sample_statistics_are_ordered() {
+        let s = Sample::from_durations(vec![
+            Duration::from_millis(3),
+            Duration::from_millis(1),
+            Duration::from_millis(2),
+            Duration::from_millis(10),
+        ])
+        .unwrap();
+        assert_eq!(s.min, Duration::from_millis(1));
+        assert_eq!(s.median, Duration::from_micros(2500));
+        assert_eq!(s.mean, Duration::from_millis(4));
+        assert_eq!(s.count, 4);
     }
 }

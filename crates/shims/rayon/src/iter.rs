@@ -1,14 +1,16 @@
 //! Indexed parallel iterators: sources, adapters, consumers.
 //!
 //! Every iterator here knows its exact length and can be split at an index
-//! (rayon's "producer" model). Consumers split the pipeline into one
-//! contiguous part per worker, run each part sequentially on a scoped
-//! thread, and recombine partial results in order — so all consumers are
-//! deterministic and independent of the worker count.
+//! (rayon's "producer" model). Consumers hand the pipeline to the pool
+//! scheduler (`job::schedule`), which oversplits it into
+//! claimable chunks, runs each chunk on a persistent pool worker (or the
+//! calling thread), and recombines partial results in order — so all
+//! consumers are deterministic and independent of both the worker count
+//! and the claim order.
 
 use std::ops::Range;
 
-use crate::current_num_threads;
+use crate::job::schedule;
 
 /// An exact-length, splittable parallel iterator.
 pub trait ParallelIterator: Sized + Send {
@@ -58,7 +60,7 @@ pub trait ParallelIterator: Sized + Send {
     where
         F: Fn(Self::Item) + Sync + Send,
     {
-        run_parts(self, &|part: Self| part.into_seq().for_each(&op));
+        schedule(self, &|part: Self| part.into_seq().for_each(&op));
     }
 
     /// Sum all items.
@@ -66,7 +68,7 @@ pub trait ParallelIterator: Sized + Send {
     where
         T: std::iter::Sum<Self::Item> + std::iter::Sum<T> + Send,
     {
-        run_parts(self, &|part: Self| part.into_seq().sum::<T>())
+        schedule(self, &|part: Self| part.into_seq().sum::<T>())
             .into_iter()
             .sum()
     }
@@ -77,7 +79,7 @@ pub trait ParallelIterator: Sized + Send {
         Op: Fn(Self::Item, Self::Item) -> Self::Item + Sync + Send,
         Id: Fn() -> Self::Item + Sync + Send,
     {
-        run_parts(self, &|part: Self| part.into_seq().fold(identity(), &op))
+        schedule(self, &|part: Self| part.into_seq().fold(identity(), &op))
             .into_iter()
             .fold(identity(), op)
     }
@@ -89,46 +91,6 @@ pub trait ParallelIterator: Sized + Send {
     {
         C::from_par_iter(self)
     }
-}
-
-/// Split `p` into one contiguous part per worker, evaluate `f` on each part
-/// on its own scoped thread, and return the results in order.
-fn run_parts<P, T>(p: P, f: &(impl Fn(P) -> T + Sync)) -> Vec<T>
-where
-    P: ParallelIterator,
-    T: Send,
-{
-    let len = p.par_len();
-    let workers = current_num_threads().max(1).min(len.max(1));
-    if workers <= 1 {
-        return vec![f(p)];
-    }
-    let mut parts = Vec::with_capacity(workers);
-    let mut rest = p;
-    let mut remaining = len;
-    let mut slots = workers;
-    while slots > 1 {
-        let take = remaining.div_ceil(slots);
-        let (head, tail) = rest.split_at(take);
-        parts.push(head);
-        rest = tail;
-        remaining -= take;
-        slots -= 1;
-    }
-    parts.push(rest);
-    std::thread::scope(|s| {
-        let handles: Vec<_> = parts
-            .into_iter()
-            .map(|part| s.spawn(move || f(part)))
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| match h.join() {
-                Ok(v) => v,
-                Err(payload) => std::panic::resume_unwind(payload),
-            })
-            .collect()
-    })
 }
 
 /// Conversion into a [`ParallelIterator`] (rayon's `into_par_iter`).
@@ -176,7 +138,7 @@ pub trait FromParallelIterator<T: Send> {
 
 impl<T: Send> FromParallelIterator<T> for Vec<T> {
     fn from_par_iter<P: ParallelIterator<Item = T>>(p: P) -> Self {
-        let parts = run_parts(p, &|part: P| part.into_seq().collect::<Vec<_>>());
+        let parts = schedule(p, &|part: P| part.into_seq().collect::<Vec<_>>());
         let total = parts.iter().map(Vec::len).sum();
         let mut out = Vec::with_capacity(total);
         for part in parts {

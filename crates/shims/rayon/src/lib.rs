@@ -6,25 +6,41 @@
 //! this crate re-implements exactly the surface the workspace uses — indexed
 //! parallel iterators over slices, vectors, ranges and chunks, with `map` /
 //! `zip` / `copied` adapters and `collect` / `for_each` / `sum` / `reduce`
-//! consumers — on top of `std::thread::scope`.
+//! consumers — on top of a **persistent work-claiming thread pool**
+//! (`pool.rs`, `job.rs`).
 //!
 //! Semantics match rayon where the workspace relies on them:
 //!
 //! * iterators are *indexed*: order is preserved by every consumer, so
-//!   results are bitwise independent of the worker count;
-//! * [`ThreadPool::install`] scopes the worker count for everything executed
-//!   inside it (the workspace only nests data-parallel calls, never pool
-//!   scheduling, so a thread-local override is sufficient);
-//! * work is split into one contiguous part per worker. There is no work
-//!   stealing; the workspace's drivers oversubscribe chunks themselves.
-
-use std::cell::Cell;
+//!   results are bitwise independent of the worker count and of which
+//!   worker claims which chunk;
+//! * workers are persistent: they are spawned once per pool (the global
+//!   pool lazily, [`ThreadPool`]s at `build`), park when idle, and are
+//!   woken per job — parallel calls never pay thread spawn/join latency;
+//! * work is *claimed*, not assigned: the scheduler publishes
+//!   ~16×-oversplit chunk ranges and every participating thread pulls the
+//!   next chunk from a shared atomic cursor, so skewed per-chunk costs
+//!   (power-law row distributions) rebalance dynamically; a thread waiting
+//!   on its own job steals other queued jobs meanwhile;
+//! * [`ThreadPool::install`] scopes both the registry and the worker count
+//!   for everything executed inside it, including closures that run *on*
+//!   pool workers; nested installs restore the outer context on exit, and
+//!   panics inside worker closures propagate to the initiating caller;
+//! * the `THREADS` environment variable (then `RAYON_NUM_THREADS`)
+//!   overrides the global pool's worker count — the CI knob for running the
+//!   test suite at fixed widths.
 
 pub mod iter;
+mod job;
+mod pool;
+
 pub use iter::{
     FromParallelIterator, IntoParallelIterator, IntoParallelRefIterator, ParallelIterator,
     ParallelSlice,
 };
+pub use pool::current_thread_index;
+
+use std::sync::Arc;
 
 /// Everything the workspace imports via `use rayon::prelude::*`.
 pub mod prelude {
@@ -34,19 +50,37 @@ pub mod prelude {
     };
 }
 
-thread_local! {
-    static NUM_THREADS_OVERRIDE: Cell<Option<usize>> = const { Cell::new(None) };
-}
-
 /// Number of worker threads parallel operations on this thread will use.
 ///
-/// Defaults to [`std::thread::available_parallelism`]; overridden inside
-/// [`ThreadPool::install`].
+/// Defaults to the `THREADS` env override or
+/// [`std::thread::available_parallelism`]; scoped by
+/// [`ThreadPool::install`], including inside closures running on pool
+/// workers.
 pub fn current_num_threads() -> usize {
-    NUM_THREADS_OVERRIDE.with(|c| match c.get() {
-        Some(n) => n,
-        None => std::thread::available_parallelism().map_or(1, |n| n.get()),
-    })
+    pool::current_width()
+}
+
+/// The number of claimable parts the scheduler would publish for a
+/// parallel region over `len` items at the current width.
+///
+/// Drivers that pre-chunk work (to build per-chunk output buffers) use
+/// this so their chunk granularity matches the scheduler's claim
+/// granularity exactly — the balancing policy lives here, not in each
+/// driver.
+pub fn recommended_parts(len: usize) -> usize {
+    len.min(current_num_threads().max(1) * pool::PARTS_PER_WORKER)
+        .max(1)
+}
+
+/// Route all parallel iterators through the historical per-call
+/// `std::thread::scope` scheduler (one contiguous part per worker, fresh
+/// threads each call) instead of the persistent pool.
+///
+/// Benchmark-only escape hatch: it exists so harnesses can measure the
+/// pool against exactly the code it replaced. Process-global; do not
+/// enable it while parallel work is in flight.
+pub fn set_legacy_spawn_scheduler(enabled: bool) {
+    job::LEGACY_SPAWN.store(enabled, std::sync::atomic::Ordering::SeqCst);
 }
 
 /// Error building a [`ThreadPool`] (never produced by this shim; kept for
@@ -62,30 +96,58 @@ impl std::fmt::Display for ThreadPoolBuildError {
 
 impl std::error::Error for ThreadPoolBuildError {}
 
-/// A handle fixing the worker count for operations run under
-/// [`ThreadPool::install`].
-#[derive(Debug)]
+/// A handle to a dedicated registry of persistent workers. Operations run
+/// under [`ThreadPool::install`] schedule on this pool's workers with this
+/// pool's width; dropping the pool parks-then-joins its workers.
 pub struct ThreadPool {
-    num_threads: usize,
+    registry: Arc<pool::Registry>,
+}
+
+impl std::fmt::Debug for ThreadPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ThreadPool")
+            .field("num_threads", &self.registry.num_threads())
+            .finish()
+    }
 }
 
 impl ThreadPool {
-    /// Run `op` with this pool's worker count in effect.
+    /// Run `op` with this pool's registry and worker count in effect; the
+    /// previous scheduling context is restored on exit (nested installs
+    /// therefore unwind correctly, panics included).
     pub fn install<R>(&self, op: impl FnOnce() -> R) -> R {
-        struct Restore(Option<usize>);
-        impl Drop for Restore {
-            fn drop(&mut self) {
-                NUM_THREADS_OVERRIDE.with(|c| c.set(self.0));
-            }
-        }
-        let prev = NUM_THREADS_OVERRIDE.with(|c| c.replace(Some(self.num_threads)));
-        let _restore = Restore(prev);
+        let _guard =
+            pool::ContextGuard::enter(Arc::clone(&self.registry), self.registry.num_threads());
         op()
     }
 
     /// The configured worker count.
     pub fn current_num_threads(&self) -> usize {
-        self.num_threads
+        self.registry.num_threads()
+    }
+
+    /// Shim extension (no rayon equivalent): run `work(i)` for every
+    /// `i in 0..k` on this pool's workers while the calling thread runs
+    /// `foreground`, returning `foreground`'s value when both are done.
+    ///
+    /// This is the streaming-batch primitive: workers produce into a
+    /// channel that the foreground drains, so results flow while work is
+    /// in flight and batch execution shares the pool with intra-op
+    /// parallelism instead of spawning a second set of threads. Worker
+    /// panics propagate to the caller after `foreground` returns.
+    pub fn with_workers<R>(
+        &self,
+        k: usize,
+        work: impl Fn(usize) + Sync,
+        foreground: impl FnOnce() -> R,
+    ) -> R {
+        job::run_with_foreground(&self.registry, k, &work, foreground)
+    }
+}
+
+impl Drop for ThreadPool {
+    fn drop(&mut self) {
+        self.registry.terminate_and_join();
     }
 }
 
@@ -101,19 +163,23 @@ impl ThreadPoolBuilder {
         Self::default()
     }
 
-    /// Set the worker count (0 or unset = available parallelism).
+    /// Set the worker count (0 or unset = `THREADS` env override or
+    /// available parallelism).
     pub fn num_threads(mut self, n: usize) -> Self {
         self.num_threads = Some(n);
         self
     }
 
-    /// Finish the build. Infallible in this shim.
+    /// Finish the build, spawning the pool's parked workers. Infallible in
+    /// this shim.
     pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
         let n = match self.num_threads {
-            Some(0) | None => std::thread::available_parallelism().map_or(1, |n| n.get()),
+            Some(0) | None => pool::default_width(),
             Some(n) => n,
         };
-        Ok(ThreadPool { num_threads: n })
+        Ok(ThreadPool {
+            registry: pool::Registry::new(n),
+        })
     }
 }
 
@@ -177,6 +243,9 @@ mod tests {
         assert_eq!(current_num_threads(), outside);
     }
 
+    // (Pool-vs-legacy-spawn agreement is covered in `tests/legacy_spawn.rs`,
+    // alone in its own binary — the toggle is process-global and unit tests
+    // run concurrently.)
     #[test]
     fn results_identical_across_worker_counts() {
         let data: Vec<u64> = (0..10_000).collect();
@@ -191,7 +260,16 @@ mod tests {
                     .map(|&x| x.wrapping_mul(2654435761))
                     .collect()
             });
-            assert_eq!(got, base, "n={n}");
+            assert_eq!(got, base, "pool n={n}");
         }
+    }
+
+    #[test]
+    fn recommended_parts_bounds() {
+        assert_eq!(recommended_parts(0), 1);
+        assert_eq!(recommended_parts(1), 1);
+        let parts = recommended_parts(1_000_000);
+        assert!(parts <= current_num_threads() * 16);
+        assert!(parts >= current_num_threads());
     }
 }

@@ -1,0 +1,272 @@
+//! The persistent worker pool: registries of parked worker threads and the
+//! thread-local scheduling context that routes parallel calls to them.
+//!
+//! A [`Registry`] owns a fixed set of worker threads that live for the
+//! registry's whole lifetime. Workers park on a condvar when idle and are
+//! woken when a job is injected; nothing is spawned per parallel call, so
+//! kernel invocations stop paying `std::thread` spawn/join latency.
+//!
+//! Each thread carries a *scheduling context* — which registry its parallel
+//! calls execute on and the effective worker-count width. The global
+//! registry is created lazily on first use; [`crate::ThreadPool::install`]
+//! swaps the context for the duration of a closure (and restores the outer
+//! context on exit, even across panics); worker threads are born with their
+//! own registry as context, so parallelism nested inside a job stays on the
+//! same set of threads.
+
+use std::cell::{Cell, RefCell};
+use std::collections::VecDeque;
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+
+use crate::job::JobRef;
+
+/// How many claimable parts the scheduler publishes per effective worker.
+/// Finer than one-per-worker so skewed per-part costs rebalance through
+/// chunk claiming; coarse enough that the atomic claim and per-part closure
+/// overhead stays invisible. This mirrors the drivers' historical 16×
+/// oversubscription, now honored by the scheduler instead of ignored.
+pub(crate) const PARTS_PER_WORKER: usize = 16;
+
+/// A set of persistent worker threads plus the queue jobs are injected
+/// into. Workers park when the queue is empty.
+pub(crate) struct Registry {
+    shared: Mutex<Shared>,
+    work_ready: Condvar,
+    num_threads: usize,
+    /// Join handles, taken exactly once by [`Registry::terminate_and_join`].
+    handles: Mutex<Vec<std::thread::JoinHandle<()>>>,
+}
+
+struct Shared {
+    queue: VecDeque<JobRef>,
+    terminate: bool,
+}
+
+impl Registry {
+    /// Spawn `num_threads` parked workers (at least one).
+    pub(crate) fn new(num_threads: usize) -> Arc<Registry> {
+        let num_threads = num_threads.max(1);
+        let registry = Arc::new(Registry {
+            shared: Mutex::new(Shared {
+                queue: VecDeque::new(),
+                terminate: false,
+            }),
+            work_ready: Condvar::new(),
+            num_threads,
+            handles: Mutex::new(Vec::with_capacity(num_threads)),
+        });
+        let mut handles = registry.handles.lock().expect("registry handles lock");
+        for index in 0..num_threads {
+            let registry = Arc::clone(&registry);
+            handles.push(
+                std::thread::Builder::new()
+                    .name(format!("rayon-shim-{index}"))
+                    .spawn(move || worker_main(registry, index))
+                    .expect("spawn pool worker"),
+            );
+        }
+        drop(handles);
+        registry
+    }
+
+    /// Worker-thread count of this registry.
+    pub(crate) fn num_threads(&self) -> usize {
+        self.num_threads
+    }
+
+    /// Publish `copies` claim tickets for one job and wake workers. Each
+    /// popped ticket attaches one worker to the job's chunk cursor.
+    pub(crate) fn inject(&self, job: JobRef, copies: usize) {
+        if copies == 0 {
+            return;
+        }
+        {
+            let mut shared = self.shared.lock().expect("registry queue lock");
+            for _ in 0..copies {
+                shared.queue.push_back(job);
+            }
+        }
+        if copies == 1 {
+            self.work_ready.notify_one();
+        } else {
+            self.work_ready.notify_all();
+        }
+    }
+
+    /// Non-blocking pop, used by threads that steal work while waiting for
+    /// their own job to complete.
+    pub(crate) fn try_pop(&self) -> Option<JobRef> {
+        self.shared
+            .lock()
+            .expect("registry queue lock")
+            .queue
+            .pop_front()
+    }
+
+    /// Remove every unclaimed ticket for the job identified by `data`,
+    /// returning how many were removed. Under the queue lock, a ticket is
+    /// either popped by a worker (which will run it to completion) or
+    /// purged here — never both — which is what lets the initiator account
+    /// for outstanding attachments exactly before its stack frame unwinds.
+    pub(crate) fn purge(&self, data: *const ()) -> usize {
+        let mut shared = self.shared.lock().expect("registry queue lock");
+        let before = shared.queue.len();
+        shared.queue.retain(|job| !job.refers_to(data));
+        before - shared.queue.len()
+    }
+
+    /// Signal termination and join every worker. Called from
+    /// [`crate::ThreadPool`]'s `Drop`; the global registry is never
+    /// terminated.
+    pub(crate) fn terminate_and_join(&self) {
+        {
+            let mut shared = self.shared.lock().expect("registry queue lock");
+            shared.terminate = true;
+        }
+        self.work_ready.notify_all();
+        let handles = std::mem::take(&mut *self.handles.lock().expect("registry handles lock"));
+        for handle in handles {
+            let _ = handle.join();
+        }
+    }
+}
+
+fn worker_main(registry: Arc<Registry>, index: usize) {
+    WORKER_INDEX.with(|c| c.set(Some(index)));
+    CURRENT_REGISTRY.with(|c| *c.borrow_mut() = Some(Arc::clone(&registry)));
+    loop {
+        let job = {
+            let mut shared = registry.shared.lock().expect("registry queue lock");
+            loop {
+                if shared.terminate {
+                    return;
+                }
+                if let Some(job) = shared.queue.pop_front() {
+                    break job;
+                }
+                shared = registry
+                    .work_ready
+                    .wait(shared)
+                    .expect("registry queue lock");
+            }
+        };
+        // Chunk panics are caught inside the job and re-raised on the
+        // initiating thread, so the worker itself never unwinds here.
+        unsafe { job.execute() };
+    }
+}
+
+thread_local! {
+    /// Registry this thread's parallel calls run on (`None` = the lazily
+    /// created global registry).
+    static CURRENT_REGISTRY: RefCell<Option<Arc<Registry>>> = const { RefCell::new(None) };
+    /// Effective width for parallel calls on this thread (`None` = the
+    /// registry's worker count).
+    static WIDTH_OVERRIDE: Cell<Option<usize>> = const { Cell::new(None) };
+    /// Index of this thread within its registry (`None` off-pool).
+    static WORKER_INDEX: Cell<Option<usize>> = const { Cell::new(None) };
+}
+
+/// Default worker count: the `THREADS` environment variable (the pool's
+/// test/CI override), then `RAYON_NUM_THREADS` for rayon compatibility,
+/// then [`std::thread::available_parallelism`]. Read once per process.
+pub(crate) fn default_width() -> usize {
+    static WIDTH: OnceLock<usize> = OnceLock::new();
+    *WIDTH.get_or_init(|| {
+        for var in ["THREADS", "RAYON_NUM_THREADS"] {
+            if let Ok(v) = std::env::var(var) {
+                if let Ok(n) = v.trim().parse::<usize>() {
+                    if n > 0 {
+                        return n;
+                    }
+                }
+            }
+        }
+        std::thread::available_parallelism().map_or(1, |n| n.get())
+    })
+}
+
+/// The lazily-created process-wide registry free-standing parallel calls
+/// run on (sized by [`default_width`]).
+pub(crate) fn global_registry() -> Arc<Registry> {
+    static GLOBAL: OnceLock<Arc<Registry>> = OnceLock::new();
+    Arc::clone(GLOBAL.get_or_init(|| Registry::new(default_width())))
+}
+
+/// The registry the current thread schedules on, creating the global one
+/// if the thread has no explicit context.
+pub(crate) fn current_registry() -> Arc<Registry> {
+    CURRENT_REGISTRY.with(|c| {
+        c.borrow()
+            .as_ref()
+            .map(Arc::clone)
+            .unwrap_or_else(global_registry)
+    })
+}
+
+/// Effective worker-count width on this thread without forcing registry
+/// creation.
+pub(crate) fn current_width() -> usize {
+    if let Some(w) = WIDTH_OVERRIDE.with(Cell::get) {
+        return w;
+    }
+    CURRENT_REGISTRY.with(|c| {
+        c.borrow()
+            .as_ref()
+            .map_or_else(default_width, |r| r.num_threads())
+    })
+}
+
+/// Index of the current thread within its pool (rayon's
+/// `current_thread_index`): `Some(0..n)` on a pool worker, `None` on any
+/// other thread (including an initiator helping its own job).
+pub fn current_thread_index() -> Option<usize> {
+    WORKER_INDEX.with(Cell::get)
+}
+
+/// Restores the previous scheduling context on drop (panic-safe), so
+/// nested [`crate::ThreadPool::install`]s always unwind to the outer pool.
+pub(crate) struct ContextGuard {
+    prev_registry: Option<Arc<Registry>>,
+    prev_width: Option<usize>,
+}
+
+impl ContextGuard {
+    /// Enter a scheduling context: parallel calls go to `registry` with
+    /// `width` effective workers.
+    pub(crate) fn enter(registry: Arc<Registry>, width: usize) -> ContextGuard {
+        let prev_registry = CURRENT_REGISTRY.with(|c| c.borrow_mut().replace(registry));
+        let prev_width = WIDTH_OVERRIDE.with(|c| c.replace(Some(width)));
+        ContextGuard {
+            prev_registry,
+            prev_width,
+        }
+    }
+}
+
+impl Drop for ContextGuard {
+    fn drop(&mut self) {
+        CURRENT_REGISTRY.with(|c| *c.borrow_mut() = self.prev_registry.take());
+        WIDTH_OVERRIDE.with(|c| c.set(self.prev_width));
+    }
+}
+
+/// Restores only the width override on drop; used while a worker executes
+/// chunks of a job so nested parallel calls inherit the job's width.
+pub(crate) struct WidthGuard {
+    prev: Option<usize>,
+}
+
+impl WidthGuard {
+    pub(crate) fn enter(width: usize) -> WidthGuard {
+        WidthGuard {
+            prev: WIDTH_OVERRIDE.with(|c| c.replace(Some(width))),
+        }
+    }
+}
+
+impl Drop for WidthGuard {
+    fn drop(&mut self) {
+        WIDTH_OVERRIDE.with(|c| c.set(self.prev));
+    }
+}

@@ -1,0 +1,33 @@
+//! Scheduler-agreement test for the legacy per-call-spawn fallback.
+//!
+//! [`rayon::set_legacy_spawn_scheduler`] is process-global, so this test
+//! lives alone in its own integration binary: cargo runs test *binaries*
+//! sequentially, which keeps the flag flip from leaking into concurrently
+//! running sibling tests (worker-reuse and width-propagation assertions
+//! would observe spawn-scheduler behavior mid-flight otherwise).
+
+use rayon::prelude::*;
+use rayon::ThreadPoolBuilder;
+
+/// Results are bitwise identical between the pool scheduler and the
+/// legacy per-call spawn scheduler across several widths.
+#[test]
+fn pool_and_spawn_schedulers_agree() {
+    let data: Vec<u64> = (0..40_000).collect();
+    let compute = || -> (Vec<u64>, u64) {
+        let mapped: Vec<u64> = data
+            .par_iter()
+            .map(|&x| x.wrapping_mul(0x9E3779B9))
+            .collect();
+        let total: u64 = data.par_iter().copied().sum();
+        (mapped, total)
+    };
+    for n in [1usize, 2, 4] {
+        let pool = ThreadPoolBuilder::new().num_threads(n).build().unwrap();
+        let pooled = pool.install(compute);
+        rayon::set_legacy_spawn_scheduler(true);
+        let spawned = pool.install(compute);
+        rayon::set_legacy_spawn_scheduler(false);
+        assert_eq!(pooled, spawned, "schedulers disagree at width {n}");
+    }
+}

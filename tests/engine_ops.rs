@@ -444,3 +444,56 @@ fn streamed_sink_consumes_without_materializing_all() {
         .sum();
     assert_eq!(total_nnz, collected);
 }
+
+#[test]
+fn pooled_batch_and_intra_op_parallelism_match_serial() {
+    // The batch queue and single-op row parallelism now share one
+    // persistent pool. Whatever the composition — serial context, wide
+    // batch, wide per-op execution, or a batch issued right after wide
+    // per-op calls warmed the same workers — the results must be
+    // bit-identical.
+    let adj = graphs::to_undirected_simple(&graphs::rmat(7, graphs::RmatParams::default(), 42));
+    let build_ops = |ctx: &Context| -> (Vec<MaskedOp>, engine::MatrixHandle) {
+        let h = ctx.insert(adj.clone());
+        let masks: Vec<_> = (0..12)
+            .map(|i| ctx.insert(graphs::erdos_renyi(adj.nrows(), 6.0, 900 + i)))
+            .collect();
+        let ops = masks
+            .iter()
+            .enumerate()
+            .map(|(i, &m)| {
+                let kind = if i % 2 == 0 {
+                    SemiringKind::PlusTimes
+                } else {
+                    SemiringKind::PlusPair
+                };
+                ctx.op(m, h, h).semiring(kind).build()
+            })
+            .collect();
+        (ops, h)
+    };
+
+    let serial_ctx = Context::with_threads(1);
+    let (serial_ops, _) = build_ops(&serial_ctx);
+    let expect: Vec<CsrMatrix<f64>> = serial_ctx
+        .run_batch_collect(&serial_ops)
+        .into_iter()
+        .map(|r| r.expect("well-shaped"))
+        .collect();
+
+    let wide_ctx = Context::with_threads(4);
+    let (wide_ops, _) = build_ops(&wide_ctx);
+    // Intra-op parallel execution, one op at a time on the pool.
+    let per_op: Vec<CsrMatrix<f64>> = wide_ops
+        .iter()
+        .map(|op| wide_ctx.run_op(op).expect("well-shaped"))
+        .collect();
+    assert_eq!(per_op, expect, "intra-op parallel path diverged");
+    // Inter-op batch on the same (now warm) workers.
+    let batched: Vec<CsrMatrix<f64>> = wide_ctx
+        .run_batch_collect(&wide_ops)
+        .into_iter()
+        .map(|r| r.expect("well-shaped"))
+        .collect();
+    assert_eq!(batched, expect, "pooled batch path diverged");
+}
