@@ -15,17 +15,22 @@
 //!    scratch);
 //! 4. **mixed stream** — one heterogeneous batch mixing `plus_times` and
 //!    `plus_pair` ops, streamed through a `for_each_result` sink that
-//!    consumes and drops each output, vs. sequential direct calls.
+//!    consumes and drops each output, vs. sequential direct calls;
+//! 5. **bfs levels** (ISSUE 4) — the engine-planned `bfs_auto` (per-level
+//!    vector descriptors, complemented visited mask, planner-chosen
+//!    direction, cached boolean adjacency views) vs. the direct
+//!    `masked_spgevm` loop; the engine must be no slower and its per-level
+//!    vector planning must hit the fingerprint cache.
 //!
 //! Then the scheduler checks (ISSUE 3):
 //!
-//! 5. **pool vs spawn** — repeat-loop, skewed-kernel (R-MAT `a = 0.57`
+//! 6. **pool vs spawn** — repeat-loop, skewed-kernel (R-MAT `a = 0.57`
 //!    hub rows), and batch workloads at a forced width of 4, persistent
 //!    pool vs. the legacy per-call `std::thread::scope` scheduler. The
 //!    pool must be ≥10% faster on the repeat and skewed loops (where
 //!    per-call spawn/join latency dominates) and no worse than the
 //!    10%-tolerance bar on the batch;
-//! 6. **skew regression guard** — the parallel kernel on the skewed graph
+//! 7. **skew regression guard** — the parallel kernel on the skewed graph
 //!    must land within 1.5× of what ideal static splitting predicts from
 //!    a balanced same-work input (balanced time scaled by the flop
 //!    ratio); a scheduler that let the hub chunk strand a worker would
@@ -41,7 +46,7 @@
 
 use bench::{banner, legacy_spawn_batch, scheduler_workloads, HarnessArgs};
 use engine::{Context, SemiringKind};
-use graph_algos::{ktruss, ktruss_auto, Scheme};
+use graph_algos::{bfs, bfs_auto, ktruss, ktruss_auto, Direction, Scheme};
 use masked_spgemm::{masked_spgemm, Algorithm, Phases};
 use profile::table::{write_text, Table};
 use sparse::{CscMatrix, CsrMatrix, PlusPair, PlusTimes};
@@ -232,6 +237,42 @@ fn main() {
         assert_eq!(mismatches, 0, "mixed stream disagrees with direct calls");
     }
 
+    // 5. BFS-level workload (ISSUE 4): the engine-planned traversal —
+    //    per-level VecMat descriptors with a complemented visited mask,
+    //    direction chosen by the planner's vector cost model — vs. the
+    //    direct masked_spgevm loop, which re-derives the boolean adjacency
+    //    and its CSC copy on every call. The engine side must show
+    //    fingerprint-cache reuse across levels/repetitions.
+    let bfs_scale = args.pick(9u32, 11, 13);
+    let bfs_adj =
+        graphs::to_undirected_simple(&graphs::rmat(bfs_scale, graphs::RmatParams::default(), 21));
+    let (direct_levels, direct) =
+        profile::best_of(args.reps, || bfs(&bfs_adj, 0, Direction::Auto).levels);
+    let hb = ctx.insert(bfs_adj.clone());
+    let bfs_hits_before = ctx.plan_cache_stats().hits;
+    let (engine_levels, engine) = profile::best_of(args.reps, || {
+        bfs_auto(&ctx, hb, 0, Direction::Auto)
+            .expect("well-shaped traversal")
+            .levels
+    });
+    let bfs_plan_hits = ctx.plan_cache_stats().hits - bfs_hits_before;
+    assert_eq!(
+        engine_levels, direct_levels,
+        "engine-planned BFS diverged from the direct loop"
+    );
+    assert_eq!(
+        engine_levels,
+        graph_algos::bfs::bfs_reference(&bfs_adj, 0),
+        "BFS levels diverged from the serial reference"
+    );
+    record(&mut table, "bfs_levels", direct.secs(), engine.secs());
+    let bfs_depth = engine_levels.iter().max().copied().unwrap_or(0);
+    println!(
+        "bfs planning: {bfs_plan_hits} fingerprint-cache hits across \
+         {bfs_depth} levels x {} reps",
+        args.reps
+    );
+
     println!("{}", table.to_console());
     table
         .write_csv(args.out_dir.join("engine_repeat.csv"))
@@ -248,8 +289,12 @@ fn main() {
         eprintln!("FAIL: k-truss peeling never hit the fingerprint plan cache");
         failed = true;
     }
+    if bfs_depth >= 2 && args.reps >= 2 && bfs_plan_hits == 0 {
+        eprintln!("FAIL: BFS level planning never hit the fingerprint plan cache");
+        failed = true;
+    }
 
-    // 5. Scheduler: persistent pool vs per-call spawn at a forced width of
+    // 6. Scheduler: persistent pool vs per-call spawn at a forced width of
     //    4 (widths differ in scheduling, not results — the serial path is
     //    shared, so width 1 would compare identical code). Sizes are fixed
     //    rather than preset-scaled: the quantity under test is per-call
@@ -329,7 +374,7 @@ fn main() {
         .write_csv(args.out_dir.join("engine_repeat_scheduler.csv"))
         .expect("write csv");
 
-    // 6. Skew regression guard: scale a balanced input's parallel time by
+    // 7. Skew regression guard: scale a balanced input's parallel time by
     //    the flop ratio to get what ideal static splitting would predict,
     //    and require the skewed kernel to land within 1.5× of it. Uses a
     //    larger hub graph than the loop above so the single-multiply
@@ -369,7 +414,9 @@ fn main() {
         std::process::exit(1);
     }
     println!("engine repeated-multiply loops are no slower than direct calls ✓");
+    println!("engine-planned BFS is no slower than the direct masked_spgevm loop ✓");
     println!("k-truss peel planning reuses fingerprint-cached plans ✓");
+    println!("BFS level planning reuses fingerprint-cached vector plans ✓");
     println!("pool scheduler beats per-call spawn on repeat/skew, holds parity on batch ✓");
     println!("skewed kernel stays within 1.5x of ideal static splitting ✓");
 }

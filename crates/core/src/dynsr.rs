@@ -1,28 +1,160 @@
-//! Runtime-selected semirings for heterogeneous batches.
+//! Runtime-selected semirings over typed value lanes.
 //!
 //! The kernels in this crate are generic over [`Semiring`], which
 //! monomorphizes one copy of every kernel per semiring — the right call for
 //! a single hot multiply, but it forces any *batch* API to fix one semiring
 //! type for the whole batch. The engine's operation-descriptor API instead
-//! describes each multiply with a [`SemiringKind`] value and executes it on
-//! [`DynSemiring`]: one erased semiring over `f64` whose `mul`/`add`
-//! dispatch on the kind at runtime. One monomorphized kernel instance then
-//! serves a batch that mixes, say, `plus_times` BC sweeps with `plus_pair`
-//! triangle ops.
+//! describes each multiply with two runtime values:
 //!
-//! The dispatch is a branch on a register-resident enum that stays constant
-//! for a whole multiply, so it predicts perfectly; the measurable cost
-//! against the typed kernels is within noise for the workloads in
+//! * a [`ValueKind`] — the **lane**: which scalar type the multiply runs on
+//!   (`bool`, `i64`, or `f64`). Each lane is a real monomorphized kernel
+//!   instantiation, so a boolean BFS step runs on `bool` arithmetic (`&&`,
+//!   `||`) and an integer shortest-path relaxation on exact `i64` — not on
+//!   an everything-is-`f64` encoding;
+//! * a [`SemiringKind`] — which semiring of that lane to evaluate.
+//!
+//! Within one lane, [`DynLane<T>`] erases the semiring choice: one
+//! monomorphized kernel instance per lane serves a batch that mixes, say,
+//! `plus_times` BC sweeps with `plus_pair` triangle ops. The dispatch is a
+//! branch on a register-resident enum that stays constant for a whole
+//! multiply, so it predicts perfectly; the measurable cost against the
+//! typed kernels is within noise for the workloads in
 //! `bench/engine_repeat`.
 //!
-//! All operands and results are `f64`. Counting semirings accumulate exact
-//! integers up to 2⁵³, far beyond any mask population this crate can
+//! [`DynSemiring`] is the historical `f64`-only erased semiring, kept as an
+//! alias for `DynLane<f64>`; counting semirings on that lane accumulate
+//! exact integers up to 2⁵³, far beyond any mask population this crate can
 //! represent (indices are `u32`).
+
+use std::marker::PhantomData;
 
 use sparse::Semiring;
 
-/// Which semiring a [`DynSemiring`] evaluates, mirroring the typed
-/// semirings of [`sparse::semiring`] instantiated at `f64`.
+/// The scalar type a runtime-described operation runs on — its **value
+/// lane**. Each lane selects a monomorphized kernel instantiation at
+/// runtime.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
+pub enum ValueKind {
+    /// `bool` — reachability / BFS frontiers (`&&`, `||`).
+    Bool,
+    /// `i64` — exact integer counting and tropical distances.
+    I64,
+    /// `f64` — the historical default lane.
+    F64,
+}
+
+impl ValueKind {
+    /// Every lane, for exhaustive tests.
+    pub const ALL: [ValueKind; 3] = [ValueKind::Bool, ValueKind::I64, ValueKind::F64];
+
+    /// Lowercase type name (`bool`, `i64`, `f64`).
+    pub fn name(self) -> &'static str {
+        match self {
+            ValueKind::Bool => "bool",
+            ValueKind::I64 => "i64",
+            ValueKind::F64 => "f64",
+        }
+    }
+}
+
+/// A scalar type usable as a runtime-selected value lane.
+///
+/// The associated operations define what the [`SemiringKind`]s mean on this
+/// lane: `lane_add`/`lane_mul` are the lane's notion of `+`/`×` (`||`/`&&`
+/// on `bool`), `lane_min` its meet, `lane_one` its multiplicative identity.
+pub trait LaneValue: Copy + Send + Sync + Default + PartialEq + std::fmt::Debug + 'static {
+    /// The [`ValueKind`] tag of this lane.
+    const KIND: ValueKind;
+
+    /// Convert from the registry's canonical `f64` storage (used to build
+    /// typed operand views; `i64` truncates, `bool` is `v != 0.0`).
+    fn from_f64(v: f64) -> Self;
+
+    /// Lane addition (`||` on `bool`).
+    fn lane_add(a: Self, b: Self) -> Self;
+
+    /// Lane multiplication (`&&` on `bool`).
+    fn lane_mul(a: Self, b: Self) -> Self;
+
+    /// Lane minimum, with the same tie convention as [`sparse::MinPlus`]
+    /// (`if b < a { b } else { a }`); `&&` on `bool`.
+    fn lane_min(a: Self, b: Self) -> Self;
+
+    /// Multiplicative identity (`true` on `bool`).
+    fn lane_one() -> Self;
+}
+
+impl LaneValue for bool {
+    const KIND: ValueKind = ValueKind::Bool;
+
+    #[inline(always)]
+    fn from_f64(v: f64) -> bool {
+        v != 0.0
+    }
+
+    #[inline(always)]
+    fn lane_add(a: bool, b: bool) -> bool {
+        a || b
+    }
+
+    #[inline(always)]
+    fn lane_mul(a: bool, b: bool) -> bool {
+        a && b
+    }
+
+    #[inline(always)]
+    fn lane_min(a: bool, b: bool) -> bool {
+        a && b
+    }
+
+    #[inline(always)]
+    fn lane_one() -> bool {
+        true
+    }
+}
+
+macro_rules! impl_numeric_lane {
+    ($t:ty, $kind:expr, $one:expr, $from:expr) => {
+        impl LaneValue for $t {
+            const KIND: ValueKind = $kind;
+
+            #[inline(always)]
+            fn from_f64(v: f64) -> $t {
+                $from(v)
+            }
+
+            #[inline(always)]
+            fn lane_add(a: $t, b: $t) -> $t {
+                a + b
+            }
+
+            #[inline(always)]
+            fn lane_mul(a: $t, b: $t) -> $t {
+                a * b
+            }
+
+            #[inline(always)]
+            fn lane_min(a: $t, b: $t) -> $t {
+                if b < a {
+                    b
+                } else {
+                    a
+                }
+            }
+
+            #[inline(always)]
+            fn lane_one() -> $t {
+                $one
+            }
+        }
+    };
+}
+
+impl_numeric_lane!(i64, ValueKind::I64, 1i64, |v: f64| v as i64);
+impl_numeric_lane!(f64, ValueKind::F64, 1.0f64, |v: f64| v);
+
+/// Which semiring a [`DynLane`] evaluates, mirroring the typed semirings of
+/// [`sparse::semiring`] instantiated at the lane's scalar type.
 #[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
 pub enum SemiringKind {
     /// Arithmetic `(+, ×)` — [`sparse::PlusTimes`].
@@ -35,19 +167,23 @@ pub enum SemiringKind {
     PlusSecond,
     /// Tropical `(min, +)` — [`sparse::MinPlus`].
     MinPlus,
+    /// Boolean `(or, and)` — [`sparse::BoolAndOr`]; the BFS frontier
+    /// semiring. Only meaningful on the [`ValueKind::Bool`] lane.
+    BoolAndOr,
 }
 
 impl SemiringKind {
     /// Every kind, for exhaustive tests.
-    pub const ALL: [SemiringKind; 5] = [
+    pub const ALL: [SemiringKind; 6] = [
         SemiringKind::PlusTimes,
         SemiringKind::PlusPair,
         SemiringKind::PlusFirst,
         SemiringKind::PlusSecond,
         SemiringKind::MinPlus,
+        SemiringKind::BoolAndOr,
     ];
 
-    /// GraphBLAS-style name (`plus_times`, `plus_pair`, ...).
+    /// GraphBLAS-style name (`plus_times`, `bool_and_or`, ...).
     pub fn name(self) -> &'static str {
         match self {
             SemiringKind::PlusTimes => "plus_times",
@@ -55,35 +191,58 @@ impl SemiringKind {
             SemiringKind::PlusFirst => "plus_first",
             SemiringKind::PlusSecond => "plus_second",
             SemiringKind::MinPlus => "min_plus",
+            SemiringKind::BoolAndOr => "bool_and_or",
+        }
+    }
+
+    /// Whether this semiring is defined on the given value lane.
+    ///
+    /// [`SemiringKind::BoolAndOr`] is the boolean lane's semiring; the
+    /// additive kinds need numeric accumulation and run on `i64`/`f64`.
+    pub fn supports_value(self, value: ValueKind) -> bool {
+        match self {
+            SemiringKind::BoolAndOr => value == ValueKind::Bool,
+            _ => value != ValueKind::Bool,
         }
     }
 }
 
-/// A [`Semiring`] over `f64` that dispatches on a [`SemiringKind`] at
-/// runtime.
+/// A [`Semiring`] over one value lane `T` that dispatches on a
+/// [`SemiringKind`] at runtime.
 ///
-/// Results are bit-identical to the corresponding typed semiring at `f64`:
+/// Results are bit-identical to the corresponding typed semiring at `T`:
 /// the kernels fix the order in which products of one output entry are
-/// combined, and `mul`/`add` here perform the same float operations in the
-/// same order.
+/// combined, and `mul`/`add` here perform the same operations in the same
+/// order.
 ///
 /// ```
-/// use masked_spgemm::{DynSemiring, SemiringKind};
+/// use masked_spgemm::{DynLane, SemiringKind};
 /// use sparse::Semiring;
 ///
-/// let tc = DynSemiring::new(SemiringKind::PlusPair);
-/// assert_eq!(tc.mul(3.5, -2.0), 1.0); // pair: every product counts 1
-/// assert_eq!(tc.add(1.0, 1.0), 2.0);
+/// let tc = DynLane::<i64>::new(SemiringKind::PlusPair);
+/// assert_eq!(tc.mul(35, -2), 1); // pair: every product counts 1
+/// assert_eq!(tc.add(1, 1), 2);
+///
+/// let bfs = DynLane::<bool>::new(SemiringKind::BoolAndOr);
+/// assert!(bfs.mul(true, true) && !bfs.mul(true, false));
 /// ```
 #[derive(Copy, Clone, Debug, PartialEq, Eq)]
-pub struct DynSemiring {
+pub struct DynLane<T> {
     kind: SemiringKind,
+    _lane: PhantomData<T>,
 }
 
-impl DynSemiring {
-    /// Erased semiring evaluating `kind`.
+/// The `f64` lane's erased semiring — the historical type the engine's
+/// heterogeneous batches were built on.
+pub type DynSemiring = DynLane<f64>;
+
+impl<T: LaneValue> DynLane<T> {
+    /// Erased semiring evaluating `kind` on lane `T`.
     pub fn new(kind: SemiringKind) -> Self {
-        DynSemiring { kind }
+        DynLane {
+            kind,
+            _lane: PhantomData,
+        }
     }
 
     /// The kind this semiring evaluates.
@@ -92,39 +251,33 @@ impl DynSemiring {
     }
 }
 
-impl From<SemiringKind> for DynSemiring {
+impl<T: LaneValue> From<SemiringKind> for DynLane<T> {
     fn from(kind: SemiringKind) -> Self {
-        DynSemiring::new(kind)
+        DynLane::new(kind)
     }
 }
 
-impl Semiring for DynSemiring {
-    type A = f64;
-    type B = f64;
-    type C = f64;
+impl<T: LaneValue> Semiring for DynLane<T> {
+    type A = T;
+    type B = T;
+    type C = T;
 
     #[inline(always)]
-    fn mul(&self, a: f64, b: f64) -> f64 {
+    fn mul(&self, a: T, b: T) -> T {
         match self.kind {
-            SemiringKind::PlusTimes => a * b,
-            SemiringKind::PlusPair => 1.0,
+            SemiringKind::PlusTimes | SemiringKind::BoolAndOr => T::lane_mul(a, b),
+            SemiringKind::PlusPair => T::lane_one(),
             SemiringKind::PlusFirst => a,
             SemiringKind::PlusSecond => b,
-            SemiringKind::MinPlus => a + b,
+            SemiringKind::MinPlus => T::lane_add(a, b),
         }
     }
 
     #[inline(always)]
-    fn add(&self, x: f64, y: f64) -> f64 {
+    fn add(&self, x: T, y: T) -> T {
         match self.kind {
-            SemiringKind::MinPlus => {
-                if y < x {
-                    y
-                } else {
-                    x
-                }
-            }
-            _ => x + y,
+            SemiringKind::MinPlus => T::lane_min(x, y),
+            _ => T::lane_add(x, y),
         }
     }
 }
@@ -134,7 +287,7 @@ mod tests {
     use super::*;
     use crate::api::{masked_spgemm, Algorithm, Phases};
     use crate::kernel::testutil::random_csr;
-    use sparse::{MinPlus, PlusFirst, PlusPair, PlusSecond, PlusTimes};
+    use sparse::{BoolAndOr, MinPlus, PlusFirst, PlusPair, PlusSecond, PlusTimes};
 
     #[test]
     fn scalar_ops_match_typed_semirings() {
@@ -157,6 +310,63 @@ mod tests {
         assert_eq!(d.mul(a, b), mp.mul(a, b));
         assert_eq!(d.add(a, b), mp.add(a, b));
         assert_eq!(d.add(b, a), mp.add(b, a));
+    }
+
+    #[test]
+    fn integer_lane_matches_typed_semirings() {
+        let (a, b) = (7i64, -3i64);
+        let pt = PlusTimes::<i64>::new();
+        let d = DynLane::<i64>::new(SemiringKind::PlusTimes);
+        assert_eq!(d.mul(a, b), pt.mul(a, b));
+        assert_eq!(d.add(a, b), pt.add(a, b));
+        let mp = MinPlus::<i64>::new();
+        let d = DynLane::<i64>::new(SemiringKind::MinPlus);
+        assert_eq!(d.mul(a, b), mp.mul(a, b));
+        assert_eq!(d.add(a, b), mp.add(a, b));
+        assert_eq!(d.add(b, a), mp.add(b, a));
+        let pp = PlusPair::<i64, i64, i64>::new();
+        let d = DynLane::<i64>::new(SemiringKind::PlusPair);
+        assert_eq!(d.mul(a, b), pp.mul(a, b));
+    }
+
+    #[test]
+    fn bool_lane_matches_bool_and_or() {
+        let sr = BoolAndOr;
+        let d = DynLane::<bool>::new(SemiringKind::BoolAndOr);
+        for a in [false, true] {
+            for b in [false, true] {
+                assert_eq!(d.mul(a, b), sr.mul(a, b));
+                assert_eq!(d.add(a, b), sr.add(a, b));
+            }
+        }
+    }
+
+    #[test]
+    fn lane_support_matrix() {
+        for kind in SemiringKind::ALL {
+            assert_eq!(
+                kind.supports_value(ValueKind::Bool),
+                kind == SemiringKind::BoolAndOr,
+                "{kind:?} on bool"
+            );
+            for value in [ValueKind::I64, ValueKind::F64] {
+                assert_eq!(
+                    kind.supports_value(value),
+                    kind != SemiringKind::BoolAndOr,
+                    "{kind:?} on {value:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn from_f64_conversions() {
+        assert!(bool::from_f64(2.0) && !bool::from_f64(0.0));
+        assert_eq!(i64::from_f64(3.9), 3);
+        assert_eq!(f64::from_f64(3.9), 3.9);
+        assert_eq!(<bool as LaneValue>::KIND, ValueKind::Bool);
+        assert_eq!(<i64 as LaneValue>::KIND, ValueKind::I64);
+        assert_eq!(<f64 as LaneValue>::KIND, ValueKind::F64);
     }
 
     #[test]
@@ -203,11 +413,42 @@ mod tests {
     }
 
     #[test]
+    fn integer_lane_products_are_exact() {
+        let a = random_csr(20, 20, 21, 35).map(|&v| v as i64);
+        let b = random_csr(20, 20, 22, 35).map(|&v| v as i64);
+        let m = random_csr(20, 20, 23, 40).pattern();
+        let typed = masked_spgemm(
+            Algorithm::Msa,
+            Phases::One,
+            false,
+            PlusTimes::<i64>::new(),
+            &m,
+            &a,
+            &b,
+        )
+        .unwrap();
+        let erased = masked_spgemm(
+            Algorithm::Msa,
+            Phases::One,
+            false,
+            DynLane::<i64>::new(SemiringKind::PlusTimes),
+            &m,
+            &a,
+            &b,
+        )
+        .unwrap();
+        assert_eq!(typed, erased);
+    }
+
+    #[test]
     fn names_and_kind_roundtrip() {
         for kind in SemiringKind::ALL {
             assert_eq!(DynSemiring::new(kind).kind(), kind);
             assert_eq!(DynSemiring::from(kind).kind(), kind);
             assert!(!kind.name().is_empty());
+        }
+        for value in ValueKind::ALL {
+            assert!(!value.name().is_empty());
         }
     }
 }

@@ -66,7 +66,7 @@ pub mod spgevm;
 
 pub use api::{masked_spgemm, masked_spgemm_csc, Algorithm, MaskedSpGemm, Phases};
 pub use dcsr_exec::masked_spgemm_dcsr;
-pub use dynsr::{DynSemiring, SemiringKind};
+pub use dynsr::{DynLane, DynSemiring, LaneValue, SemiringKind, ValueKind};
 pub use estimate::{flops, flops_masked, flops_per_row};
 pub use exec::thread_pool;
 pub use hybrid::{hybrid_choices, hybrid_masked_spgemm, HybridConfig};

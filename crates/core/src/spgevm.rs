@@ -103,6 +103,11 @@ where
             rhs: (1, b.ncols()),
         });
     }
+    // Inner does support complemented masks; the check is here so every
+    // SpGEVM entry point funnels polarity support through the same
+    // `check_complement_support` gate as the matrix paths (uniform
+    // `SparseError::Unsupported`, never a panic or silent fallback).
+    Algorithm::Inner.check_complement_support(complemented)?;
     let mut out_cols = Vec::new();
     let mut out_vals = Vec::new();
     if complemented {
@@ -212,6 +217,10 @@ mod tests {
         let u = SparseVec::try_new(4, vec![0], vec![1.0]).unwrap();
         let m = SparseVec::<()>::empty(4);
         assert!(masked_spgevm(Algorithm::Inner, false, sr, &m, &u, &b).is_err());
-        assert!(masked_spgevm(Algorithm::Mca, true, sr, &m, &u, &b).is_err());
+        // Complemented MCA is the same uniform error as every matrix path.
+        assert_eq!(
+            masked_spgevm(Algorithm::Mca, true, sr, &m, &u, &b).unwrap_err(),
+            sparse::SparseError::Unsupported(crate::api::COMPLEMENT_UNSUPPORTED)
+        );
     }
 }

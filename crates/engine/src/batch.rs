@@ -3,9 +3,10 @@
 //! Batch mode inverts the parallelization axis: instead of one product
 //! parallelized across rows, the [`Context`]'s workers each run whole
 //! products serially and pull the next operation from a shared queue. Each
-//! worker holds one [`masked_spgemm::ScratchSet`] for the entire batch, so
-//! accumulator scratch (the `O(ncols)` MSA arrays, hash tables, heap state)
-//! is allocated once per worker rather than once per product.
+//! worker holds one scratch set *per value lane* ([`LaneScratch`]) for the
+//! entire batch, so accumulator scratch (the `O(ncols)` MSA arrays, hash
+//! tables, heap state) is allocated once per worker and lane rather than
+//! once per product.
 //!
 //! The op queue is drained by the context's own persistent pool workers
 //! ([`rayon::ThreadPool::with_workers`]) — batch execution spawns no
@@ -13,12 +14,17 @@
 //! parallelism elsewhere share one set of threads and a batch issued while
 //! other work is in flight cannot oversubscribe the machine.
 //!
-//! Two things distinguish this from a plain parallel map:
+//! Three things distinguish this from a plain parallel map:
 //!
-//! * **heterogeneous semirings** — each [`MaskedOp`] carries its own
-//!   [`SemiringKind`](masked_spgemm::SemiringKind); execution erases them
-//!   through [`DynSemiring`], so one batch mixes plus-pair triangle ops
-//!   with plus-times BC sweeps on the same worker scratch;
+//! * **heterogeneous semirings *and* lanes** — each [`MaskedOp`] carries
+//!   its own [`SemiringKind`](masked_spgemm::SemiringKind) and
+//!   [`ValueKind`](masked_spgemm::ValueKind); execution erases the
+//!   semiring through [`DynLane`] per lane, so one batch mixes `bool`
+//!   BFS steps, exact `i64` counting ops, and `f64` products on the same
+//!   worker scratch;
+//! * **vector operands** — [`Operands::VecMat`] ops run the serial masked
+//!   SpGEVM kernels, so frontier expansions batch alongside matrix
+//!   products;
 //! * **streamed delivery** — finished products flow through a channel to
 //!   the calling thread, which hands them to a [`ResultSink`] in
 //!   *completion order*. A sink that consumes-and-drops keeps memory flat
@@ -32,13 +38,15 @@
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::mpsc;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 
-use masked_spgemm::{Algorithm, DynSemiring, ScratchSet};
-use sparse::{CscMatrix, CsrMatrix, Semiring, SparseError};
+use masked_spgemm::{
+    masked_spgevm, masked_spgevm_csc, Algorithm, DynLane, LaneValue, ScratchSet, ValueKind,
+};
+use sparse::{CscMatrix, CsrMatrix, Semiring, SparseError, SparseVec};
 
-use crate::context::{Context, MatrixHandle};
-use crate::op::{AccumMode, MaskedOp, ResultSink};
+use crate::context::{Context, MatrixHandle, ValueVec};
+use crate::op::{FromOpOutput, MaskedOp, OpOutput, Operands, ResultSink, OPERAND_LANE_MISMATCH};
 use crate::plan::{Choice, Plan};
 
 /// One masked multiply in a legacy homogeneous batch: `C = M ⊙ (A·B)` or
@@ -46,7 +54,7 @@ use crate::plan::{Choice, Plan};
 #[deprecated(
     since = "0.3.0",
     note = "describe operations with `MaskedOp` (via `Context::op(..).build()`), \
-            which carries its own semiring and overrides"
+            which carries its own semiring, value lane, and overrides"
 )]
 #[derive(Copy, Clone, Debug)]
 pub struct BatchOp {
@@ -60,22 +68,110 @@ pub struct BatchOp {
     pub b: MatrixHandle,
 }
 
-/// A batch entry resolved to the data a worker needs: operand `Arc`s, a
-/// fixed algorithm, and the per-op semiring value.
-struct Prepared<S: Semiring> {
-    sr: S,
+/// A matrix-product batch entry resolved to the data a worker needs:
+/// operand `Arc`s on the op's lane, a fixed algorithm, and the per-op
+/// erased semiring.
+struct PreparedMat<T: LaneValue> {
+    sr: DynLane<T>,
     mask: Arc<CsrMatrix<f64>>,
-    a: Arc<CsrMatrix<f64>>,
-    b: Arc<CsrMatrix<f64>>,
-    b_csc: Option<Arc<CscMatrix<S::B>>>,
+    a: Arc<CsrMatrix<T>>,
+    b: Arc<CsrMatrix<T>>,
+    b_csc: Option<Arc<CscMatrix<T>>>,
     algorithm: Algorithm,
     complemented: bool,
 }
 
-/// Reduce a plan to the fixed algorithm batch workers run: when the
-/// planner wanted the per-row hybrid, take the fixed family its own cost
-/// breakdown ranked best.
-fn fixed_algorithm(plan: &Plan) -> Algorithm {
+impl<T: LaneValue> PreparedMat<T> {
+    fn run(&self, scratch: &mut ScratchSet<DynLane<T>>) -> Result<CsrMatrix<T>, SparseError> {
+        scratch.run(
+            self.algorithm,
+            self.complemented,
+            self.sr,
+            &self.mask,
+            &self.a,
+            &self.b,
+            self.b_csc.as_deref(),
+        )
+    }
+}
+
+/// A vector-product batch entry: the mask pattern, the typed operand
+/// vector, and `B` in the form the fixed algorithm consumes.
+struct PreparedVec<T: LaneValue> {
+    sr: DynLane<T>,
+    mask: SparseVec<()>,
+    u: Arc<SparseVec<T>>,
+    b_view: Option<Arc<CsrMatrix<T>>>,
+    b_csc: Option<Arc<CscMatrix<T>>>,
+    algorithm: Algorithm,
+    complemented: bool,
+}
+
+impl<T: LaneValue> PreparedVec<T> {
+    fn run(&self) -> Result<SparseVec<T>, SparseError> {
+        if self.algorithm == Algorithm::Inner {
+            let csc = self.b_csc.as_ref().expect("pull plan materialized CSC");
+            masked_spgevm_csc(self.complemented, self.sr, &self.mask, &self.u, csc)
+        } else {
+            let view = self.b_view.as_ref().expect("push plan materialized view");
+            masked_spgevm(
+                self.algorithm,
+                self.complemented,
+                self.sr,
+                &self.mask,
+                &self.u,
+                view,
+            )
+        }
+    }
+}
+
+/// One resolved batch entry of any operand kind and lane.
+enum PreparedAny {
+    MatF64(PreparedMat<f64>),
+    MatI64(PreparedMat<i64>),
+    MatBool(PreparedMat<bool>),
+    VecF64(PreparedVec<f64>),
+    VecI64(PreparedVec<i64>),
+    VecBool(PreparedVec<bool>),
+}
+
+impl PreparedAny {
+    fn run(&self, scratch: &mut LaneScratch) -> Result<OpOutput, SparseError> {
+        match self {
+            PreparedAny::MatF64(p) => p.run(&mut scratch.f64).map(OpOutput::MatF64),
+            PreparedAny::MatI64(p) => p.run(&mut scratch.i64).map(OpOutput::MatI64),
+            PreparedAny::MatBool(p) => p.run(&mut scratch.boolean).map(OpOutput::MatBool),
+            PreparedAny::VecF64(p) => p.run().map(OpOutput::VecF64),
+            PreparedAny::VecI64(p) => p.run().map(OpOutput::VecI64),
+            PreparedAny::VecBool(p) => p.run().map(OpOutput::VecBool),
+        }
+    }
+}
+
+/// One reusable kernel scratch set per value lane — what each batch worker
+/// holds for its lifetime. Lanes a batch never touches stay empty (the
+/// kernels inside a `ScratchSet` are built on first use per family).
+struct LaneScratch {
+    f64: ScratchSet<DynLane<f64>>,
+    i64: ScratchSet<DynLane<i64>>,
+    boolean: ScratchSet<DynLane<bool>>,
+}
+
+impl LaneScratch {
+    fn new() -> Self {
+        LaneScratch {
+            f64: ScratchSet::new(),
+            i64: ScratchSet::new(),
+            boolean: ScratchSet::new(),
+        }
+    }
+}
+
+/// Reduce a plan to one fixed algorithm (batch workers and the serial
+/// in-thread path both need one): when the planner wanted the per-row
+/// hybrid, take the fixed family its own cost breakdown ranked best.
+pub(crate) fn fixed_algorithm(plan: &Plan) -> Algorithm {
     match plan.choice {
         Choice::Fixed(alg) => alg,
         Choice::Hybrid => {
@@ -97,44 +193,89 @@ fn fixed_algorithm(plan: &Plan) -> Algorithm {
 }
 
 impl Context {
-    /// Resolve one descriptor for batch execution.
-    fn prepare_op(&self, op: &MaskedOp) -> Result<Prepared<DynSemiring>, SparseError> {
+    /// Resolve one descriptor for batch execution: plan it, fix the
+    /// algorithm, and materialize the lane views the workers will read.
+    fn prepare_any(&self, op: &MaskedOp) -> Result<PreparedAny, SparseError> {
         let plan = self.resolve_plan(op)?;
         let algorithm = fixed_algorithm(&plan);
-        Ok(Prepared {
-            sr: DynSemiring::new(op.semiring),
-            mask: self.matrix(op.mask),
-            a: self.matrix(op.a),
-            b: self.matrix(op.b),
-            // Materialize the cached CSC only when the plan actually pulls.
-            b_csc: (algorithm == Algorithm::Inner).then(|| self.csc(op.b)),
-            algorithm,
-            complemented: op.complemented,
-        })
+        match op.operands {
+            Operands::MatMat { mask, a, b } => {
+                macro_rules! prep {
+                    ($variant:ident, $view:ident, $csc:ident) => {
+                        Ok(PreparedAny::$variant(PreparedMat {
+                            sr: DynLane::new(op.semiring),
+                            mask: self.matrix(mask),
+                            a: self.$view(a),
+                            b: self.$view(b),
+                            // Materialize the cached CSC only when the plan
+                            // actually pulls.
+                            b_csc: (algorithm == Algorithm::Inner).then(|| self.$csc(b)),
+                            algorithm,
+                            complemented: op.complemented,
+                        }))
+                    };
+                }
+                match op.value {
+                    ValueKind::F64 => prep!(MatF64, matrix, csc),
+                    ValueKind::I64 => prep!(MatI64, i64_view, i64_csc),
+                    ValueKind::Bool => prep!(MatBool, bool_view, bool_csc),
+                }
+            }
+            Operands::VecMat { mask, u, b } => {
+                let mask_pat = self.vector(mask).pattern();
+                macro_rules! prep {
+                    ($variant:ident, $uv:ident, $view:ident, $csc:ident) => {
+                        Ok(PreparedAny::$variant(PreparedVec {
+                            sr: DynLane::new(op.semiring),
+                            mask: mask_pat,
+                            u: $uv,
+                            b_view: (algorithm != Algorithm::Inner).then(|| self.$view(b)),
+                            b_csc: (algorithm == Algorithm::Inner).then(|| self.$csc(b)),
+                            algorithm,
+                            complemented: op.complemented,
+                        }))
+                    };
+                }
+                match (op.value, self.vector(u)) {
+                    (ValueKind::F64, ValueVec::F64(uv)) => prep!(VecF64, uv, matrix, csc),
+                    (ValueKind::I64, ValueVec::I64(uv)) => prep!(VecI64, uv, i64_view, i64_csc),
+                    (ValueKind::Bool, ValueVec::Bool(uv)) => {
+                        prep!(VecBool, uv, bool_view, bool_csc)
+                    }
+                    // Lane agreement was validated by `resolve_plan`;
+                    // reaching here means a concurrent lane change.
+                    _ => Err(SparseError::Unsupported(OPERAND_LANE_MISMATCH)),
+                }
+            }
+        }
     }
 
-    /// The shared batch engine: the context's pool workers drain the op
-    /// queue with per-worker reused scratch and send `(index, result)`
-    /// pairs to the calling thread, which invokes `deliver` in completion
-    /// order while execution is still in flight.
-    fn execute_batch<S, F>(&self, prepared: &[Result<Prepared<S>, SparseError>], mut deliver: F)
-    where
-        S: Semiring<A = f64, B = f64> + Send + Sync,
-        S::C: Default + Send + Sync,
-        F: FnMut(usize, Result<CsrMatrix<S::C>, SparseError>),
+    /// The shared batch scaffold: the context's pool workers drain an
+    /// indexed job queue with per-worker state (built once per worker by
+    /// `make_state`) and send `(index, result)` pairs to the calling
+    /// thread, which invokes `deliver` in completion order while execution
+    /// is still in flight — this receive loop IS the streaming path.
+    pub(crate) fn stream_indexed<St, R>(
+        &self,
+        count: usize,
+        make_state: impl Fn() -> St + Sync,
+        run: impl Fn(&mut St, usize) -> R + Sync,
+        mut deliver: impl FnMut(usize, R),
+    ) where
+        R: Send,
     {
-        if prepared.is_empty() {
+        if count == 0 {
             return;
         }
+        /// One pre-cloned result sender per batch worker slot.
+        type SenderSlots<R> = Vec<Mutex<Option<mpsc::Sender<(usize, R)>>>>;
         let cursor = AtomicUsize::new(0);
-        let workers = self.threads.min(prepared.len()).max(1);
-        let (tx, rx) = mpsc::channel::<(usize, Result<CsrMatrix<S::C>, SparseError>)>();
+        let workers = self.threads.min(count).max(1);
+        let (tx, rx) = mpsc::channel::<(usize, R)>();
         // Each pool worker takes one pre-cloned sender; the channel closes
         // when the last worker finishes (or unwinds), which is what ends
         // the foreground delivery loop below.
-        let senders: Vec<std::sync::Mutex<Option<mpsc::Sender<_>>>> = (0..workers)
-            .map(|_| std::sync::Mutex::new(Some(tx.clone())))
-            .collect();
+        let senders: SenderSlots<R> = (0..workers).map(|_| Mutex::new(Some(tx.clone()))).collect();
         drop(tx);
         self.pool.with_workers(
             workers,
@@ -144,32 +285,19 @@ impl Context {
                     .expect("sender slot lock")
                     .take()
                     .expect("each worker slot claimed once");
-                let mut scratch: ScratchSet<S> = ScratchSet::new();
+                let mut state = make_state();
                 loop {
                     let i = cursor.fetch_add(1, Ordering::Relaxed);
-                    if i >= prepared.len() {
+                    if i >= count {
                         break;
                     }
-                    let result = match &prepared[i] {
-                        Err(e) => Err(e.clone()),
-                        Ok(p) => scratch.run(
-                            p.algorithm,
-                            p.complemented,
-                            p.sr,
-                            &p.mask,
-                            &p.a,
-                            &p.b,
-                            p.b_csc.as_deref(),
-                        ),
-                    };
+                    let result = run(&mut state, i);
                     if tx.send((i, result)).is_err() {
                         break; // receiver gone — nothing left to deliver to
                     }
                 }
             },
             || {
-                // Deliver on the calling thread as workers finish — this
-                // loop IS the streaming path.
                 for (i, result) in rx {
                     deliver(i, result);
                 }
@@ -183,48 +311,60 @@ impl Context {
     /// Each [`MaskedOp`] is planned individually (forced to a fixed
     /// algorithm; the serial drivers assemble rows exactly, so the 1P/2P
     /// phase distinction does not arise here — see [`MaskedOp::phases`])
-    /// and runs on its own semiring. Operations are independent:
-    /// one failing op (dimension mismatch, unsupported override) delivers
-    /// an `Err` for its index without affecting the rest. Accumulating ops
-    /// ([`AccumMode::AddInto`]) are merged on the calling thread before the
-    /// sink sees them, so concurrent ops never race on a target handle.
+    /// and runs on its own semiring and value lane. The sink's payload type
+    /// chooses the consumption mode: sink [`OpOutput`] for mixed-kind
+    /// batches, or a concrete type like `CsrMatrix<f64>` when the batch is
+    /// homogeneous (a wrong kind delivers a uniform error for that index).
+    /// Operations are independent: one failing op (dimension mismatch,
+    /// unsupported override) delivers an `Err` for its index without
+    /// affecting the rest. Accumulating ops ([`AccumMode::MergeInto`]) are
+    /// merged on the calling thread before the sink sees them, so
+    /// concurrent ops never race on a target handle.
     ///
     /// ```
-    /// use engine::{Context, SemiringKind};
+    /// use engine::{Context, OpOutput, SemiringKind, ValueKind};
     /// use sparse::CsrMatrix;
     ///
     /// let ctx = Context::with_threads(2);
     /// let h = ctx.insert(CsrMatrix::diagonal(6, 2.0));
     /// let ops = vec![
     ///     ctx.op(h, h, h).build(),
-    ///     ctx.op(h, h, h).semiring(SemiringKind::PlusPair).build(),
+    ///     ctx.op(h, h, h)
+    ///         .semiring(SemiringKind::PlusPair)
+    ///         .value(ValueKind::I64)
+    ///         .build(),
     /// ];
     /// let mut seen = 0;
-    /// ctx.for_each_result(&ops, |_i, r: Result<CsrMatrix<f64>, _>| {
+    /// ctx.for_each_result(&ops, |_i, r: Result<OpOutput, _>| {
     ///     seen += usize::from(r.unwrap().nnz() == 6);
     /// });
     /// assert_eq!(seen, 2);
     /// ```
-    pub fn for_each_result(&self, ops: &[MaskedOp], mut sink: impl ResultSink) {
-        let prepared: Vec<Result<Prepared<DynSemiring>, SparseError>> =
-            ops.iter().map(|op| self.prepare_op(op)).collect();
-        self.execute_batch(&prepared, |i, result| {
-            let result = match result {
-                Ok(c) if !matches!(ops[i].accum, AccumMode::Replace) => {
-                    self.apply_accum(&ops[i], c)
-                }
-                other => other,
-            };
-            sink.absorb(i, result);
-        });
+    ///
+    /// [`AccumMode::MergeInto`]: crate::AccumMode::MergeInto
+    pub fn for_each_result<T: FromOpOutput>(&self, ops: &[MaskedOp], mut sink: impl ResultSink<T>) {
+        let prepared: Vec<Result<PreparedAny, SparseError>> =
+            ops.iter().map(|op| self.prepare_any(op)).collect();
+        self.stream_indexed(
+            prepared.len(),
+            LaneScratch::new,
+            |scratch, i| match &prepared[i] {
+                Err(e) => Err(e.clone()),
+                Ok(p) => p.run(scratch),
+            },
+            |i, result| {
+                let result = result
+                    .and_then(|out| self.apply_accum(&ops[i], out))
+                    .and_then(T::from_output);
+                sink.absorb(i, result);
+            },
+        );
     }
 
-    /// Execute a heterogeneous batch and collect every result in input
-    /// order — the convenience wrapper over [`Context::for_each_result`]
-    /// for callers that do want all outputs resident.
-    pub fn run_batch_collect(&self, ops: &[MaskedOp]) -> Vec<Result<CsrMatrix<f64>, SparseError>> {
-        let mut slots: Vec<Option<Result<CsrMatrix<f64>, SparseError>>> =
-            (0..ops.len()).map(|_| None).collect();
+    /// Stream a batch into input-order slots — the one collect discipline
+    /// behind both typed collectors.
+    fn collect_batch<T: FromOpOutput>(&self, ops: &[MaskedOp]) -> Vec<Result<T, SparseError>> {
+        let mut slots: Vec<Option<Result<T, SparseError>>> = (0..ops.len()).map(|_| None).collect();
         self.for_each_result(ops, |i: usize, result| {
             slots[i] = Some(result);
         });
@@ -234,8 +374,24 @@ impl Context {
             .collect()
     }
 
-    /// Execute all `ops` concurrently on one semiring; results arrive in
-    /// input order.
+    /// Execute a heterogeneous batch and collect every typed result in
+    /// input order — the mixed-kind counterpart of
+    /// [`Context::run_batch_collect`].
+    pub fn run_batch_outputs(&self, ops: &[MaskedOp]) -> Vec<Result<OpOutput, SparseError>> {
+        self.collect_batch(ops)
+    }
+
+    /// Execute a batch of `f64` matrix products and collect every result in
+    /// input order — the convenience wrapper over
+    /// [`Context::for_each_result`] for callers that do want all outputs
+    /// resident (ops of another kind deliver an `Err` in their slot; use
+    /// [`Context::run_batch_outputs`] for mixed-kind batches).
+    pub fn run_batch_collect(&self, ops: &[MaskedOp]) -> Vec<Result<CsrMatrix<f64>, SparseError>> {
+        self.collect_batch(ops)
+    }
+
+    /// Execute all `ops` concurrently on one typed semiring; results arrive
+    /// in input order.
     #[deprecated(
         since = "0.3.0",
         note = "build `MaskedOp`s with `Context::op` and use \
@@ -247,6 +403,15 @@ impl Context {
         S: Semiring<A = f64, B = f64> + Send + Sync,
         S::C: Default + Send + Sync,
     {
+        struct Prepared<S: Semiring> {
+            sr: S,
+            mask: Arc<CsrMatrix<f64>>,
+            a: Arc<CsrMatrix<f64>>,
+            b: Arc<CsrMatrix<f64>>,
+            b_csc: Option<Arc<CscMatrix<S::B>>>,
+            algorithm: Algorithm,
+            complemented: bool,
+        }
         let prepared: Vec<Result<Prepared<S>, SparseError>> = ops
             .iter()
             .map(|op| {
@@ -266,9 +431,25 @@ impl Context {
             .collect();
         let mut slots: Vec<Option<Result<CsrMatrix<S::C>, SparseError>>> =
             (0..ops.len()).map(|_| None).collect();
-        self.execute_batch(&prepared, |i, result| {
-            slots[i] = Some(result);
-        });
+        self.stream_indexed(
+            prepared.len(),
+            ScratchSet::<S>::new,
+            |scratch, i| match &prepared[i] {
+                Err(e) => Err(e.clone()),
+                Ok(p) => scratch.run(
+                    p.algorithm,
+                    p.complemented,
+                    p.sr,
+                    &p.mask,
+                    &p.a,
+                    &p.b,
+                    p.b_csc.as_deref(),
+                ),
+            },
+            |i, result| {
+                slots[i] = Some(result);
+            },
+        );
         slots
             .into_iter()
             .map(|slot| slot.expect("every op delivered"))

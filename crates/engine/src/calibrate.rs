@@ -43,10 +43,14 @@ pub struct Calibration {
     /// (publish chunks, wake parked workers, join) — the fixed cost a
     /// kernel invocation pays before any row work happens. With the
     /// persistent pool this is wake latency; the per-call spawn scheduler
-    /// it replaced paid thread creation here instead. Informational: a
-    /// future planner cutoff can route products whose total work is
-    /// comparable to this straight to the serial path.
+    /// it replaced paid thread creation here instead.
     pub dispatch_overhead_secs: f64,
+    /// The planner serial cutoff installed on the context
+    /// ([`Context::set_serial_cutoff_flops`]): the flop count whose MSA
+    /// kernel time equals the measured dispatch overhead. Products whose
+    /// estimated work lands below this run serially on the calling thread
+    /// — waking the pool would cost more than the product itself.
+    pub serial_cutoff_flops: f64,
 }
 
 /// Deterministic pseudo-random CSR matrix (xorshift; no `rand` dependency
@@ -187,6 +191,14 @@ impl Context {
             inner_factor,
         };
         self.set_config(config);
+        // Serial cutoff: the work level at which one pool dispatch costs as
+        // much as the whole product. Clamped so a noisy overhead sample
+        // cannot capture genuinely parallel products (the dense probe above
+        // is ~2M flops; one dispatch should never be worth more than a
+        // small fraction of it).
+        let serial_cutoff_flops =
+            (dispatch_overhead_secs / msa_secs_per_flop.max(1e-12)).clamp(0.0, 262_144.0);
+        self.set_serial_cutoff_flops(serial_cutoff_flops);
         Calibration {
             config,
             msa_secs_per_flop,
@@ -194,6 +206,7 @@ impl Context {
             heap_secs_per_flop,
             inner_secs_per_unit,
             dispatch_overhead_secs,
+            serial_cutoff_flops,
         }
     }
 }
@@ -227,6 +240,12 @@ mod tests {
             cal.dispatch_overhead_secs < 0.05,
             "pool dispatch took {:.6}s — workers are not parked/woken correctly",
             cal.dispatch_overhead_secs
+        );
+        // The serial cutoff was derived from the measurements and installed.
+        assert!(cal.serial_cutoff_flops >= 0.0 && cal.serial_cutoff_flops <= 262_144.0);
+        assert_eq!(
+            ctx.serial_cutoff_flops().to_bits(),
+            cal.serial_cutoff_flops.to_bits()
         );
         // The installed config is what the context now plans with.
         assert_eq!(

@@ -7,10 +7,11 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock, RwLock};
 
 use masked_spgemm::{
-    hybrid_masked_spgemm, masked_spgemm, masked_spgemm_csc, Algorithm, HybridConfig, Phases,
+    hybrid_masked_spgemm, masked_spgemm, masked_spgemm_csc, Algorithm, HybridConfig, LaneValue,
+    Phases, ScratchSet, ValueKind,
 };
 use sparse::transpose::transpose;
-use sparse::{CscMatrix, CsrMatrix, Semiring, SparseError};
+use sparse::{CscMatrix, CsrMatrix, Semiring, SparseError, SparseVec};
 
 use crate::plan::{self, Choice, Plan};
 
@@ -22,6 +23,102 @@ use crate::plan::{self, Choice, Plan};
 /// after [`Context::remove`].
 #[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
 pub struct MatrixHandle(pub(crate) u64);
+
+/// Handle to a sparse vector registered in a [`Context`] (BFS frontiers,
+/// visited sets, distance vectors). Like [`MatrixHandle`], handles are
+/// cheap copies; the vector lives in the context and stays addressable
+/// across [`Context::update_vec`] calls.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
+pub struct VectorHandle(pub(crate) u64);
+
+/// A registered sparse vector, tagged with its value lane.
+///
+/// The variants hold `Arc`s, so a `ValueVec` is a cheap clone — reading a
+/// vector out of the context never copies its entries.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ValueVec {
+    /// Boolean lane (frontiers, reachability).
+    Bool(Arc<SparseVec<bool>>),
+    /// Integer lane (exact counts, tropical distances).
+    I64(Arc<SparseVec<i64>>),
+    /// Float lane.
+    F64(Arc<SparseVec<f64>>),
+}
+
+impl ValueVec {
+    /// Dimension (number of addressable positions).
+    pub fn dim(&self) -> usize {
+        match self {
+            ValueVec::Bool(v) => v.dim(),
+            ValueVec::I64(v) => v.dim(),
+            ValueVec::F64(v) => v.dim(),
+        }
+    }
+
+    /// Number of stored entries.
+    pub fn nnz(&self) -> usize {
+        match self {
+            ValueVec::Bool(v) => v.nnz(),
+            ValueVec::I64(v) => v.nnz(),
+            ValueVec::F64(v) => v.nnz(),
+        }
+    }
+
+    /// Which value lane the entries live on.
+    pub fn value_kind(&self) -> ValueKind {
+        match self {
+            ValueVec::Bool(_) => ValueKind::Bool,
+            ValueVec::I64(_) => ValueKind::I64,
+            ValueVec::F64(_) => ValueKind::F64,
+        }
+    }
+
+    /// Sorted indices of stored entries (the pattern — what a mask operand
+    /// contributes regardless of lane).
+    pub fn indices(&self) -> &[sparse::Idx] {
+        match self {
+            ValueVec::Bool(v) => v.indices(),
+            ValueVec::I64(v) => v.indices(),
+            ValueVec::F64(v) => v.indices(),
+        }
+    }
+
+    /// Pattern-only copy (for mask operands of SpGEVM kernels).
+    pub fn pattern(&self) -> SparseVec<()> {
+        match self {
+            ValueVec::Bool(v) => v.pattern(),
+            ValueVec::I64(v) => v.pattern(),
+            ValueVec::F64(v) => v.pattern(),
+        }
+    }
+}
+
+impl From<SparseVec<bool>> for ValueVec {
+    fn from(v: SparseVec<bool>) -> Self {
+        ValueVec::Bool(Arc::new(v))
+    }
+}
+
+impl From<SparseVec<i64>> for ValueVec {
+    fn from(v: SparseVec<i64>) -> Self {
+        ValueVec::I64(Arc::new(v))
+    }
+}
+
+impl From<SparseVec<f64>> for ValueVec {
+    fn from(v: SparseVec<f64>) -> Self {
+        ValueVec::F64(Arc::new(v))
+    }
+}
+
+/// One registered vector: the current value plus a version stamp (bumped on
+/// every [`Context::update_vec`], which is how plan-cache coherence works
+/// for frontier-style vectors that change every level).
+#[derive(Clone)]
+struct VecEntry {
+    vec: ValueVec,
+    version: u64,
+}
 
 /// An evictable auxiliary slot: built on demand, dropped under memory
 /// pressure, rebuilt on the next request.
@@ -44,6 +141,13 @@ pub(crate) struct Entry {
     /// entry: removed alongside it on update/remove.
     transpose_handle: OnceLock<MatrixHandle>,
     row_degrees: Slot<Vec<u32>>,
+    /// Typed value-lane views of the matrix (`bool`/`i64` copies in CSR
+    /// and CSC form), built lazily for operations that run on a non-`f64`
+    /// lane and evicted like every other auxiliary.
+    bool_view: Slot<CsrMatrix<bool>>,
+    i64_view: Slot<CsrMatrix<i64>>,
+    bool_csc: Slot<CscMatrix<bool>>,
+    i64_csc: Slot<CscMatrix<i64>>,
     max_row_nnz: OnceLock<usize>,
     nonempty_rows: OnceLock<usize>,
     plan_class: OnceLock<u64>,
@@ -58,6 +162,10 @@ impl Entry {
             transposed: RwLock::new(None),
             transpose_handle: OnceLock::new(),
             row_degrees: RwLock::new(None),
+            bool_view: RwLock::new(None),
+            i64_view: RwLock::new(None),
+            bool_csc: RwLock::new(None),
+            i64_csc: RwLock::new(None),
             max_row_nnz: OnceLock::new(),
             nonempty_rows: OnceLock::new(),
             plan_class: OnceLock::new(),
@@ -79,6 +187,10 @@ impl Entry {
             AuxKind::Csc => *self.csc.write().expect("csc slot lock") = None,
             AuxKind::Transpose => *self.transposed.write().expect("transpose slot lock") = None,
             AuxKind::RowDegrees => *self.row_degrees.write().expect("degrees slot lock") = None,
+            AuxKind::BoolView => *self.bool_view.write().expect("bool view slot lock") = None,
+            AuxKind::I64View => *self.i64_view.write().expect("i64 view slot lock") = None,
+            AuxKind::BoolCsc => *self.bool_csc.write().expect("bool csc slot lock") = None,
+            AuxKind::I64Csc => *self.i64_csc.write().expect("i64 csc slot lock") = None,
         }
     }
 }
@@ -89,6 +201,10 @@ enum AuxKind {
     Csc,
     Transpose,
     RowDegrees,
+    BoolView,
+    I64View,
+    BoolCsc,
+    I64Csc,
 }
 
 /// Byte accounting for the evictable auxiliaries, LRU-stamped.
@@ -141,6 +257,10 @@ pub struct AuxStatus {
     pub has_transpose: bool,
     /// Row-degree vector built.
     pub has_row_degrees: bool,
+    /// `bool`-lane CSR view built.
+    pub has_bool_view: bool,
+    /// `i64`-lane CSR view built.
+    pub has_i64_view: bool,
 }
 
 /// Cheap per-matrix statistics read from the cache.
@@ -238,17 +358,34 @@ pub struct Context {
     pub(crate) threads: usize,
     pub(crate) cfg: RwLock<HybridConfig>,
     store: RwLock<HashMap<u64, Arc<Entry>>>,
+    vec_store: RwLock<HashMap<u64, VecEntry>>,
     next_id: AtomicU64,
     next_version: AtomicU64,
     flops_cache: RwLock<HashMap<(u64, u64, u64, u64), u64>>,
     plan_cache: Mutex<PlanCacheState>,
     aux_ledger: Mutex<AuxLedger>,
+    /// Flop count below which planned products skip the worker pool and run
+    /// serially on the calling thread (0 = never; installed by
+    /// [`Context::calibrate`] from the measured dispatch overhead).
+    serial_cutoff: RwLock<f64>,
 }
 
 impl Default for Context {
     fn default() -> Self {
         Self::new()
     }
+}
+
+/// Approximate heap footprint of a CSR matrix, for the aux-cache ledger.
+fn csr_bytes<T>(m: &CsrMatrix<T>) -> usize {
+    (m.nrows() + 1) * mem::size_of::<usize>()
+        + m.nnz() * (mem::size_of::<u32>() + mem::size_of::<T>())
+}
+
+/// Approximate heap footprint of a CSC matrix, for the aux-cache ledger.
+fn csc_bytes<T>(m: &CscMatrix<T>) -> usize {
+    (m.ncols() + 1) * mem::size_of::<usize>()
+        + m.nnz() * (mem::size_of::<u32>() + mem::size_of::<T>())
 }
 
 /// Quantize a count to ~1.5× steps (most-significant bit plus the bit
@@ -284,11 +421,13 @@ impl Context {
             threads,
             cfg: RwLock::new(HybridConfig::default()),
             store: RwLock::new(HashMap::new()),
+            vec_store: RwLock::new(HashMap::new()),
             next_id: AtomicU64::new(1),
             next_version: AtomicU64::new(1),
             flops_cache: RwLock::new(HashMap::new()),
             plan_cache: Mutex::new(PlanCacheState::new()),
             aux_ledger: Mutex::new(AuxLedger::new()),
+            serial_cutoff: RwLock::new(0.0),
         }
     }
 
@@ -467,6 +606,116 @@ impl Context {
         self.entry(handle).matrix.clone()
     }
 
+    // ------------------------------------------------------ vector registry
+
+    /// Register a sparse vector (any value lane) and return its handle.
+    ///
+    /// ```
+    /// use engine::Context;
+    /// use sparse::SparseVec;
+    ///
+    /// let ctx = Context::with_threads(1);
+    /// let h = ctx.insert_vec(SparseVec::try_new(8, vec![2], vec![true]).unwrap());
+    /// assert_eq!(ctx.vector(h).nnz(), 1);
+    /// ```
+    pub fn insert_vec(&self, vec: impl Into<ValueVec>) -> VectorHandle {
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        let version = self.next_version.fetch_add(1, Ordering::Relaxed);
+        self.vec_store.write().expect("vec store lock").insert(
+            id,
+            VecEntry {
+                vec: vec.into(),
+                version,
+            },
+        );
+        VectorHandle(id)
+    }
+
+    /// Replace the vector behind `handle` (the lane may change). Frontier
+    /// and visited sets evolve every BFS level; the handle identity — and
+    /// therefore the descriptor referencing it — stays stable.
+    pub fn update_vec(&self, handle: VectorHandle, vec: impl Into<ValueVec>) {
+        let version = self.next_version.fetch_add(1, Ordering::Relaxed);
+        let mut store = self.vec_store.write().expect("vec store lock");
+        let entry = store
+            .get_mut(&handle.0)
+            .expect("vector handle not registered");
+        *entry = VecEntry {
+            vec: vec.into(),
+            version,
+        };
+    }
+
+    /// Drop a registered vector.
+    pub fn remove_vec(&self, handle: VectorHandle) {
+        self.vec_store
+            .write()
+            .expect("vec store lock")
+            .remove(&handle.0);
+    }
+
+    /// The vector behind a handle (cheap clone — the entries are shared).
+    pub fn vector(&self, handle: VectorHandle) -> ValueVec {
+        self.vec_entry(handle).vec
+    }
+
+    /// Version stamp of the vector behind `handle` (bumped by every
+    /// [`Context::update_vec`]) — diagnostics and cache-coherence tests.
+    pub fn vec_version(&self, handle: VectorHandle) -> u64 {
+        self.vec_entry(handle).version
+    }
+
+    fn vec_entry(&self, handle: VectorHandle) -> VecEntry {
+        self.vec_store
+            .read()
+            .expect("vec store lock")
+            .get(&handle.0)
+            .expect("vector handle not registered")
+            .clone()
+    }
+
+    /// The structural fingerprint class of the vector behind `handle`:
+    /// dimension, nnz quantized to ~1.5× steps, and value lane — the
+    /// vector analogue of [`Context::plan_fingerprint`], so vector-operand
+    /// plans are cached across BFS levels whose frontiers stay in the same
+    /// population regime.
+    pub fn vec_plan_fingerprint(&self, handle: VectorHandle) -> u64 {
+        let e = self.vec_entry(handle);
+        let mut h = 0x9e37_79b9_7f4a_7c15u64; // distinct seed: never collides
+        let mut mix = |word: u64| {
+            h ^= word;
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        };
+        mix(e.vec.dim() as u64);
+        mix(log_bucket(e.vec.nnz()));
+        mix(match e.vec.value_kind() {
+            ValueKind::Bool => 1,
+            ValueKind::I64 => 2,
+            ValueKind::F64 => 3,
+        });
+        h
+    }
+
+    // ------------------------------------------------------- serial cutoff
+
+    /// Route planned products whose estimated flop count falls below
+    /// `flops` to the serial in-thread path instead of dispatching the
+    /// worker pool ([`Plan::serial`](crate::Plan)). [`Context::calibrate`]
+    /// installs `dispatch_overhead / msa_secs_per_flop` here — the work
+    /// level at which waking the pool costs as much as the product itself.
+    /// `0.0` (the default before calibration) disables the cutoff.
+    pub fn set_serial_cutoff_flops(&self, flops: f64) {
+        *self.serial_cutoff.write().expect("cutoff lock") = flops;
+        // Cached plans embed the serial decision; recompute them.
+        let mut pc = self.plan_cache.lock().expect("plan lock");
+        pc.map.clear();
+    }
+
+    /// The current planner serial cutoff, in estimated flops.
+    pub fn serial_cutoff_flops(&self) -> f64 {
+        *self.serial_cutoff.read().expect("cutoff lock")
+    }
+
     // --------------------------------------------------- evictable caches
 
     /// Record use of `(id, kind)` in the ledger (insert or touch), then
@@ -548,56 +797,110 @@ impl Context {
         }
     }
 
-    /// Cached CSC form (built on first call, dropped under budget
-    /// pressure, rebuilt on demand).
-    pub fn csc(&self, handle: MatrixHandle) -> Arc<CscMatrix<f64>> {
+    /// The shared slot discipline of every evictable auxiliary: serve and
+    /// LRU-touch a resident value, otherwise build it, publish it (first
+    /// writer wins a build race), and charge the ledger.
+    fn cached_aux<T: Send + Sync>(
+        &self,
+        handle: MatrixHandle,
+        kind: AuxKind,
+        slot: impl for<'a> Fn(&'a Entry) -> &'a Slot<T>,
+        build: impl FnOnce(&CsrMatrix<f64>) -> T,
+        bytes: impl FnOnce(&T) -> usize,
+    ) -> Arc<T> {
         let e = self.entry(handle);
-        if let Some(c) = e.csc.read().expect("csc slot lock").clone() {
-            self.touch_aux(handle, AuxKind::Csc);
-            return c;
+        if let Some(v) = slot(&e).read().expect("aux slot lock").clone() {
+            self.touch_aux(handle, kind);
+            return v;
         }
-        let built = Arc::new(CscMatrix::from_csr(&e.matrix));
-        let m = &e.matrix;
-        let bytes = (m.ncols() + 1) * mem::size_of::<usize>()
-            + m.nnz() * (mem::size_of::<u32>() + mem::size_of::<f64>());
+        let built = Arc::new(build(&e.matrix));
+        let nbytes = bytes(&built);
         let out = {
-            let mut slot = e.csc.write().expect("csc slot lock");
-            match &*slot {
+            let mut s = slot(&e).write().expect("aux slot lock");
+            match &*s {
                 Some(existing) => existing.clone(), // lost a build race
                 None => {
-                    *slot = Some(built.clone());
+                    *s = Some(built.clone());
                     built
                 }
             }
         };
-        self.charge_aux(handle, e.version, AuxKind::Csc, bytes);
+        self.charge_aux(handle, e.version, kind, nbytes);
         out
+    }
+
+    /// Cached CSC form (built on first call, dropped under budget
+    /// pressure, rebuilt on demand).
+    pub fn csc(&self, handle: MatrixHandle) -> Arc<CscMatrix<f64>> {
+        self.cached_aux(
+            handle,
+            AuxKind::Csc,
+            |e| &e.csc,
+            CscMatrix::from_csr,
+            csc_bytes,
+        )
     }
 
     /// Cached transpose (built on first call, dropped under budget
     /// pressure, rebuilt on demand).
     pub fn transposed(&self, handle: MatrixHandle) -> Arc<CsrMatrix<f64>> {
-        let e = self.entry(handle);
-        if let Some(t) = e.transposed.read().expect("transpose slot lock").clone() {
-            self.touch_aux(handle, AuxKind::Transpose);
-            return t;
-        }
-        let built = Arc::new(transpose(&e.matrix));
-        let m = &e.matrix;
-        let bytes = (m.ncols() + 1) * mem::size_of::<usize>()
-            + m.nnz() * (mem::size_of::<u32>() + mem::size_of::<f64>());
-        let out = {
-            let mut slot = e.transposed.write().expect("transpose slot lock");
-            match &*slot {
-                Some(existing) => existing.clone(),
-                None => {
-                    *slot = Some(built.clone());
-                    built
-                }
-            }
-        };
-        self.charge_aux(handle, e.version, AuxKind::Transpose, bytes);
-        out
+        self.cached_aux(
+            handle,
+            AuxKind::Transpose,
+            |e| &e.transposed,
+            transpose,
+            csr_bytes,
+        )
+    }
+
+    /// Cached `bool`-lane view of the matrix (`v != 0.0` per entry) —
+    /// what boolean-semiring operations (BFS frontier expansion) multiply
+    /// against instead of re-deriving a boolean copy per call.
+    pub fn bool_view(&self, handle: MatrixHandle) -> Arc<CsrMatrix<bool>> {
+        self.cached_aux(
+            handle,
+            AuxKind::BoolView,
+            |e| &e.bool_view,
+            |m| m.map(|&v| bool::from_f64(v)),
+            csr_bytes,
+        )
+    }
+
+    /// Cached `i64`-lane view of the matrix (values truncated) — the
+    /// operand of exact integer-semiring operations.
+    pub fn i64_view(&self, handle: MatrixHandle) -> Arc<CsrMatrix<i64>> {
+        self.cached_aux(
+            handle,
+            AuxKind::I64View,
+            |e| &e.i64_view,
+            |m| m.map(|&v| i64::from_f64(v)),
+            csr_bytes,
+        )
+    }
+
+    /// Cached CSC form of the `bool`-lane view (pull-based boolean ops).
+    /// The CSR view is fetched inside the build closure, so a resident CSC
+    /// is served without touching (or rebuilding) the view slot.
+    pub fn bool_csc(&self, handle: MatrixHandle) -> Arc<CscMatrix<bool>> {
+        self.cached_aux(
+            handle,
+            AuxKind::BoolCsc,
+            |e| &e.bool_csc,
+            |_| CscMatrix::from_csr(&self.bool_view(handle)),
+            csc_bytes,
+        )
+    }
+
+    /// Cached CSC form of the `i64`-lane view (pull-based integer ops; see
+    /// [`Context::bool_csc`] for the lazy-view discipline).
+    pub fn i64_csc(&self, handle: MatrixHandle) -> Arc<CscMatrix<i64>> {
+        self.cached_aux(
+            handle,
+            AuxKind::I64Csc,
+            |e| &e.i64_csc,
+            |_| CscMatrix::from_csr(&self.i64_view(handle)),
+            csc_bytes,
+        )
     }
 
     /// Handle for the cached transpose, registered on first call and owned
@@ -614,29 +917,13 @@ impl Context {
     /// Cached row-degree vector (built on first call, dropped under budget
     /// pressure, rebuilt on demand).
     pub fn row_degrees(&self, handle: MatrixHandle) -> Arc<Vec<u32>> {
-        let e = self.entry(handle);
-        if let Some(d) = e.row_degrees.read().expect("degrees slot lock").clone() {
-            self.touch_aux(handle, AuxKind::RowDegrees);
-            return d;
-        }
-        let built = Arc::new(
-            (0..e.matrix.nrows())
-                .map(|i| e.matrix.row_nnz(i) as u32)
-                .collect::<Vec<u32>>(),
-        );
-        let bytes = e.matrix.nrows() * mem::size_of::<u32>();
-        let out = {
-            let mut slot = e.row_degrees.write().expect("degrees slot lock");
-            match &*slot {
-                Some(existing) => existing.clone(),
-                None => {
-                    *slot = Some(built.clone());
-                    built
-                }
-            }
-        };
-        self.charge_aux(handle, e.version, AuxKind::RowDegrees, bytes);
-        out
+        self.cached_aux(
+            handle,
+            AuxKind::RowDegrees,
+            |e| &e.row_degrees,
+            |m| (0..m.nrows()).map(|i| m.row_nnz(i) as u32).collect(),
+            |d| d.len() * mem::size_of::<u32>(),
+        )
     }
 
     /// Cheap cached statistics.
@@ -656,11 +943,15 @@ impl Context {
         let has_csc = e.csc.read().expect("csc slot lock").is_some();
         let has_transpose = e.transposed.read().expect("transpose slot lock").is_some();
         let has_row_degrees = e.row_degrees.read().expect("degrees slot lock").is_some();
+        let has_bool_view = e.bool_view.read().expect("bool view slot lock").is_some();
+        let has_i64_view = e.i64_view.read().expect("i64 view slot lock").is_some();
         AuxStatus {
             version: e.version,
             has_csc,
             has_transpose,
             has_row_degrees,
+            has_bool_view,
+            has_i64_view,
         }
     }
 
@@ -773,11 +1064,117 @@ impl Context {
         Ok(plan)
     }
 
+    /// Choose push or pull for the vector-operand multiply `v = m ⊙ (u·B)`
+    /// (or `¬m ⊙`) — Beamer's direction heuristic as a planner decision
+    /// (see [`crate::Plan`]); plans are cached under the operands'
+    /// structural fingerprint classes like matrix plans, with the vector
+    /// classes covering dimension, nnz regime, and value lane
+    /// ([`Context::vec_plan_fingerprint`]). Consecutive BFS levels whose
+    /// frontiers stay in the same population regime — and repeated
+    /// traversals of the same graph — are served from cache.
+    pub fn plan_vec(
+        &self,
+        mask: VectorHandle,
+        complemented: bool,
+        u: VectorHandle,
+        b: MatrixHandle,
+    ) -> Result<Plan, SparseError> {
+        plan::validate_vec(self, mask, u, b)?;
+        let key: PlanKey = (
+            self.vec_plan_fingerprint(mask),
+            self.vec_plan_fingerprint(u),
+            self.plan_fingerprint(b),
+            complemented,
+        );
+        {
+            let mut pc = self.plan_cache.lock().expect("plan lock");
+            pc.stamp += 1;
+            let stamp = pc.stamp;
+            let cached = pc.map.get_mut(&key).map(|entry| {
+                entry.1 = stamp;
+                entry.0
+            });
+            if let Some(plan) = cached {
+                pc.hits += 1;
+                return Ok(plan);
+            }
+        }
+        let plan = plan::plan_vec(self, mask, complemented, u, b)?;
+        let mut pc = self.plan_cache.lock().expect("plan lock");
+        pc.misses += 1;
+        pc.stamp += 1;
+        let stamp = pc.stamp;
+        pc.map.insert(key, (plan, stamp));
+        Self::enforce_plan_budget(&mut pc);
+        Ok(plan)
+    }
+
     // ----------------------------------------------------------- execution
 
+    /// Run one masked SpGEMM under an explicit plan against caller-supplied
+    /// typed operand views — the lane-generic core every execution entry
+    /// point (the `f64` handle path and the typed-lane dispatch in
+    /// [`crate::MaskedOp`] execution) shares. `b_csc` is invoked only when
+    /// the plan actually pulls, so CSC views are materialized on demand.
+    ///
+    /// A [`Plan::serial`](crate::Plan) plan with a fixed algorithm runs the
+    /// serial scratch driver on the calling thread (bit-identical rows, no
+    /// pool dispatch) — the calibrated cutoff for products whose work is
+    /// smaller than the cost of waking the workers.
+    pub(crate) fn execute_mat_views<S>(
+        &self,
+        plan: &Plan,
+        sr: S,
+        mask: &CsrMatrix<f64>,
+        a: &CsrMatrix<S::A>,
+        b: &CsrMatrix<S::B>,
+        b_csc: &mut dyn FnMut() -> Arc<CscMatrix<S::B>>,
+    ) -> Result<CsrMatrix<S::C>, SparseError>
+    where
+        S: Semiring,
+        S::B: Clone,
+        S::C: Default + Send + Sync,
+    {
+        let cfg = self.config();
+        if plan.serial {
+            // A sub-cutoff product is not worth per-row hybrid dispatch
+            // either: reduce a Hybrid choice to its best-ranked fixed
+            // family (same reduction the batch workers use) so `serial`
+            // always means "no pool wake", as documented.
+            let alg = crate::batch::fixed_algorithm(plan);
+            let csc = (alg == Algorithm::Inner).then(&mut *b_csc);
+            let mut scratch: ScratchSet<S> = ScratchSet::new();
+            return scratch.run(alg, plan.complemented, sr, mask, a, b, csc.as_deref());
+        }
+        match plan.choice {
+            Choice::Fixed(Algorithm::Inner) => {
+                let csc = b_csc();
+                self.pool.install(|| {
+                    masked_spgemm_csc(
+                        Algorithm::Inner,
+                        plan.phases,
+                        plan.complemented,
+                        sr,
+                        mask,
+                        a,
+                        &csc,
+                    )
+                })
+            }
+            Choice::Fixed(alg) => self
+                .pool
+                .install(|| masked_spgemm(alg, plan.phases, plan.complemented, sr, mask, a, b)),
+            Choice::Hybrid => {
+                let csc = b_csc();
+                self.pool
+                    .install(|| hybrid_masked_spgemm(plan.phases, cfg, sr, mask, a, b, &csc))
+            }
+        }
+    }
+
     /// Run one masked SpGEMM under an explicit plan (row-parallel kernels
-    /// on the context's pool, cached auxiliaries). The non-deprecated core
-    /// all execution entry points share.
+    /// on the context's pool, cached auxiliaries) on the canonical `f64`
+    /// lane.
     pub(crate) fn execute_planned<S>(
         &self,
         plan: &Plan,
@@ -791,48 +1188,9 @@ impl Context {
         S::C: Default + Send + Sync,
     {
         let (em, ea, eb) = (self.entry(mask), self.entry(a), self.entry(b));
-        let cfg = self.config();
-        match plan.choice {
-            Choice::Fixed(Algorithm::Inner) => {
-                let b_csc = self.csc(b);
-                self.pool.install(|| {
-                    masked_spgemm_csc(
-                        Algorithm::Inner,
-                        plan.phases,
-                        plan.complemented,
-                        sr,
-                        &em.matrix,
-                        &ea.matrix,
-                        &b_csc,
-                    )
-                })
-            }
-            Choice::Fixed(alg) => self.pool.install(|| {
-                masked_spgemm(
-                    alg,
-                    plan.phases,
-                    plan.complemented,
-                    sr,
-                    &em.matrix,
-                    &ea.matrix,
-                    &eb.matrix,
-                )
-            }),
-            Choice::Hybrid => {
-                let b_csc = self.csc(b);
-                self.pool.install(|| {
-                    hybrid_masked_spgemm(
-                        plan.phases,
-                        cfg,
-                        sr,
-                        &em.matrix,
-                        &ea.matrix,
-                        &eb.matrix,
-                        &b_csc,
-                    )
-                })
-            }
-        }
+        self.execute_mat_views(plan, sr, &em.matrix, &ea.matrix, &eb.matrix, &mut || {
+            self.csc(b)
+        })
     }
 
     /// Run one masked SpGEMM under an explicit plan.

@@ -70,7 +70,23 @@ mod plan;
 #[allow(deprecated)]
 pub use batch::BatchOp;
 pub use calibrate::Calibration;
-pub use context::{AuxCacheStats, AuxStatus, Context, MatrixHandle, MatrixStats, PlanCacheStats};
-pub use masked_spgemm::{Algorithm, DynSemiring, HybridConfig, Phases, SemiringKind};
-pub use op::{AccumMode, MaskedOp, OpBuilder, ResultSink};
+pub use context::{
+    AuxCacheStats, AuxStatus, Context, MatrixHandle, MatrixStats, PlanCacheStats, ValueVec,
+    VectorHandle,
+};
+pub use masked_spgemm::{
+    Algorithm, DynLane, DynSemiring, HybridConfig, LaneValue, Phases, SemiringKind, ValueKind,
+};
+pub use op::{
+    AccumMode, AccumMonoid, AccumTarget, FromOpOutput, MaskedOp, OpBuilder, OpOutput, Operands,
+    ResultSink,
+};
+/// The uniform error strings of the lane/operand validation surface, for
+/// callers that match on [`sparse::SparseError::Unsupported`] payloads.
+pub mod op_errors {
+    pub use crate::op::{
+        ACCUM_MONOID_LANE_MISMATCH, ACCUM_TARGET_MISMATCH, OPERAND_LANE_MISMATCH,
+        OUTPUT_KIND_MISMATCH, SEMIRING_LANE_UNSUPPORTED,
+    };
+}
 pub use plan::{Choice, CostBreakdown, Plan};

@@ -1,20 +1,28 @@
 //! First-class operation descriptors: [`MaskedOp`], its fluent
-//! [`OpBuilder`], and the [`ResultSink`] consumer interface.
+//! [`OpBuilder`], the typed [`OpOutput`], and the [`ResultSink`] consumer
+//! interface.
 //!
 //! The paper's central claim is that no single masked-SpGEMM scheme wins
 //! everywhere — selection must happen *per operation*. The descriptor API
-//! encodes that: a [`MaskedOp`] says **what** to compute (operands, mask
-//! polarity, semiring, optional algorithm/phase overrides, accumulation
-//! mode) and the [`Context`](crate::Context) decides **how** (planner,
-//! cached auxiliaries, worker scheduling). Because the semiring is a
-//! [`SemiringKind`] value rather than a type parameter, one batch can mix
-//! operations over different semirings — plus-times BC sweeps next to
-//! plus-pair triangle ops — and stream their results through a sink as
-//! workers finish instead of materializing every output at once.
+//! encodes that: a [`MaskedOp`] says **what** to compute and the
+//! [`Context`](crate::Context) decides **how** (planner, cached
+//! auxiliaries, worker scheduling). A descriptor carries:
+//!
+//! * [`Operands`] — either a matrix product `M ⊙ (A·B)` ([`Operands::MatMat`])
+//!   or a vector-matrix product `m ⊙ (u·B)` ([`Operands::VecMat`], the
+//!   frontier-expansion step of BFS-style traversals, where the planner's
+//!   push/pull choice is Beamer's direction heuristic);
+//! * a runtime [`SemiringKind`] **and** a [`ValueKind`] lane — `bool`
+//!   frontiers, exact `i64` counts, and `f64` products each run on real
+//!   monomorphized kernels, and one batch can mix all three;
+//! * an [`AccumMode`]: deliver the product as-is, or merge it into a
+//!   registered matrix/vector with an [`AccumMonoid`] chosen independently
+//!   of the multiply semiring (`add`, `min`, the semiring's own `add`, or
+//!   a custom function).
 //!
 //! ```
-//! use engine::{Context, SemiringKind};
-//! use sparse::CsrMatrix;
+//! use engine::{Context, OpOutput, SemiringKind, ValueKind};
+//! use sparse::{CsrMatrix, SparseVec};
 //!
 //! let ctx = Context::with_threads(2);
 //! let a = ctx.insert(CsrMatrix::diagonal(8, 2.0));
@@ -24,86 +32,292 @@
 //! let c = ctx.op(m, a, a).run().unwrap();
 //! assert_eq!(c.get(3, 3), Some(&4.0));
 //!
-//! // …and a heterogeneous streamed batch of the same shape.
+//! // …a typed vector-operand op (a BFS-style frontier step)…
+//! let frontier = ctx.insert_vec(SparseVec::try_new(8, vec![3], vec![true]).unwrap());
+//! let visited = ctx.insert_vec(SparseVec::try_new(8, vec![3], vec![true]).unwrap());
+//! let next = ctx.vec_op(visited, frontier, a).complemented(true).run_out().unwrap();
+//! assert_eq!(next.value_kind(), ValueKind::Bool);
+//!
+//! // …and a heterogeneous streamed batch mixing semirings and lanes.
 //! let ops = vec![
-//!     ctx.op(m, a, a).build(),                                  // plus_times
-//!     ctx.op(m, a, a).semiring(SemiringKind::PlusPair).build(), // plus_pair
+//!     ctx.op(m, a, a).build(),                                  // f64 plus_times
+//!     ctx.op(m, a, a).semiring(SemiringKind::PlusPair)
+//!         .value(ValueKind::I64).build(),                       // i64 plus_pair
 //! ];
 //! let mut nnz_total = 0;
-//! ctx.for_each_result(&ops, |_idx, result: Result<CsrMatrix<f64>, _>| {
+//! ctx.for_each_result(&ops, |_idx, result: Result<OpOutput, _>| {
 //!     nnz_total += result.unwrap().nnz(); // consumed and dropped here
 //! });
 //! assert_eq!(nnz_total, 16);
 //! ```
 
-use masked_spgemm::{Algorithm, DynSemiring, Phases, SemiringKind};
+use masked_spgemm::{
+    masked_spgevm, masked_spgevm_csc, Algorithm, DynLane, LaneValue, Phases, SemiringKind,
+    ValueKind,
+};
 use sparse::ewise::ewise_union;
 use sparse::{
-    CsrMatrix, MinPlus, PlusFirst, PlusPair, PlusSecond, PlusTimes, Semiring, SparseError,
+    BoolAndOr, CscMatrix, CsrMatrix, MinPlus, PlusFirst, PlusPair, PlusSecond, PlusTimes, Semiring,
+    SparseError, SparseVec,
 };
+use std::sync::Arc;
 
-use crate::context::{Context, MatrixHandle};
+use crate::context::{Context, MatrixHandle, ValueVec, VectorHandle};
 use crate::plan::{self, Choice, Plan};
 
-/// What happens to an operation's result before it reaches the caller.
+/// Uniform error text: the semiring kind is not defined on the value lane.
+pub const SEMIRING_LANE_UNSUPPORTED: &str =
+    "semiring kind is not defined on the operation's value lane";
+/// Uniform error text: a vector operand's lane differs from the op's lane.
+pub const OPERAND_LANE_MISMATCH: &str =
+    "vector operand lane differs from the operation's value lane";
+/// Uniform error text: the accumulation target cannot absorb this result.
+pub const ACCUM_TARGET_MISMATCH: &str =
+    "accumulation target cannot absorb this operation's result kind";
+/// Uniform error text: a custom accumulation monoid is for another lane.
+pub const ACCUM_MONOID_LANE_MISMATCH: &str =
+    "custom accumulation monoid is defined on a different value lane";
+/// Uniform error text: the output is not the kind the caller requested.
+pub const OUTPUT_KIND_MISMATCH: &str =
+    "operation output is a different kind; consume it as an OpOutput";
+
+/// The operands of a masked multiply: today's matrix product, or a masked
+/// sparse vector-matrix product over [`masked_spgevm`].
 #[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum Operands {
+    /// `C = M ⊙ (A·B)` — three registered matrices.
+    MatMat {
+        /// Mask handle.
+        mask: MatrixHandle,
+        /// Left operand handle.
+        a: MatrixHandle,
+        /// Right operand handle.
+        b: MatrixHandle,
+    },
+    /// `v = m ⊙ (u·B)` — a vector mask, a vector operand, and a matrix.
+    /// With a complemented mask this is the BFS frontier expansion
+    /// `next = ¬visited ⊙ (frontier · A)`.
+    VecMat {
+        /// Mask vector handle (only its pattern matters).
+        mask: VectorHandle,
+        /// Operand vector handle (its lane must match the op's
+        /// [`MaskedOp::value`]).
+        u: VectorHandle,
+        /// Matrix handle.
+        b: MatrixHandle,
+    },
+}
+
+/// Where an accumulating operation merges its result.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum AccumTarget {
+    /// A registered matrix (for `f64`-lane matrix products).
+    Mat(MatrixHandle),
+    /// A registered vector (for vector products; lanes must agree).
+    Vec(VectorHandle),
+}
+
+/// The monoid an accumulating operation folds with — chosen independently
+/// of the multiply semiring, so a `plus_times` product can `min`-merge into
+/// a running distance vector.
+#[derive(Copy, Clone, Debug)]
+pub enum AccumMonoid {
+    /// The `add` of the operation's own semiring (the historical
+    /// `AddInto` behavior: `min_plus` products min-merge, additive
+    /// semirings sum).
+    Semiring,
+    /// Lane addition (`||` on `bool`).
+    Add,
+    /// Lane minimum (`&&` on `bool`).
+    Min,
+    /// A custom monoid on the `f64` lane.
+    CustomF64(fn(f64, f64) -> f64),
+    /// A custom monoid on the `i64` lane.
+    CustomI64(fn(i64, i64) -> i64),
+    /// A custom monoid on the `bool` lane.
+    CustomBool(fn(bool, bool) -> bool),
+}
+
+/// What happens to an operation's result before it reaches the caller.
+#[derive(Copy, Clone, Debug)]
 pub enum AccumMode {
     /// Deliver the product as computed (the default).
     Replace,
-    /// Element-wise add the product into the matrix behind the handle
-    /// (using the operation's semiring `add`), [`Context::update`] the
-    /// handle with the merged matrix, and deliver the merged matrix.
+    /// Merge the product into the matrix or vector behind the target with
+    /// the given monoid, [`Context::update`] / [`Context::update_vec`] the
+    /// handle with the merged value, and deliver the merged value.
     ///
     /// In a batch, accumulation is applied on the *calling* thread in
     /// completion order, so two operations targeting the same handle never
-    /// race — but their merge order (and therefore float rounding) follows
-    /// completion order, which is nondeterministic across runs.
+    /// race — but their merge order (and therefore float rounding on the
+    /// `f64` lane) follows completion order, which is nondeterministic
+    /// across runs.
     ///
-    /// Both the handle and the caller receive the merged matrix, which
+    /// Both the handle and the caller receive the merged value, which
     /// costs one `O(nnz)` copy on top of the merge itself (the two owners
     /// cannot share storage through an owned return type).
-    AddInto(MatrixHandle),
+    MergeInto(AccumTarget, AccumMonoid),
 }
 
-/// A fully-described masked multiply: `C = M ⊙ (A·B)` or `¬M ⊙ (A·B)` on a
-/// runtime-selected semiring, with optional execution overrides.
+/// A fully-described masked multiply on a runtime-selected semiring and
+/// value lane, with optional execution overrides.
 ///
-/// Build one with [`Context::op`]; run it alone ([`OpBuilder::run`]) or in
-/// a heterogeneous batch ([`Context::for_each_result`],
-/// [`Context::run_batch_collect`]). All fields are public — a descriptor is
-/// plain data, inspectable and rewritable by schedulers layered above the
-/// engine.
+/// Build one with [`Context::op`] (matrix operands) or [`Context::vec_op`]
+/// (vector operand); run it alone ([`OpBuilder::run`] /
+/// [`OpBuilder::run_out`]) or in a heterogeneous batch
+/// ([`Context::for_each_result`], [`Context::run_batch_collect`]). All
+/// fields are public — a descriptor is plain data, inspectable and
+/// rewritable by schedulers layered above the engine.
 #[derive(Copy, Clone, Debug)]
 pub struct MaskedOp {
-    /// Mask handle.
-    pub mask: MatrixHandle,
+    /// What is multiplied (see [`Operands`]).
+    pub operands: Operands,
     /// Mask polarity (`true` = `¬M ⊙ (A·B)`).
     pub complemented: bool,
-    /// Left operand handle.
-    pub a: MatrixHandle,
-    /// Right operand handle.
-    pub b: MatrixHandle,
     /// Which semiring the multiply runs on.
     pub semiring: SemiringKind,
+    /// Which value lane the multiply runs on — each lane is a real
+    /// monomorphized kernel instantiation ([`ValueKind`]).
+    pub value: ValueKind,
     /// Force this algorithm instead of consulting the planner.
     pub algorithm: Option<Algorithm>,
     /// Force this phase discipline instead of the planner's choice.
     ///
     /// Honored by the row-parallel single-op path ([`OpBuilder::run`]).
-    /// Batch execution instead uses the serial exact-assembly driver, where
-    /// the 1P/2P distinction does not arise (rows are appended in order
-    /// with no transient copy) — results are bit-identical either way.
+    /// Batch execution and vector-operand products instead use serial
+    /// exact-assembly drivers, where the 1P/2P distinction does not arise
+    /// (rows are appended in order with no transient copy) — results are
+    /// bit-identical either way.
     pub phases: Option<Phases>,
     /// What happens to the result (see [`AccumMode`]).
     pub accum: AccumMode,
 }
 
-/// Fluent constructor for [`MaskedOp`], obtained from [`Context::op`].
+impl MaskedOp {
+    /// The matrix operands, when this is a [`Operands::MatMat`] op —
+    /// `(mask, a, b)`.
+    pub fn mat_operands(&self) -> Option<(MatrixHandle, MatrixHandle, MatrixHandle)> {
+        match self.operands {
+            Operands::MatMat { mask, a, b } => Some((mask, a, b)),
+            Operands::VecMat { .. } => None,
+        }
+    }
+}
+
+/// The result of one executed [`MaskedOp`]: a matrix or vector on the
+/// operation's value lane.
+#[derive(Clone, Debug, PartialEq)]
+pub enum OpOutput {
+    /// `f64` matrix product.
+    MatF64(CsrMatrix<f64>),
+    /// `i64` matrix product.
+    MatI64(CsrMatrix<i64>),
+    /// `bool` matrix product.
+    MatBool(CsrMatrix<bool>),
+    /// `f64` vector product.
+    VecF64(SparseVec<f64>),
+    /// `i64` vector product.
+    VecI64(SparseVec<i64>),
+    /// `bool` vector product.
+    VecBool(SparseVec<bool>),
+}
+
+impl OpOutput {
+    /// The value lane of the result.
+    pub fn value_kind(&self) -> ValueKind {
+        match self {
+            OpOutput::MatF64(_) | OpOutput::VecF64(_) => ValueKind::F64,
+            OpOutput::MatI64(_) | OpOutput::VecI64(_) => ValueKind::I64,
+            OpOutput::MatBool(_) | OpOutput::VecBool(_) => ValueKind::Bool,
+        }
+    }
+
+    /// Whether the result is a vector (a [`Operands::VecMat`] product).
+    pub fn is_vector(&self) -> bool {
+        matches!(
+            self,
+            OpOutput::VecF64(_) | OpOutput::VecI64(_) | OpOutput::VecBool(_)
+        )
+    }
+
+    /// Number of stored entries.
+    pub fn nnz(&self) -> usize {
+        match self {
+            OpOutput::MatF64(m) => m.nnz(),
+            OpOutput::MatI64(m) => m.nnz(),
+            OpOutput::MatBool(m) => m.nnz(),
+            OpOutput::VecF64(v) => v.nnz(),
+            OpOutput::VecI64(v) => v.nnz(),
+            OpOutput::VecBool(v) => v.nnz(),
+        }
+    }
+
+    /// Convert into the concrete matrix/vector type, or report
+    /// [`OUTPUT_KIND_MISMATCH`] (see [`FromOpOutput`]).
+    pub fn into_typed<T: FromOpOutput>(self) -> Result<T, SparseError> {
+        T::from_output(self)
+    }
+
+    /// Convert a vector result into a registerable [`ValueVec`] (lane
+    /// preserved), or `None` for matrix results — the bridge between an
+    /// executed frontier step and [`Context::update_vec`].
+    pub fn into_vec(self) -> Option<ValueVec> {
+        match self {
+            OpOutput::VecF64(v) => Some(ValueVec::from(v)),
+            OpOutput::VecI64(v) => Some(ValueVec::from(v)),
+            OpOutput::VecBool(v) => Some(ValueVec::from(v)),
+            _ => None,
+        }
+    }
+}
+
+/// Conversion from an executed operation's [`OpOutput`] into the concrete
+/// type a caller wants to consume — the typed side of the streaming APIs.
 ///
-/// Defaults: plain mask, [`SemiringKind::PlusTimes`], planner-chosen
+/// Implemented by [`OpOutput`] itself (identity: mixed-kind batches) and by
+/// every lane's matrix and vector type (kind-checked: a batch known to be
+/// all-`f64`-matrix can sink `CsrMatrix<f64>` directly, and a wrong kind is
+/// a uniform [`SparseError::Unsupported`]).
+pub trait FromOpOutput: Sized {
+    /// Convert, or report [`OUTPUT_KIND_MISMATCH`].
+    fn from_output(output: OpOutput) -> Result<Self, SparseError>;
+}
+
+impl FromOpOutput for OpOutput {
+    fn from_output(output: OpOutput) -> Result<Self, SparseError> {
+        Ok(output)
+    }
+}
+
+macro_rules! impl_from_output {
+    ($t:ty, $variant:ident) => {
+        impl FromOpOutput for $t {
+            fn from_output(output: OpOutput) -> Result<Self, SparseError> {
+                match output {
+                    OpOutput::$variant(v) => Ok(v),
+                    _ => Err(SparseError::Unsupported(OUTPUT_KIND_MISMATCH)),
+                }
+            }
+        }
+    };
+}
+
+impl_from_output!(CsrMatrix<f64>, MatF64);
+impl_from_output!(CsrMatrix<i64>, MatI64);
+impl_from_output!(CsrMatrix<bool>, MatBool);
+impl_from_output!(SparseVec<f64>, VecF64);
+impl_from_output!(SparseVec<i64>, VecI64);
+impl_from_output!(SparseVec<bool>, VecBool);
+
+/// Fluent constructor for [`MaskedOp`], obtained from [`Context::op`] or
+/// [`Context::vec_op`].
+///
+/// Defaults: plain mask, [`SemiringKind::PlusTimes`] on the
+/// [`ValueKind::F64`] lane (vector ops default to the operand vector's own
+/// lane, with [`SemiringKind::BoolAndOr`] on `bool`), planner-chosen
 /// algorithm and phases, [`AccumMode::Replace`].
 #[derive(Copy, Clone)]
-#[must_use = "an OpBuilder does nothing until .run() or .build()"]
+#[must_use = "an OpBuilder does nothing until .run(), .run_out() or .build()"]
 pub struct OpBuilder<'c> {
     ctx: &'c Context,
     op: MaskedOp,
@@ -113,6 +327,14 @@ impl<'c> OpBuilder<'c> {
     /// Select the semiring the multiply runs on.
     pub fn semiring(mut self, kind: SemiringKind) -> Self {
         self.op.semiring = kind;
+        self
+    }
+
+    /// Select the value lane the multiply runs on (see [`ValueKind`]).
+    /// Non-`f64` matrix operands are read through the context's cached
+    /// typed views ([`Context::bool_view`], [`Context::i64_view`]).
+    pub fn value(mut self, value: ValueKind) -> Self {
+        self.op.value = value;
         self
     }
 
@@ -135,10 +357,38 @@ impl<'c> OpBuilder<'c> {
         self
     }
 
-    /// Element-wise add the result into the matrix behind `target` (see
-    /// [`AccumMode::AddInto`]).
+    /// Merge the result into the matrix behind `target` with the
+    /// operation's own semiring `add` (see [`AccumMode::MergeInto`]).
     pub fn accumulate_into(mut self, target: MatrixHandle) -> Self {
-        self.op.accum = AccumMode::AddInto(target);
+        self.op.accum = AccumMode::MergeInto(AccumTarget::Mat(target), AccumMonoid::Semiring);
+        self
+    }
+
+    /// Min-merge the result into the matrix behind `target`, regardless of
+    /// the multiply semiring.
+    pub fn min_into(mut self, target: MatrixHandle) -> Self {
+        self.op.accum = AccumMode::MergeInto(AccumTarget::Mat(target), AccumMonoid::Min);
+        self
+    }
+
+    /// Add-merge the result into the vector behind `target` (`||` on the
+    /// `bool` lane — the visited-set union of a BFS).
+    pub fn accumulate_into_vec(mut self, target: VectorHandle) -> Self {
+        self.op.accum = AccumMode::MergeInto(AccumTarget::Vec(target), AccumMonoid::Add);
+        self
+    }
+
+    /// Min-merge the result into the vector behind `target` — the
+    /// distance-relaxation step of a tropical traversal.
+    pub fn min_into_vec(mut self, target: VectorHandle) -> Self {
+        self.op.accum = AccumMode::MergeInto(AccumTarget::Vec(target), AccumMonoid::Min);
+        self
+    }
+
+    /// Merge the result into an arbitrary target with an arbitrary
+    /// [`AccumMonoid`] (the fully general form of the accumulation modes).
+    pub fn merge_into(mut self, target: AccumTarget, monoid: AccumMonoid) -> Self {
+        self.op.accum = AccumMode::MergeInto(target, monoid);
         self
     }
 
@@ -153,7 +403,16 @@ impl<'c> OpBuilder<'c> {
         self.ctx.resolve_plan(&self.op)
     }
 
-    /// Plan (or apply overrides) and execute now, returning the result.
+    /// Plan (or apply overrides) and execute now, returning the typed
+    /// [`OpOutput`].
+    pub fn run_out(self) -> Result<OpOutput, SparseError> {
+        self.ctx.run_op_out(&self.op)
+    }
+
+    /// Plan and execute now, returning the `f64` matrix product — the
+    /// historical convenience for the default lane. Operations on other
+    /// lanes (or vector operands) report [`OUTPUT_KIND_MISMATCH`]; consume
+    /// those through [`OpBuilder::run_out`].
     pub fn run(self) -> Result<CsrMatrix<f64>, SparseError> {
         self.ctx.run_op(&self.op)
     }
@@ -164,27 +423,49 @@ impl<'c> OpBuilder<'c> {
 /// [`Context::for_each_result`] hands each finished operation to the sink
 /// **in completion order** (not input order) together with its index into
 /// the submitted slice, on the calling thread. A sink that drops the
-/// matrix immediately (e.g. one that only tallies `nnz`) keeps at most a
+/// result immediately (e.g. one that only tallies `nnz`) keeps at most a
 /// few results resident at any moment, no matter how large the batch.
 ///
-/// Any `FnMut(usize, Result<CsrMatrix<f64>, SparseError>)` closure is a
-/// sink.
-pub trait ResultSink {
+/// The payload type `T` is any [`FromOpOutput`] implementor: sink
+/// [`OpOutput`] to consume mixed-kind batches, or a concrete type like
+/// `CsrMatrix<f64>` for homogeneous ones. Any
+/// `FnMut(usize, Result<T, SparseError>)` closure is a sink.
+pub trait ResultSink<T = OpOutput> {
     /// Receive the result of `ops[index]`.
-    fn absorb(&mut self, index: usize, result: Result<CsrMatrix<f64>, SparseError>);
+    fn absorb(&mut self, index: usize, result: Result<T, SparseError>);
 }
 
-impl<F> ResultSink for F
+impl<T, F> ResultSink<T> for F
 where
-    F: FnMut(usize, Result<CsrMatrix<f64>, SparseError>),
+    F: FnMut(usize, Result<T, SparseError>),
 {
-    fn absorb(&mut self, index: usize, result: Result<CsrMatrix<f64>, SparseError>) {
+    fn absorb(&mut self, index: usize, result: Result<T, SparseError>) {
         self(index, result)
     }
 }
 
+/// Resolve an accumulation monoid on lane `T` (custom functions for other
+/// lanes are rejected by descriptor validation before execution).
+#[inline]
+fn apply_monoid<T: LaneValue>(
+    monoid: AccumMonoid,
+    kind: SemiringKind,
+    custom: Option<fn(T, T) -> T>,
+    x: T,
+    y: T,
+) -> T {
+    match monoid {
+        AccumMonoid::Semiring => DynLane::<T>::new(kind).add(x, y),
+        AccumMonoid::Add => T::lane_add(x, y),
+        AccumMonoid::Min => T::lane_min(x, y),
+        AccumMonoid::CustomF64(_) | AccumMonoid::CustomI64(_) | AccumMonoid::CustomBool(_) => {
+            custom.expect("custom monoid lane validated")(x, y)
+        }
+    }
+}
+
 impl Context {
-    /// Start describing the masked multiply `M ⊙ (A·B)`.
+    /// Start describing the masked matrix multiply `M ⊙ (A·B)`.
     ///
     /// ```
     /// use engine::{Context, SemiringKind};
@@ -199,11 +480,10 @@ impl Context {
         OpBuilder {
             ctx: self,
             op: MaskedOp {
-                mask,
+                operands: Operands::MatMat { mask, a, b },
                 complemented: false,
-                a,
-                b,
                 semiring: SemiringKind::PlusTimes,
+                value: ValueKind::F64,
                 algorithm: None,
                 phases: None,
                 accum: AccumMode::Replace,
@@ -211,73 +491,381 @@ impl Context {
         }
     }
 
+    /// Start describing the masked vector-matrix multiply `v = m ⊙ (u·B)`
+    /// — with a complemented mask, the BFS frontier expansion
+    /// `next = ¬visited ⊙ (frontier · A)`.
+    ///
+    /// The value lane defaults to the operand vector's own lane, and the
+    /// semiring to [`SemiringKind::BoolAndOr`] on `bool` /
+    /// [`SemiringKind::PlusTimes`] elsewhere.
+    ///
+    /// ```
+    /// use engine::{Context, ValueKind};
+    /// use sparse::{CsrMatrix, SparseVec};
+    ///
+    /// let ctx = Context::with_threads(1);
+    /// let adj = ctx.insert(CsrMatrix::try_new(
+    ///     3, 3, vec![0, 1, 2, 2], vec![1, 2], vec![1.0, 1.0],
+    /// ).unwrap());
+    /// let frontier = ctx.insert_vec(SparseVec::try_new(3, vec![0], vec![true]).unwrap());
+    /// let visited = ctx.insert_vec(SparseVec::try_new(3, vec![0], vec![true]).unwrap());
+    /// let next: SparseVec<bool> = ctx
+    ///     .vec_op(visited, frontier, adj)
+    ///     .complemented(true)
+    ///     .run_out()
+    ///     .unwrap()
+    ///     .into_typed()
+    ///     .unwrap();
+    /// assert_eq!(next.indices(), &[1]);
+    /// ```
+    pub fn vec_op(&self, mask: VectorHandle, u: VectorHandle, b: MatrixHandle) -> OpBuilder<'_> {
+        let value = self.vector(u).value_kind();
+        let semiring = match value {
+            ValueKind::Bool => SemiringKind::BoolAndOr,
+            _ => SemiringKind::PlusTimes,
+        };
+        OpBuilder {
+            ctx: self,
+            op: MaskedOp {
+                operands: Operands::VecMat { mask, u, b },
+                complemented: false,
+                semiring,
+                value,
+                algorithm: None,
+                phases: None,
+                accum: AccumMode::Replace,
+            },
+        }
+    }
+
+    /// Validate the lane structure of a descriptor: the semiring must be
+    /// defined on the value lane, vector operands must live on it, and the
+    /// accumulation target/monoid must be able to absorb the result. Every
+    /// execution path (single-op, batch) runs this first, so violations
+    /// are uniform [`SparseError::Unsupported`] values everywhere.
+    fn validate_op(&self, op: &MaskedOp) -> Result<(), SparseError> {
+        if !op.semiring.supports_value(op.value) {
+            return Err(SparseError::Unsupported(SEMIRING_LANE_UNSUPPORTED));
+        }
+        if let Operands::VecMat { u, .. } = op.operands {
+            if self.vector(u).value_kind() != op.value {
+                return Err(SparseError::Unsupported(OPERAND_LANE_MISMATCH));
+            }
+        }
+        if let AccumMode::MergeInto(target, monoid) = op.accum {
+            let monoid_lane = match monoid {
+                AccumMonoid::CustomF64(_) => Some(ValueKind::F64),
+                AccumMonoid::CustomI64(_) => Some(ValueKind::I64),
+                AccumMonoid::CustomBool(_) => Some(ValueKind::Bool),
+                AccumMonoid::Semiring | AccumMonoid::Add | AccumMonoid::Min => None,
+            };
+            if monoid_lane.is_some_and(|lane| lane != op.value) {
+                return Err(SparseError::Unsupported(ACCUM_MONOID_LANE_MISMATCH));
+            }
+            match target {
+                AccumTarget::Mat(_) => {
+                    // The matrix registry stores f64: only f64 matrix
+                    // products can merge back into it.
+                    let ok = matches!(op.operands, Operands::MatMat { .. })
+                        && op.value == ValueKind::F64;
+                    if !ok {
+                        return Err(SparseError::Unsupported(ACCUM_TARGET_MISMATCH));
+                    }
+                }
+                AccumTarget::Vec(tv) => {
+                    let ok = matches!(op.operands, Operands::VecMat { .. })
+                        && self.vector(tv).value_kind() == op.value;
+                    if !ok {
+                        return Err(SparseError::Unsupported(ACCUM_TARGET_MISMATCH));
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
     /// Resolve the plan a descriptor runs under: the planner's choice, with
     /// the descriptor's algorithm/phase overrides applied on top. A forced
     /// algorithm that cannot honor the mask polarity (MCA × complemented)
     /// is a uniform [`SparseError::Unsupported`].
     pub(crate) fn resolve_plan(&self, op: &MaskedOp) -> Result<Plan, SparseError> {
-        if let Some(alg) = op.algorithm {
-            alg.check_complement_support(op.complemented)?;
-            plan::validate(self, op.mask, op.a, op.b)?;
-            // A fully-overridden op skips the cost model entirely.
-            if let Some(ph) = op.phases {
-                return Ok(Plan::fixed(alg, ph, op.complemented));
+        self.validate_op(op)?;
+        match op.operands {
+            Operands::MatMat { mask, a, b } => {
+                if let Some(alg) = op.algorithm {
+                    alg.check_complement_support(op.complemented)?;
+                    plan::validate(self, mask, a, b)?;
+                    // A fully-overridden op skips the cost model entirely —
+                    // but still honors the calibrated serial cutoff (the
+                    // pair-cached flop count is the only quantity needed).
+                    if let Some(ph) = op.phases {
+                        let mut fixed = Plan::fixed(alg, ph, op.complemented);
+                        let cutoff = self.serial_cutoff_flops();
+                        if cutoff > 0.0 {
+                            fixed.serial = (self.flops(a, b) as f64) < cutoff;
+                        }
+                        return Ok(fixed);
+                    }
+                    let planned = self.plan(mask, op.complemented, a, b)?;
+                    return Ok(Plan {
+                        choice: Choice::Fixed(alg),
+                        ..planned
+                    });
+                }
+                let mut planned = self.plan(mask, op.complemented, a, b)?;
+                if let Some(ph) = op.phases {
+                    planned.phases = ph;
+                }
+                Ok(planned)
             }
-            let planned = self.plan(op.mask, op.complemented, op.a, op.b)?;
-            return Ok(Plan {
-                choice: Choice::Fixed(alg),
-                ..planned
-            });
+            Operands::VecMat { mask, u, b } => {
+                if let Some(alg) = op.algorithm {
+                    alg.check_complement_support(op.complemented)?;
+                    plan::validate_vec(self, mask, u, b)?;
+                    let mut fixed =
+                        Plan::fixed(alg, op.phases.unwrap_or(Phases::One), op.complemented);
+                    fixed.serial = true; // single-row products never dispatch the pool
+                    return Ok(fixed);
+                }
+                let mut planned = self.plan_vec(mask, op.complemented, u, b)?;
+                if let Some(ph) = op.phases {
+                    planned.phases = ph;
+                }
+                Ok(planned)
+            }
         }
-        let mut planned = self.plan(op.mask, op.complemented, op.a, op.b)?;
-        if let Some(ph) = op.phases {
-            planned.phases = ph;
-        }
-        Ok(planned)
     }
 
-    /// Execute one descriptor now (row-parallel kernels on the context's
-    /// pool), applying its accumulation mode.
+    /// Execute one descriptor now, applying its accumulation mode, and
+    /// return the typed [`OpOutput`].
     ///
-    /// The single-op path dispatches to the *typed* `f64`-lane semiring for
-    /// the descriptor's kind, so the kernels' inner loops are monomorphized
-    /// and inlined exactly as on the engine-free entry points — bit-identical
-    /// to [`DynSemiring`] (which exists for heterogeneous batches, where one
-    /// worker's scratch must serve every kind) but without its fn-pointer
-    /// indirection on the hot path.
-    pub fn run_op(&self, op: &MaskedOp) -> Result<CsrMatrix<f64>, SparseError> {
+    /// The single-op path dispatches to *typed* lane semirings for the
+    /// descriptor's `(semiring, value)` pair, so the kernels' inner loops
+    /// are monomorphized and inlined exactly as on the engine-free entry
+    /// points — bit-identical to the erased [`DynLane`] used by
+    /// heterogeneous batches (where one worker's scratch must serve every
+    /// kind) but without its dispatch on the hot path. Matrix products run
+    /// row-parallel on the context's pool unless the plan's calibrated
+    /// serial cutoff applies; vector products are single-row and always run
+    /// on the calling thread.
+    pub fn run_op_out(&self, op: &MaskedOp) -> Result<OpOutput, SparseError> {
         let plan = self.resolve_plan(op)?;
-        let c = match op.semiring {
-            SemiringKind::PlusTimes => {
-                self.execute_planned(&plan, PlusTimes::<f64>::new(), op.mask, op.a, op.b)
+        let out = match op.operands {
+            Operands::MatMat { mask, a, b } => match op.value {
+                ValueKind::F64 => OpOutput::MatF64(self.run_mat_f64(&plan, op, mask, a, b)?),
+                ValueKind::I64 => OpOutput::MatI64(self.run_mat_i64(&plan, op, mask, a, b)?),
+                ValueKind::Bool => OpOutput::MatBool(self.run_mat_bool(&plan, op, mask, a, b)?),
+            },
+            Operands::VecMat { mask, u, b } => self.run_vec_out(&plan, op, mask, u, b)?,
+        };
+        self.apply_accum(op, out)
+    }
+
+    /// Execute one descriptor now and return the `f64` matrix product (the
+    /// historical signature; see [`OpBuilder::run`]).
+    pub fn run_op(&self, op: &MaskedOp) -> Result<CsrMatrix<f64>, SparseError> {
+        FromOpOutput::from_output(self.run_op_out(op)?)
+    }
+
+    fn run_mat_f64(
+        &self,
+        plan: &Plan,
+        op: &MaskedOp,
+        mask: MatrixHandle,
+        a: MatrixHandle,
+        b: MatrixHandle,
+    ) -> Result<CsrMatrix<f64>, SparseError> {
+        let (mm, am, bm) = (self.matrix(mask), self.matrix(a), self.matrix(b));
+        macro_rules! go {
+            ($sr:expr) => {
+                self.execute_mat_views(plan, $sr, &mm, &am, &bm, &mut || self.csc(b))
+            };
+        }
+        match op.semiring {
+            SemiringKind::PlusTimes => go!(PlusTimes::<f64>::new()),
+            SemiringKind::PlusPair => go!(PlusPair::<f64, f64, f64>::new()),
+            SemiringKind::PlusFirst => go!(PlusFirst::<f64>::new()),
+            SemiringKind::PlusSecond => go!(PlusSecond::<f64, f64>::new()),
+            SemiringKind::MinPlus => go!(MinPlus::<f64>::new()),
+            SemiringKind::BoolAndOr => Err(SparseError::Unsupported(SEMIRING_LANE_UNSUPPORTED)),
+        }
+    }
+
+    fn run_mat_i64(
+        &self,
+        plan: &Plan,
+        op: &MaskedOp,
+        mask: MatrixHandle,
+        a: MatrixHandle,
+        b: MatrixHandle,
+    ) -> Result<CsrMatrix<i64>, SparseError> {
+        let mm = self.matrix(mask);
+        let (av, bv) = (self.i64_view(a), self.i64_view(b));
+        macro_rules! go {
+            ($sr:expr) => {
+                self.execute_mat_views(plan, $sr, &mm, &av, &bv, &mut || self.i64_csc(b))
+            };
+        }
+        match op.semiring {
+            SemiringKind::PlusTimes => go!(PlusTimes::<i64>::new()),
+            SemiringKind::PlusPair => go!(PlusPair::<i64, i64, i64>::new()),
+            SemiringKind::PlusFirst => go!(PlusFirst::<i64>::new()),
+            SemiringKind::PlusSecond => go!(PlusSecond::<i64, i64>::new()),
+            SemiringKind::MinPlus => go!(MinPlus::<i64>::new()),
+            SemiringKind::BoolAndOr => Err(SparseError::Unsupported(SEMIRING_LANE_UNSUPPORTED)),
+        }
+    }
+
+    fn run_mat_bool(
+        &self,
+        plan: &Plan,
+        op: &MaskedOp,
+        mask: MatrixHandle,
+        a: MatrixHandle,
+        b: MatrixHandle,
+    ) -> Result<CsrMatrix<bool>, SparseError> {
+        match op.semiring {
+            SemiringKind::BoolAndOr => {
+                let mm = self.matrix(mask);
+                let (av, bv) = (self.bool_view(a), self.bool_view(b));
+                self.execute_mat_views(plan, BoolAndOr, &mm, &av, &bv, &mut || self.bool_csc(b))
             }
-            SemiringKind::PlusPair => {
-                self.execute_planned(&plan, PlusPair::<f64, f64, f64>::new(), op.mask, op.a, op.b)
+            _ => Err(SparseError::Unsupported(SEMIRING_LANE_UNSUPPORTED)),
+        }
+    }
+
+    fn run_vec_out(
+        &self,
+        plan: &Plan,
+        op: &MaskedOp,
+        mask: VectorHandle,
+        u: VectorHandle,
+        b: MatrixHandle,
+    ) -> Result<OpOutput, SparseError> {
+        let mask_pat = self.vector(mask).pattern();
+        match (op.value, self.vector(u)) {
+            (ValueKind::Bool, ValueVec::Bool(uv)) => {
+                // BoolAndOr is the bool lane's only semiring (validated).
+                let v = self.run_vec_typed(
+                    plan,
+                    BoolAndOr,
+                    &mask_pat,
+                    &uv,
+                    b,
+                    |ctx, h| ctx.bool_view(h),
+                    |ctx, h| ctx.bool_csc(h),
+                )?;
+                Ok(OpOutput::VecBool(v))
             }
-            SemiringKind::PlusFirst => {
-                self.execute_planned(&plan, PlusFirst::<f64>::new(), op.mask, op.a, op.b)
+            (ValueKind::I64, ValueVec::I64(uv)) => {
+                macro_rules! go {
+                    ($sr:expr) => {
+                        self.run_vec_typed(
+                            plan,
+                            $sr,
+                            &mask_pat,
+                            &uv,
+                            b,
+                            |ctx, h| ctx.i64_view(h),
+                            |ctx, h| ctx.i64_csc(h),
+                        )
+                        .map(OpOutput::VecI64)
+                    };
+                }
+                match op.semiring {
+                    SemiringKind::PlusTimes => go!(PlusTimes::<i64>::new()),
+                    SemiringKind::PlusPair => go!(PlusPair::<i64, i64, i64>::new()),
+                    SemiringKind::PlusFirst => go!(PlusFirst::<i64>::new()),
+                    SemiringKind::PlusSecond => go!(PlusSecond::<i64, i64>::new()),
+                    SemiringKind::MinPlus => go!(MinPlus::<i64>::new()),
+                    SemiringKind::BoolAndOr => {
+                        Err(SparseError::Unsupported(SEMIRING_LANE_UNSUPPORTED))
+                    }
+                }
             }
-            SemiringKind::PlusSecond => {
-                self.execute_planned(&plan, PlusSecond::<f64, f64>::new(), op.mask, op.a, op.b)
+            (ValueKind::F64, ValueVec::F64(uv)) => {
+                macro_rules! go {
+                    ($sr:expr) => {
+                        self.run_vec_typed(
+                            plan,
+                            $sr,
+                            &mask_pat,
+                            &uv,
+                            b,
+                            |ctx, h| ctx.matrix(h),
+                            |ctx, h| ctx.csc(h),
+                        )
+                        .map(OpOutput::VecF64)
+                    };
+                }
+                match op.semiring {
+                    SemiringKind::PlusTimes => go!(PlusTimes::<f64>::new()),
+                    SemiringKind::PlusPair => go!(PlusPair::<f64, f64, f64>::new()),
+                    SemiringKind::PlusFirst => go!(PlusFirst::<f64>::new()),
+                    SemiringKind::PlusSecond => go!(PlusSecond::<f64, f64>::new()),
+                    SemiringKind::MinPlus => go!(MinPlus::<f64>::new()),
+                    SemiringKind::BoolAndOr => {
+                        Err(SparseError::Unsupported(SEMIRING_LANE_UNSUPPORTED))
+                    }
+                }
             }
-            SemiringKind::MinPlus => {
-                self.execute_planned(&plan, MinPlus::<f64>::new(), op.mask, op.a, op.b)
-            }
-        }?;
-        self.apply_accum(op, c)
+            // Lane agreement was validated; reaching here means the vector
+            // was concurrently replaced with another lane.
+            _ => Err(SparseError::Unsupported(OPERAND_LANE_MISMATCH)),
+        }
+    }
+
+    /// Execute a planned vector-operand product on a typed lane semiring,
+    /// reading `B` through the lane accessors (`view_of` in CSR form for
+    /// push kernels, `csc_of` for the pull path — both served from the
+    /// context's aux cache, built only when the plan actually needs them).
+    #[allow(clippy::too_many_arguments)]
+    fn run_vec_typed<T, S>(
+        &self,
+        plan: &Plan,
+        sr: S,
+        mask: &SparseVec<()>,
+        u: &SparseVec<T>,
+        b: MatrixHandle,
+        view_of: impl Fn(&Context, MatrixHandle) -> Arc<CsrMatrix<T>>,
+        csc_of: impl Fn(&Context, MatrixHandle) -> Arc<CscMatrix<T>>,
+    ) -> Result<SparseVec<T>, SparseError>
+    where
+        T: LaneValue,
+        S: Semiring<A = T, B = T, C = T>,
+    {
+        let algorithm = match plan.choice {
+            Choice::Fixed(alg) => alg,
+            Choice::Hybrid => Algorithm::Msa, // vec plans are never hybrid
+        };
+        if algorithm == Algorithm::Inner {
+            let csc = csc_of(self, b);
+            masked_spgevm_csc(plan.complemented, sr, mask, u, &csc)
+        } else {
+            let view = view_of(self, b);
+            masked_spgevm(algorithm, plan.complemented, sr, mask, u, &view)
+        }
     }
 
     /// Apply a descriptor's [`AccumMode`] to its freshly-computed product.
     pub(crate) fn apply_accum(
         &self,
         op: &MaskedOp,
-        c: CsrMatrix<f64>,
-    ) -> Result<CsrMatrix<f64>, SparseError> {
-        match op.accum {
-            AccumMode::Replace => Ok(c),
-            AccumMode::AddInto(target) => {
-                let sr = DynSemiring::new(op.semiring);
-                let existing = self.matrix(target);
+        out: OpOutput,
+    ) -> Result<OpOutput, SparseError> {
+        let AccumMode::MergeInto(target, monoid) = op.accum else {
+            return Ok(out);
+        };
+        match target {
+            AccumTarget::Mat(handle) => {
+                let OpOutput::MatF64(c) = out else {
+                    return Err(SparseError::Unsupported(ACCUM_TARGET_MISMATCH));
+                };
+                let custom = match monoid {
+                    AccumMonoid::CustomF64(f) => Some(f),
+                    _ => None,
+                };
+                let existing = self.matrix(handle);
                 if existing.shape() != c.shape() {
                     return Err(SparseError::DimMismatch {
                         op: "accumulate_into",
@@ -285,9 +873,64 @@ impl Context {
                         rhs: c.shape(),
                     });
                 }
-                let merged = ewise_union(&existing, &c, |x, y| sr.add(*x, *y), |x| *x, |y| *y);
-                self.update(target, merged.clone());
-                Ok(merged)
+                let merged = ewise_union(
+                    &existing,
+                    &c,
+                    |x, y| apply_monoid(monoid, op.semiring, custom, *x, *y),
+                    |x| *x,
+                    |y| *y,
+                );
+                self.update(handle, merged.clone());
+                Ok(OpOutput::MatF64(merged))
+            }
+            AccumTarget::Vec(handle) => {
+                macro_rules! merge_vec {
+                    ($v:expr, $existing:expr, $custom:expr, $variant:ident) => {{
+                        let (v, existing) = ($v, $existing);
+                        if existing.dim() != v.dim() {
+                            return Err(SparseError::DimMismatch {
+                                op: "accumulate_into_vec",
+                                lhs: (1, existing.dim()),
+                                rhs: (1, v.dim()),
+                            });
+                        }
+                        let merged = existing.union_with(&v, |x, y| {
+                            apply_monoid(monoid, op.semiring, $custom, x, y)
+                        });
+                        self.update_vec(handle, merged.clone());
+                        Ok(OpOutput::$variant(merged))
+                    }};
+                }
+                match (out, self.vector(handle)) {
+                    (OpOutput::VecF64(v), ValueVec::F64(e)) => merge_vec!(
+                        v,
+                        e,
+                        match monoid {
+                            AccumMonoid::CustomF64(f) => Some(f),
+                            _ => None,
+                        },
+                        VecF64
+                    ),
+                    (OpOutput::VecI64(v), ValueVec::I64(e)) => merge_vec!(
+                        v,
+                        e,
+                        match monoid {
+                            AccumMonoid::CustomI64(f) => Some(f),
+                            _ => None,
+                        },
+                        VecI64
+                    ),
+                    (OpOutput::VecBool(v), ValueVec::Bool(e)) => merge_vec!(
+                        v,
+                        e,
+                        match monoid {
+                            AccumMonoid::CustomBool(f) => Some(f),
+                            _ => None,
+                        },
+                        VecBool
+                    ),
+                    _ => Err(SparseError::Unsupported(ACCUM_TARGET_MISMATCH)),
+                }
             }
         }
     }

@@ -15,7 +15,7 @@
 use masked_spgemm::{Algorithm, Phases};
 use sparse::SparseError;
 
-use crate::context::{Context, MatrixHandle};
+use crate::context::{Context, MatrixHandle, VectorHandle};
 
 /// What executes the multiply.
 #[derive(Copy, Clone, Debug, PartialEq, Eq)]
@@ -52,6 +52,11 @@ pub struct Plan {
     pub phases: Phases,
     /// Mask polarity.
     pub complemented: bool,
+    /// Run serially on the calling thread instead of dispatching the pool:
+    /// the estimated work is below the calibrated dispatch overhead
+    /// ([`Context::set_serial_cutoff_flops`]). Vector-operand plans are
+    /// always serial — a single output row has no row parallelism to win.
+    pub serial: bool,
     /// The cost estimates that produced the choice.
     pub costs: CostBreakdown,
 }
@@ -63,6 +68,7 @@ impl Plan {
             choice: Choice::Fixed(algorithm),
             phases,
             complemented,
+            serial: false,
             costs: CostBreakdown::default(),
         }
     }
@@ -233,10 +239,104 @@ pub(crate) fn plan(
         Phases::One
     };
 
+    // Calibrated serial cutoff (ROADMAP follow-on from the persistent
+    // pool): when the whole product's estimated work is below the cost of
+    // waking the workers, dispatching the pool is pure overhead — run the
+    // serial scratch driver on the calling thread instead.
+    let serial = (flops_total as f64) < ctx.serial_cutoff_flops();
+
     Ok(Plan {
         choice,
         phases,
         complemented,
+        serial,
         costs,
+    })
+}
+
+/// Validate that a vector-operand multiply `v = m ⊙ (u·B)` is well-shaped.
+pub(crate) fn validate_vec(
+    ctx: &Context,
+    mask: VectorHandle,
+    u: VectorHandle,
+    b: MatrixHandle,
+) -> Result<(), SparseError> {
+    let (mv, uv) = (ctx.vector(mask), ctx.vector(u));
+    let bm = ctx.matrix(b);
+    if uv.dim() != bm.nrows() {
+        return Err(SparseError::DimMismatch {
+            op: "engine plan (u·B)",
+            lhs: (1, uv.dim()),
+            rhs: bm.shape(),
+        });
+    }
+    if mv.dim() != bm.ncols() {
+        return Err(SparseError::DimMismatch {
+            op: "engine plan (vector mask)",
+            lhs: (1, mv.dim()),
+            rhs: (1, bm.ncols()),
+        });
+    }
+    Ok(())
+}
+
+/// Cost-model planning for a vector-operand multiply `v = m ⊙ (u·B)` (or
+/// `¬m ⊙` with `complemented`) — the frontier-expansion step of BFS-style
+/// traversals, where Beamer's direction heuristic becomes a planner
+/// decision:
+///
+/// * **push** ([`Algorithm::Msa`]) scatters the operand's rows; its work is
+///   the exact flop count `Σ_{k ∈ u} deg_B(k)` plus the mask touch — the
+///   "frontier's outgoing work" side of the heuristic;
+/// * **pull** ([`Algorithm::Inner`]) runs one dot product per admissible
+///   output position (`nnz(m)` plain, `ncols − nnz(m)` complemented — the
+///   "unvisited count" side under the complemented visited mask of a BFS).
+///
+/// Single-row products never dispatch the pool, so the plan is always
+/// [`Plan::serial`]; the phase discipline is irrelevant (rows are appended
+/// exactly once) and fixed at [`Phases::One`].
+pub(crate) fn plan_vec(
+    ctx: &Context,
+    mask: VectorHandle,
+    complemented: bool,
+    u: VectorHandle,
+    b: MatrixHandle,
+) -> Result<Plan, SparseError> {
+    let (mv, uv) = (ctx.vector(mask), ctx.vector(u));
+    let cfg = ctx.config();
+    let b_deg = ctx.row_degrees(b);
+    let bm = ctx.matrix(b);
+
+    let flops: u64 = uv.indices().iter().map(|&k| b_deg[k as usize] as u64).sum();
+    let (mm, un) = (mv.nnz() as f64, uv.nnz() as f64);
+    let ncols = bm.ncols() as f64;
+    let avg_b_col_nnz = if bm.ncols() > 0 {
+        bm.nnz() as f64 / ncols
+    } else {
+        0.0
+    };
+    // Output positions the pull algorithm visits (Beamer's "unvisited"
+    // term under a complemented visited mask).
+    let dots = if complemented { ncols - mm } else { mm };
+    let msa = mm + flops as f64 + cfg.msa_overhead;
+    let inner = cfg.inner_factor * dots * (un + avg_b_col_nnz);
+
+    let choice = if inner < msa && flops > 0 {
+        Choice::Fixed(Algorithm::Inner)
+    } else {
+        Choice::Fixed(Algorithm::Msa)
+    };
+    Ok(Plan {
+        choice,
+        phases: Phases::One,
+        complemented,
+        serial: true,
+        costs: CostBreakdown {
+            msa,
+            inner,
+            hybrid: msa.min(inner),
+            flops,
+            ..CostBreakdown::default()
+        },
     })
 }

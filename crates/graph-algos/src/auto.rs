@@ -24,12 +24,13 @@
 //! same float operations in the same order as the typed ones; counting
 //! semirings count in `f64`, exact to 2⁵³.)
 
-use engine::{Context, MatrixHandle, SemiringKind};
+use engine::{Algorithm, Choice, Context, MatrixHandle, SemiringKind, ValueKind, ValueVec};
 use sparse::ewise::{ewise_mult, ewise_union};
 use sparse::reduce::sum_all;
-use sparse::{CsrMatrix, Idx, SparseError};
+use sparse::{CsrMatrix, Idx, SparseError, SparseVec};
 
 use crate::bc::{one_plus_delta_over_sigma, BcResult};
+use crate::bfs::{union_sorted, BfsResult, Direction};
 use crate::ktruss::KtrussResult;
 
 /// Triangle count via one planned `L ⊙ (L·L)` on `plus_pair`.
@@ -186,6 +187,213 @@ pub fn betweenness_centrality_auto(
     }))
 }
 
+/// A unit-valued vector on the given lane (`true` / `1` / `1.0`) — BFS
+/// frontiers and visited masks, where only the pattern carries meaning.
+fn lane_unit_vec(n: usize, idx: &[Idx], value: ValueKind) -> ValueVec {
+    let count = idx.len();
+    match value {
+        ValueKind::Bool => {
+            ValueVec::from(SparseVec::try_new(n, idx.to_vec(), vec![true; count]).expect("sorted"))
+        }
+        ValueKind::I64 => {
+            ValueVec::from(SparseVec::try_new(n, idx.to_vec(), vec![1i64; count]).expect("sorted"))
+        }
+        ValueKind::F64 => ValueVec::from(
+            SparseVec::try_new(n, idx.to_vec(), vec![1.0f64; count]).expect("sorted"),
+        ),
+    }
+}
+
+/// Engine-planned direction-optimized BFS on the `bool` lane.
+///
+/// Every level is one [`engine::Operands::VecMat`] descriptor —
+/// `next = ¬visited ⊙ (frontier · A)` on [`SemiringKind::BoolAndOr`] —
+/// planned and executed by the [`Context`]: the frontier and visited sets
+/// live in the context as [`engine::VectorHandle`]s, the boolean adjacency view and
+/// its CSC form come from the aux cache (built once, reused across levels
+/// *and* traversals), and with [`Direction::Auto`] the push/pull switch is
+/// the planner's vector cost model — Beamer's heuristic as a plan decision
+/// rather than hand-rolled caller logic. No direct `masked_spgevm` calls.
+///
+/// Levels are identical to [`fn@crate::bfs`] and [`crate::bfs::bfs_reference`].
+pub fn bfs_auto(
+    ctx: &Context,
+    adj: MatrixHandle,
+    source: Idx,
+    policy: Direction,
+) -> Result<BfsResult, SparseError> {
+    bfs_auto_with_value(ctx, adj, source, policy, ValueKind::Bool)
+}
+
+/// [`bfs_auto`] on an explicit value lane.
+///
+/// The expansion runs on [`SemiringKind::BoolAndOr`] for
+/// [`ValueKind::Bool`] and [`SemiringKind::PlusPair`] for the numeric
+/// lanes — the reached *pattern* (and therefore every level set) is
+/// identical on all lanes, which is what the cross-lane equivalence tests
+/// pin down.
+pub fn bfs_auto_with_value(
+    ctx: &Context,
+    adj: MatrixHandle,
+    source: Idx,
+    policy: Direction,
+    value: ValueKind,
+) -> Result<BfsResult, SparseError> {
+    let stats = ctx.stats(adj);
+    let (n, ncols) = stats.shape;
+    assert_eq!(ncols, n, "adjacency must be square");
+    assert!((source as usize) < n, "source out of range");
+    let semiring = match value {
+        ValueKind::Bool => SemiringKind::BoolAndOr,
+        _ => SemiringKind::PlusPair,
+    };
+
+    let mut levels = vec![-1i64; n];
+    levels[source as usize] = 0;
+    let mut visited_idx: Vec<Idx> = vec![source];
+    let frontier = ctx.insert_vec(lane_unit_vec(n, &[source], value));
+    let visited = ctx.insert_vec(lane_unit_vec(n, &[source], value));
+    let mut depth = 0usize;
+    let mut directions = Vec::new();
+
+    let result = loop {
+        let builder = ctx
+            .vec_op(visited, frontier, adj)
+            .complemented(true)
+            .semiring(semiring)
+            .value(value);
+        // One plan resolution per level: forced policies know their
+        // algorithm outright, and Auto consults the planner once, then
+        // pins its choice so execution does not re-resolve (cache hits
+        // stay an honest measure of cross-level/cross-traversal reuse).
+        let algorithm = match policy {
+            Direction::Push => Algorithm::Msa,
+            Direction::Pull => Algorithm::Inner,
+            Direction::Auto => match builder.plan() {
+                Ok(plan) => match plan.choice {
+                    Choice::Fixed(alg) => alg,
+                    Choice::Hybrid => Algorithm::Msa, // vec plans are never hybrid
+                },
+                Err(e) => break Err(e),
+            },
+        };
+        directions.push(if algorithm == Algorithm::Inner {
+            Direction::Pull
+        } else {
+            Direction::Push
+        });
+        let next = match builder.algorithm(algorithm).run_out() {
+            Ok(out) => out.into_vec().expect("vector op yields a vector"),
+            Err(e) => break Err(e),
+        };
+        if next.nnz() == 0 {
+            break Ok(());
+        }
+        depth += 1;
+        for &v in next.indices() {
+            levels[v as usize] = depth as i64;
+        }
+        visited_idx = union_sorted(&visited_idx, next.indices());
+        ctx.update_vec(visited, lane_unit_vec(n, &visited_idx, value));
+        ctx.update_vec(frontier, next);
+    };
+    ctx.remove_vec(frontier);
+    ctx.remove_vec(visited);
+    result.map(|()| BfsResult {
+        levels,
+        depth,
+        directions,
+    })
+}
+
+/// Engine-planned single-source shortest paths on the exact `i64` lane
+/// (Bellman-Ford over the tropical `(min, +)` semiring, edge weights
+/// truncated to integers; must be non-negative).
+///
+/// Each round is one vector descriptor
+/// `candidates = ¬∅ ⊙ (frontier · A)` on [`SemiringKind::MinPlus`] /
+/// [`ValueKind::I64`] whose result is **min-merged into the registered
+/// distance vector** by the engine's accumulation monoid
+/// ([`engine::OpBuilder::min_into_vec`]) — accumulation chosen
+/// independently of the multiply semiring, end to end on the integer lane.
+/// The next frontier is the set of strictly-improved vertices.
+///
+/// Returns one distance per vertex, `-1` = unreachable; agrees with
+/// [`crate::reference::sssp_reference`].
+pub fn sssp_auto(ctx: &Context, adj: MatrixHandle, source: Idx) -> Result<Vec<i64>, SparseError> {
+    let stats = ctx.stats(adj);
+    let (n, ncols) = stats.shape;
+    assert_eq!(ncols, n, "adjacency must be square");
+    assert!((source as usize) < n, "source out of range");
+
+    // A complemented empty mask admits every output position.
+    let mask = ctx.insert_vec(SparseVec::<i64>::empty(n));
+    let start = SparseVec::try_new(n, vec![source], vec![0i64]).expect("single index");
+    let dist = ctx.insert_vec(start.clone());
+    let frontier = ctx.insert_vec(start);
+
+    // Bellman-Ford settles in at most n rounds on any graph without a
+    // negative-total-weight cycle; a round beyond that proves one exists
+    // (truncation can make float weights negative), so bail out instead
+    // of relaxing forever.
+    let mut rounds = 0usize;
+    let result = loop {
+        rounds += 1;
+        if rounds > n {
+            break Err(SparseError::Unsupported(
+                "sssp_auto requires non-negative weights (negative-weight \
+                 cycle detected: distances kept improving after n rounds)",
+            ));
+        }
+        let ValueVec::I64(old) = ctx.vector(dist) else {
+            unreachable!("dist stays on the i64 lane");
+        };
+        let merged = ctx
+            .vec_op(mask, frontier, adj)
+            .complemented(true)
+            .semiring(SemiringKind::MinPlus)
+            .min_into_vec(dist)
+            .run_out()
+            .and_then(|out| out.into_typed::<SparseVec<i64>>());
+        let merged = match merged {
+            Ok(m) => m,
+            Err(e) => break Err(e),
+        };
+        // Strictly-improved vertices form the next frontier (merged is a
+        // superset of old, so one pass over it finds every change).
+        let mut imp_idx = Vec::new();
+        let mut imp_val = Vec::new();
+        for (j, &d) in merged.iter() {
+            if old.get(j).is_none_or(|&o| d < o) {
+                imp_idx.push(j);
+                imp_val.push(d);
+            }
+        }
+        if imp_idx.is_empty() {
+            break Ok(());
+        }
+        ctx.update_vec(
+            frontier,
+            SparseVec::try_new(n, imp_idx, imp_val).expect("ascending subset"),
+        );
+    };
+
+    let out = result.map(|()| {
+        let ValueVec::I64(final_dist) = ctx.vector(dist) else {
+            unreachable!("dist stays on the i64 lane");
+        };
+        let mut dense = vec![-1i64; n];
+        for (j, &d) in final_dist.iter() {
+            dense[j as usize] = d;
+        }
+        dense
+    });
+    ctx.remove_vec(mask);
+    ctx.remove_vec(dist);
+    ctx.remove_vec(frontier);
+    out
+}
+
 /// Masked cosine similarity with the engine planning the dot products.
 ///
 /// `mask` holds the candidate pairs (values ignored); `a` is the feature
@@ -316,6 +524,103 @@ mod tests {
         let (ha, hm) = (ctx.insert(a), ctx.insert(m));
         let auto = masked_cosine_similarity_auto(&ctx, hm, ha).unwrap();
         assert_eq!(auto, direct);
+    }
+
+    #[test]
+    fn bfs_auto_matches_reference_on_all_policies_and_lanes() {
+        use crate::bfs::bfs_reference;
+        let ctx = Context::with_threads(2);
+        for seed in 0..2 {
+            let adj = to_undirected_simple(&graphs::erdos_renyi(150, 4.0, seed));
+            let expect = bfs_reference(&adj, 0);
+            let h = ctx.insert(adj);
+            for policy in [Direction::Push, Direction::Pull, Direction::Auto] {
+                for value in ValueKind::ALL {
+                    let got = bfs_auto_with_value(&ctx, h, 0, policy, value).unwrap();
+                    assert_eq!(got.levels, expect, "seed={seed} {policy:?} {value:?}");
+                }
+            }
+            let bool_lane = bfs_auto(&ctx, h, 0, Direction::Auto).unwrap();
+            assert_eq!(bool_lane.levels, expect);
+            ctx.remove(h);
+        }
+    }
+
+    #[test]
+    fn bfs_auto_forced_directions_report_correctly() {
+        let ctx = Context::with_threads(1);
+        let adj = to_undirected_simple(&graphs::erdos_renyi(80, 6.0, 9));
+        let h = ctx.insert(adj);
+        let pushed = bfs_auto(&ctx, h, 0, Direction::Push).unwrap();
+        assert!(pushed.directions.iter().all(|&d| d == Direction::Push));
+        let pulled = bfs_auto(&ctx, h, 0, Direction::Pull).unwrap();
+        assert!(pulled.directions.iter().all(|&d| d == Direction::Pull));
+        assert_eq!(pushed.levels, pulled.levels);
+    }
+
+    #[test]
+    fn sssp_auto_matches_reference() {
+        use crate::reference::sssp_reference;
+        let ctx = Context::with_threads(2);
+        for seed in 0..3 {
+            let adj = to_undirected_simple(&graphs::erdos_renyi(90, 3.0, 40 + seed));
+            let expect = sssp_reference(&adj, 1);
+            let h = ctx.insert(adj);
+            let got = sssp_auto(&ctx, h, 1).unwrap();
+            assert_eq!(got, expect, "seed={seed}");
+            ctx.remove(h);
+        }
+    }
+
+    #[test]
+    fn sssp_auto_weighted_paths() {
+        // 0 -10-> 1 -1-> 2 and 0 -2-> 2: the engine must keep the cheap
+        // two-hop path 0->2 (weight 2) and relax 1 through it? No — the
+        // direct edge wins for vertex 2; vertex 1 keeps weight 10.
+        let mut coo = sparse::CooMatrix::new(4, 4);
+        coo.push(0, 1, 10.0);
+        coo.push(1, 2, 1.0);
+        coo.push(0, 2, 2.0);
+        coo.push(2, 3, 1.0);
+        let ctx = Context::with_threads(1);
+        let h = ctx.insert(coo.to_csr());
+        let got = sssp_auto(&ctx, h, 0).unwrap();
+        assert_eq!(got, vec![0, 10, 2, 3]);
+    }
+
+    #[test]
+    fn sssp_auto_rejects_negative_cycles_instead_of_hanging() {
+        // Truncated float weights can go negative; a negative-total cycle
+        // must be a bounded error, not an endless relaxation loop.
+        let mut coo = sparse::CooMatrix::new(3, 3);
+        coo.push(0, 1, 1.0);
+        coo.push(1, 2, -1.0);
+        coo.push(2, 1, -1.0);
+        let ctx = Context::with_threads(1);
+        let h = ctx.insert(coo.to_csr());
+        assert!(matches!(
+            sssp_auto(&ctx, h, 0),
+            Err(SparseError::Unsupported(_))
+        ));
+    }
+
+    #[test]
+    fn bfs_auto_reuses_cached_bool_views_across_runs() {
+        let ctx = Context::with_threads(1);
+        let adj = to_undirected_simple(&graphs::erdos_renyi(120, 5.0, 17));
+        let h = ctx.insert(adj);
+        assert!(!ctx.aux_status(h).has_bool_view);
+        let r1 = bfs_auto(&ctx, h, 0, Direction::Auto).unwrap();
+        // The boolean adjacency view was built by the first traversal…
+        assert!(ctx.aux_status(h).has_bool_view);
+        let hits_before = ctx.plan_cache_stats().hits;
+        // …and the second traversal reuses it plus the cached vec plans.
+        let r2 = bfs_auto(&ctx, h, 0, Direction::Auto).unwrap();
+        assert_eq!(r1.levels, r2.levels);
+        assert!(
+            ctx.plan_cache_stats().hits > hits_before,
+            "second BFS re-planned every level"
+        );
     }
 
     #[test]

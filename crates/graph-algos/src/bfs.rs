@@ -38,7 +38,7 @@ pub struct BfsResult {
 }
 
 /// Sorted-merge union of two ascending index lists.
-fn union_sorted(a: &[Idx], b: &[Idx]) -> Vec<Idx> {
+pub(crate) fn union_sorted(a: &[Idx], b: &[Idx]) -> Vec<Idx> {
     let mut out = Vec::with_capacity(a.len() + b.len());
     let (mut p, mut q) = (0usize, 0usize);
     while p < a.len() || q < b.len() {

@@ -18,7 +18,8 @@ pub mod similarity;
 pub mod triangle;
 
 pub use auto::{
-    betweenness_centrality_auto, ktruss_auto, masked_cosine_similarity_auto, triangle_count_auto,
+    betweenness_centrality_auto, bfs_auto, bfs_auto_with_value, ktruss_auto,
+    masked_cosine_similarity_auto, sssp_auto, triangle_count_auto,
 };
 pub use bc::{betweenness_centrality, BcResult};
 pub use bfs::{bfs, BfsResult, Direction};

@@ -134,6 +134,28 @@ pub fn brandes_reference(adj: &CsrMatrix<f64>, sources: &[Idx]) -> Vec<f64> {
     bc
 }
 
+/// Serial Bellman-Ford single-source shortest paths with edge weights
+/// truncated to `i64` (the oracle for the engine's integer `min_plus`
+/// lane). Unreachable vertices are `-1`; weights must be non-negative.
+pub fn sssp_reference(adj: &CsrMatrix<f64>, source: Idx) -> Vec<i64> {
+    let n = adj.nrows();
+    let mut dist: Vec<Option<i64>> = vec![None; n];
+    dist[source as usize] = Some(0);
+    let mut queue = VecDeque::from([source as usize]);
+    while let Some(v) = queue.pop_front() {
+        let dv = dist[v].expect("queued vertices have distances");
+        let (nbrs, wts) = adj.row(v);
+        for (&w, &wt) in nbrs.iter().zip(wts) {
+            let cand = dv + wt as i64;
+            if dist[w as usize].is_none_or(|d| cand < d) {
+                dist[w as usize] = Some(cand);
+                queue.push_back(w as usize);
+            }
+        }
+    }
+    dist.into_iter().map(|d| d.unwrap_or(-1)).collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -108,6 +108,58 @@ impl<T> SparseVec<T> {
     pub fn into_parts(self) -> (usize, Vec<Idx>, Vec<T>) {
         (self.dim, self.idx, self.vals)
     }
+
+    /// Map values, keeping the pattern.
+    pub fn map<U>(&self, f: impl FnMut(&T) -> U) -> SparseVec<U> {
+        SparseVec {
+            dim: self.dim,
+            idx: self.idx.clone(),
+            vals: self.vals.iter().map(f).collect(),
+        }
+    }
+}
+
+impl<T: Copy> SparseVec<T> {
+    /// Sorted-merge union: entries present in either input. Values present
+    /// in both are combined with `both`; single-sided values are copied.
+    /// This is the accumulation primitive frontier-style workloads use to
+    /// fold a fresh product into a running vector (`visited`, distances).
+    ///
+    /// ```
+    /// use sparse::SparseVec;
+    /// let a = SparseVec::try_new(6, vec![0, 3], vec![5i64, 9]).unwrap();
+    /// let b = SparseVec::try_new(6, vec![3, 4], vec![2i64, 7]).unwrap();
+    /// let m = a.union_with(&b, |x, y| x.min(y));
+    /// assert_eq!(m.indices(), &[0, 3, 4]);
+    /// assert_eq!(m.values(), &[5, 2, 7]);
+    /// ```
+    pub fn union_with(&self, other: &SparseVec<T>, both: impl Fn(T, T) -> T) -> SparseVec<T> {
+        assert_eq!(self.dim, other.dim, "union_with dimension mismatch");
+        let mut idx = Vec::with_capacity(self.idx.len() + other.idx.len());
+        let mut vals = Vec::with_capacity(self.idx.len() + other.idx.len());
+        let (mut p, mut q) = (0usize, 0usize);
+        while p < self.idx.len() || q < other.idx.len() {
+            if q >= other.idx.len() || (p < self.idx.len() && self.idx[p] < other.idx[q]) {
+                idx.push(self.idx[p]);
+                vals.push(self.vals[p]);
+                p += 1;
+            } else if p >= self.idx.len() || other.idx[q] < self.idx[p] {
+                idx.push(other.idx[q]);
+                vals.push(other.vals[q]);
+                q += 1;
+            } else {
+                idx.push(self.idx[p]);
+                vals.push(both(self.vals[p], other.vals[q]));
+                p += 1;
+                q += 1;
+            }
+        }
+        SparseVec {
+            dim: self.dim,
+            idx,
+            vals,
+        }
+    }
 }
 
 impl<T: Clone> SparseVec<T> {
@@ -163,6 +215,26 @@ mod tests {
             SparseVec::from_pairs(8, vec![(5, 1.0), (2, 2.0), (5, 10.0)], |a, b| a + b).unwrap();
         assert_eq!(v.indices(), &[2, 5]);
         assert_eq!(v.values(), &[2.0, 11.0]);
+    }
+
+    #[test]
+    fn union_with_merges_and_combines() {
+        let a = SparseVec::try_new(8, vec![1, 4, 6], vec![1.0, 2.0, 3.0]).unwrap();
+        let b = SparseVec::try_new(8, vec![0, 4], vec![9.0, 5.0]).unwrap();
+        let u = a.union_with(&b, |x, y| x + y);
+        assert_eq!(u.indices(), &[0, 1, 4, 6]);
+        assert_eq!(u.values(), &[9.0, 1.0, 7.0, 3.0]);
+        let empty = SparseVec::<f64>::empty(8);
+        assert_eq!(a.union_with(&empty, |x, _| x), a);
+        assert_eq!(empty.union_with(&a, |x, _| x), a);
+    }
+
+    #[test]
+    fn map_keeps_pattern() {
+        let v = SparseVec::try_new(5, vec![1, 3], vec![2.0, -1.0]).unwrap();
+        let m = v.map(|&x| x != 0.0);
+        assert_eq!(m.indices(), v.indices());
+        assert_eq!(m.values(), &[true, true]);
     }
 
     #[test]

@@ -116,9 +116,10 @@ proptest! {
         let results = ctx.run_batch_collect(&ops);
         prop_assert_eq!(results.len(), ops.len());
         for (op, result) in ops.iter().zip(&results) {
-            let mask_m = ctx.matrix(op.mask);
-            let am = ctx.matrix(op.a);
-            let bm = ctx.matrix(op.b);
+            let (mask, a, b) = op.mat_operands().expect("matrix operands");
+            let mask_m = ctx.matrix(mask);
+            let am = ctx.matrix(a);
+            let bm = ctx.matrix(b);
             let expect = masked_spgemm(
                 Algorithm::Msa, Phases::One, op.complemented, sr, &mask_m, &am, &bm,
             ).unwrap();
@@ -232,14 +233,15 @@ fn batch_handles_mixed_shapes_and_errors() {
     assert!(results[2].is_err(), "mismatched op must error in isolation");
     assert!(results[3].is_ok());
     for (op, result) in ops.iter().zip(&results).filter(|(_, r)| r.is_ok()) {
+        let (mask, a, b) = op.mat_operands().expect("matrix operands");
         let expect = masked_spgemm(
             Algorithm::Msa,
             Phases::One,
             op.complemented,
             sr,
-            &ctx.matrix(op.mask),
-            &ctx.matrix(op.a),
-            &ctx.matrix(op.b),
+            &ctx.matrix(mask),
+            &ctx.matrix(a),
+            &ctx.matrix(b),
         )
         .unwrap();
         assert_eq!(result.as_ref().unwrap(), &expect);

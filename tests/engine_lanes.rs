@@ -1,0 +1,424 @@
+//! Typed value lanes and vector operands: engine-planned BFS equivalence
+//! (push/pull/auto × every lane) against the reference BFS on random and
+//! R-MAT graphs, mixed-lane heterogeneous batches through one streamed
+//! sink, `MinInto` accumulation against serial oracles, the calibratable
+//! serial cutoff, and the uniform lane/polarity error surface.
+
+use engine::{
+    AccumMonoid, AccumTarget, Algorithm, Choice, Context, OpOutput, SemiringKind, ValueKind,
+    ValueVec,
+};
+use graph_algos::bfs::bfs_reference;
+use graph_algos::reference::sssp_reference;
+use graph_algos::{bfs_auto_with_value, sssp_auto, Direction};
+use masked_spgemm::{masked_spgemm, masked_spgevm, masked_spgevm_csc, Phases};
+use proptest::prelude::*;
+use sparse::{BoolAndOr, CscMatrix, CsrMatrix, Idx, MinPlus, PlusTimes, SparseError, SparseVec};
+
+/// Small undirected test graphs: Erdős–Rényi and R-MAT, parameterized by
+/// seed and density so proptest explores both regular and hub-skewed
+/// structure.
+fn graph_strategy() -> impl Strategy<Value = CsrMatrix<f64>> {
+    (0u64..1000, 1u32..5, 0u8..2).prop_map(|(seed, deg, kind)| {
+        if kind == 1 {
+            graphs::to_undirected_simple(&graphs::rmat(6, graphs::RmatParams::default(), seed))
+        } else {
+            graphs::to_undirected_simple(&graphs::erdos_renyi(100, deg as f64, seed))
+        }
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Engine-planned BFS levels equal the serial reference for every
+    /// direction policy on every value lane.
+    #[test]
+    fn bfs_auto_matches_reference_everywhere(adj in graph_strategy()) {
+        let expect = bfs_reference(&adj, 0);
+        let ctx = Context::with_threads(2);
+        let h = ctx.insert(adj);
+        for policy in [Direction::Push, Direction::Pull, Direction::Auto] {
+            for value in ValueKind::ALL {
+                let got = bfs_auto_with_value(&ctx, h, 0, policy, value).unwrap();
+                prop_assert_eq!(&got.levels, &expect, "{:?} {:?}", policy, value);
+            }
+        }
+    }
+
+    /// Engine-planned integer SSSP equals the serial Bellman-Ford oracle.
+    #[test]
+    fn sssp_auto_matches_reference(adj in graph_strategy()) {
+        let expect = sssp_reference(&adj, 0);
+        let ctx = Context::with_threads(2);
+        let h = ctx.insert(adj);
+        prop_assert_eq!(sssp_auto(&ctx, h, 0).unwrap(), expect);
+    }
+
+    /// A mixed-lane batch — a `bool` BFS frontier step, an `f64`
+    /// `plus_times` product, and an `i64` `min_plus` product — streams
+    /// bit-correct typed results through ONE `for_each_result` call.
+    #[test]
+    fn mixed_lane_batch_streams_through_one_sink(adj in graph_strategy()) {
+        let n = adj.nrows();
+        if n < 4 || adj.nnz() == 0 {
+            return Ok(()); // degenerate draw — nothing to exercise
+        }
+        let ctx = Context::with_threads(3);
+        let ha = ctx.insert(adj.clone());
+        let hm = ctx.insert(graphs::erdos_renyi(n, 6.0, 77));
+
+        // Lane views for the direct (engine-free) expectations.
+        let adj_bool = adj.map(|&v| v != 0.0);
+        let adj_i64 = adj.map(|&v| v as i64);
+        let mask = ctx.matrix(hm);
+
+        // Vector operands of the BFS step: frontier = {0}, visited = {0}.
+        let frontier = ctx.insert_vec(SparseVec::try_new(n, vec![0], vec![true]).unwrap());
+        let visited = ctx.insert_vec(SparseVec::try_new(n, vec![0], vec![true]).unwrap());
+
+        let ops = vec![
+            // BoolAndOr BFS step: next = ¬visited ⊙ (frontier · A).
+            ctx.vec_op(visited, frontier, ha).complemented(true).build(),
+            // PlusTimes f64 op.
+            ctx.op(hm, ha, ha).build(),
+            // MinPlus i64 op.
+            ctx.op(hm, ha, ha)
+                .semiring(SemiringKind::MinPlus)
+                .value(ValueKind::I64)
+                .build(),
+        ];
+
+        let vis_pat = SparseVec::try_new(n, vec![0u32], vec![()]).unwrap();
+        let front_bool = SparseVec::try_new(n, vec![0u32], vec![true]).unwrap();
+        let expect_bfs = masked_spgevm(
+            Algorithm::Msa, true, BoolAndOr, &vis_pat, &front_bool, &adj_bool,
+        ).unwrap();
+        let expect_f64 = masked_spgemm(
+            Algorithm::Msa, Phases::One, false, PlusTimes::<f64>::new(), &mask, &adj, &adj,
+        ).unwrap();
+        let expect_i64 = masked_spgemm(
+            Algorithm::Msa, Phases::One, false, MinPlus::<i64>::new(), &mask, &adj_i64, &adj_i64,
+        ).unwrap();
+
+        let mut seen = vec![0usize; ops.len()];
+        let mut failure: Option<String> = None;
+        ctx.for_each_result(&ops, |i: usize, r: Result<OpOutput, SparseError>| {
+            seen[i] += 1;
+            let ok = match (i, r.expect("well-shaped op")) {
+                (0, OpOutput::VecBool(v)) => v == expect_bfs,
+                (1, OpOutput::MatF64(m)) => m == expect_f64,
+                (2, OpOutput::MatI64(m)) => m == expect_i64,
+                (idx, other) => {
+                    failure.get_or_insert(format!(
+                        "op {idx} delivered wrong kind {:?}", other.value_kind()
+                    ));
+                    return;
+                }
+            };
+            if !ok && failure.is_none() {
+                failure = Some(format!("op {i} diverged from direct result"));
+            }
+        });
+        prop_assert_eq!(failure, None);
+        prop_assert!(seen.iter().all(|&c| c == 1), "delivery counts {:?}", seen);
+    }
+}
+
+#[test]
+fn min_into_matrix_accumulation_matches_serial_oracle() {
+    let ctx = Context::with_threads(2);
+    let a = graphs::erdos_renyi(30, 5.0, 201);
+    let m = graphs::erdos_renyi(30, 8.0, 202);
+    let (ha, hm) = (ctx.insert(a), ctx.insert(m));
+
+    // Seed the target with a shifted copy of the plain product.
+    let product = ctx.op(hm, ha, ha).run().unwrap();
+    let shifted = product.map(|v| v + 5.0);
+    let target = ctx.insert(shifted.clone());
+
+    // MinInto: the monoid is `min` even though the multiply is plus_times.
+    let merged = ctx.op(hm, ha, ha).min_into(target).run().unwrap();
+
+    // Serial oracle: union of patterns, min where both present.
+    for i in 0..merged.nrows() {
+        let (cols, vals) = merged.row(i);
+        for (&j, &v) in cols.iter().zip(vals) {
+            let want = match (shifted.get(i, j), product.get(i, j)) {
+                (Some(&x), Some(&y)) => x.min(y),
+                (Some(&x), None) => x,
+                (None, Some(&y)) => y,
+                (None, None) => unreachable!("entry came from somewhere"),
+            };
+            assert_eq!(v, want, "row {i} col {j}");
+        }
+        // No union entry lost.
+        let expected_count = (0..merged.ncols() as Idx)
+            .filter(|&j| shifted.get(i, j).is_some() || product.get(i, j).is_some())
+            .count();
+        assert_eq!(cols.len(), expected_count, "row {i} pattern");
+    }
+    // The handle was updated with the merged matrix.
+    assert_eq!(*ctx.matrix(target), merged);
+}
+
+#[test]
+fn min_into_vec_accumulation_matches_serial_oracle() {
+    let ctx = Context::with_threads(1);
+    let adj = graphs::to_undirected_simple(&graphs::erdos_renyi(40, 4.0, 210));
+    let adj_i64 = adj.map(|&v| v as i64);
+    let h = ctx.insert(adj);
+    let n = adj_i64.nrows();
+
+    let dist0 = SparseVec::try_new(n, vec![0, 3], vec![0i64, 7]).unwrap();
+    let dist = ctx.insert_vec(dist0.clone());
+    let frontier = ctx.insert_vec(dist0.clone());
+    let mask = ctx.insert_vec(SparseVec::<i64>::empty(n));
+
+    let merged: SparseVec<i64> = ctx
+        .vec_op(mask, frontier, h)
+        .complemented(true)
+        .semiring(SemiringKind::MinPlus)
+        .min_into_vec(dist)
+        .run_out()
+        .unwrap()
+        .into_typed()
+        .unwrap();
+
+    // Oracle: direct SpGEVM candidates min-merged with the old vector.
+    let empty_mask = SparseVec::<()>::empty(n);
+    let candidates = masked_spgevm(
+        Algorithm::Msa,
+        true,
+        MinPlus::<i64>::new(),
+        &empty_mask,
+        &dist0,
+        &adj_i64,
+    )
+    .unwrap();
+    let expect = dist0.union_with(&candidates, |x, y| x.min(y));
+    assert_eq!(merged, expect);
+    // The registered vector was updated to the merged value.
+    assert_eq!(ctx.vector(dist), ValueVec::from(expect));
+}
+
+#[test]
+fn custom_monoid_accumulates_with_caller_function() {
+    let ctx = Context::with_threads(1);
+    let a = graphs::erdos_renyi(20, 4.0, 220);
+    let m = graphs::erdos_renyi(20, 6.0, 221);
+    let (ha, hm) = (ctx.insert(a), ctx.insert(m));
+    let product = ctx.op(hm, ha, ha).run().unwrap();
+    let target = ctx.insert(product.clone());
+
+    // max-merge: a monoid none of the built-ins provide.
+    let merged = ctx
+        .op(hm, ha, ha)
+        .merge_into(
+            AccumTarget::Mat(target),
+            AccumMonoid::CustomF64(|x, y| if y > x { y } else { x }),
+        )
+        .run()
+        .unwrap();
+    assert_eq!(merged, product, "max(x, x) == x everywhere");
+
+    // A custom monoid on the wrong lane is a uniform error.
+    let err = ctx
+        .op(hm, ha, ha)
+        .merge_into(AccumTarget::Mat(target), AccumMonoid::CustomI64(|x, _| x))
+        .run()
+        .unwrap_err();
+    assert_eq!(
+        err,
+        SparseError::Unsupported(engine::op_errors::ACCUM_MONOID_LANE_MISMATCH)
+    );
+}
+
+#[test]
+fn lane_mismatches_are_uniform_errors_everywhere() {
+    let ctx = Context::with_threads(2);
+    let adj = graphs::erdos_renyi(16, 3.0, 230);
+    let h = ctx.insert(adj);
+    let vb = ctx.insert_vec(SparseVec::try_new(16, vec![1], vec![true]).unwrap());
+    let vi = ctx.insert_vec(SparseVec::try_new(16, vec![1], vec![1i64]).unwrap());
+
+    // BoolAndOr is not defined on the f64 lane.
+    let expected = SparseError::Unsupported(engine::op_errors::SEMIRING_LANE_UNSUPPORTED);
+    let op = ctx
+        .op(h, h, h)
+        .semiring(SemiringKind::BoolAndOr)
+        .value(ValueKind::F64)
+        .build();
+    assert_eq!(ctx.run_op_out(&op).unwrap_err(), expected);
+    // Same error from the batch path, in its slot only.
+    let good = ctx.op(h, h, h).build();
+    let results = ctx.run_batch_outputs(&[good, op]);
+    assert!(results[0].is_ok());
+    assert_eq!(results[1].as_ref().unwrap_err(), &expected);
+
+    // A vector operand on a different lane than the op (the semiring is
+    // valid for the op's lane, so the operand check is what fires).
+    let expected = SparseError::Unsupported(engine::op_errors::OPERAND_LANE_MISMATCH);
+    let op = ctx
+        .vec_op(vb, vi, h)
+        .semiring(SemiringKind::BoolAndOr)
+        .value(ValueKind::Bool)
+        .build();
+    assert_eq!(ctx.run_op_out(&op).unwrap_err(), expected);
+
+    // A non-f64 matrix product cannot merge into the f64 matrix registry.
+    let expected = SparseError::Unsupported(engine::op_errors::ACCUM_TARGET_MISMATCH);
+    let op = ctx
+        .op(h, h, h)
+        .value(ValueKind::I64)
+        .accumulate_into(h)
+        .build();
+    assert_eq!(ctx.run_op_out(&op).unwrap_err(), expected);
+
+    // Consuming a typed batch through the wrong concrete sink type is a
+    // uniform per-index error, not a panic.
+    let expected = SparseError::Unsupported(engine::op_errors::OUTPUT_KIND_MISMATCH);
+    let i64_op = ctx.op(h, h, h).value(ValueKind::I64).build();
+    let mut got = None;
+    ctx.for_each_result(&[i64_op], |_i, r: Result<CsrMatrix<f64>, SparseError>| {
+        got = Some(r)
+    });
+    assert_eq!(got.expect("delivered").unwrap_err(), expected);
+}
+
+#[test]
+fn complemented_mca_is_uniform_on_vector_paths() {
+    let expected = SparseError::Unsupported(masked_spgemm::api::COMPLEMENT_UNSUPPORTED);
+    let adj = graphs::erdos_renyi(12, 3.0, 240);
+    let adj_bool = adj.map(|&v| v != 0.0);
+    let u = SparseVec::try_new(12, vec![0], vec![true]).unwrap();
+    let m = SparseVec::<()>::empty(12);
+
+    // Direct SpGEVM path.
+    let direct = masked_spgevm(Algorithm::Mca, true, BoolAndOr, &m, &u, &adj_bool);
+    assert_eq!(direct.unwrap_err(), expected);
+    // The CSC path funnels through the same gate (Inner supports
+    // complement, so it succeeds — the gate is present, not bypassed).
+    let csc = CscMatrix::from_csr(&adj_bool);
+    assert!(masked_spgevm_csc(true, BoolAndOr, &m, &u, &csc).is_ok());
+
+    // Engine vector descriptor with the same forced combination.
+    let ctx = Context::with_threads(1);
+    let h = ctx.insert(adj);
+    let hu = ctx.insert_vec(u);
+    let hm = ctx.insert_vec(SparseVec::<bool>::empty(12));
+    let err = ctx
+        .vec_op(hm, hu, h)
+        .complemented(true)
+        .algorithm(Algorithm::Mca)
+        .run_out()
+        .unwrap_err();
+    assert_eq!(err, expected);
+}
+
+#[test]
+fn serial_cutoff_routes_small_products_without_changing_results() {
+    let ctx = Context::with_threads(4);
+    let a = graphs::erdos_renyi(48, 4.0, 250);
+    let m = graphs::erdos_renyi(48, 6.0, 251);
+    let (ha, hm) = (ctx.insert(a), ctx.insert(m));
+
+    // No cutoff (the default): plans dispatch the pool.
+    assert_eq!(ctx.serial_cutoff_flops(), 0.0);
+    let parallel_plan = ctx.op(hm, ha, ha).plan().unwrap();
+    assert!(!parallel_plan.serial);
+    let parallel = ctx.op(hm, ha, ha).run().unwrap();
+
+    // A huge cutoff classifies this product as below dispatch cost.
+    ctx.set_serial_cutoff_flops(1e18);
+    let serial_plan = ctx.op(hm, ha, ha).plan().unwrap();
+    assert!(serial_plan.serial, "tiny product must be routed serial");
+    let serial = ctx.op(hm, ha, ha).run().unwrap();
+    assert_eq!(serial, parallel, "serial routing changed the bits");
+
+    // Forced-algorithm ops honor the routing too (plan carries it) —
+    // including fully-overridden ops where both algorithm and phases skip
+    // the cost model.
+    for alg in [Algorithm::Msa, Algorithm::Hash, Algorithm::Inner] {
+        let direct = ctx.op(hm, ha, ha).algorithm(alg).run().unwrap();
+        assert_eq!(direct, parallel, "{alg:?} serial result diverged");
+        let full = ctx.op(hm, ha, ha).algorithm(alg).phases(Phases::One);
+        assert!(
+            full.plan().unwrap().serial,
+            "{alg:?}: fully-overridden op ignored the serial cutoff"
+        );
+        assert_eq!(full.run().unwrap(), parallel);
+    }
+
+    // Dropping the cutoff restores pool dispatch (plan cache invalidated).
+    ctx.set_serial_cutoff_flops(0.0);
+    assert!(!ctx.op(hm, ha, ha).plan().unwrap().serial);
+
+    // Vector plans are always serial, cutoff or not.
+    let u = ctx.insert_vec(SparseVec::try_new(48, vec![0], vec![true]).unwrap());
+    let vm = ctx.insert_vec(SparseVec::<bool>::empty(48));
+    assert!(ctx.vec_op(vm, u, ha).plan().unwrap().serial);
+}
+
+#[test]
+fn vector_plans_cache_under_fingerprint_classes() {
+    let ctx = Context::with_threads(1);
+    let adj = graphs::to_undirected_simple(&graphs::erdos_renyi(200, 6.0, 260));
+    let h = ctx.insert(adj);
+    let frontier = ctx.insert_vec(SparseVec::try_new(200, vec![0], vec![true]).unwrap());
+    let visited = ctx.insert_vec(SparseVec::try_new(200, vec![0], vec![true]).unwrap());
+
+    let misses0 = ctx.plan_cache_stats().misses;
+    let p1 = ctx.plan_vec(visited, true, frontier, h).unwrap();
+    assert!(matches!(p1.choice, Choice::Fixed(_)));
+    assert_eq!(ctx.plan_cache_stats().misses, misses0 + 1);
+
+    // Same shapes → a hit, even after an update in the same nnz regime.
+    let hits0 = ctx.plan_cache_stats().hits;
+    ctx.update_vec(
+        frontier,
+        SparseVec::try_new(200, vec![5], vec![true]).unwrap(),
+    );
+    ctx.plan_vec(visited, true, frontier, h).unwrap();
+    assert_eq!(ctx.plan_cache_stats().hits, hits0 + 1);
+
+    // A frontier in a different population regime is a different class.
+    let wide: Vec<Idx> = (0..150).collect();
+    ctx.update_vec(
+        frontier,
+        SparseVec::try_new(200, wide.clone(), vec![true; wide.len()]).unwrap(),
+    );
+    let misses1 = ctx.plan_cache_stats().misses;
+    ctx.plan_vec(visited, true, frontier, h).unwrap();
+    assert_eq!(ctx.plan_cache_stats().misses, misses1 + 1);
+
+    // Lane changes the class too (bool vs i64 frontier of equal nnz).
+    let misses2 = ctx.plan_cache_stats().misses;
+    ctx.update_vec(
+        frontier,
+        SparseVec::try_new(200, wide.clone(), vec![1i64; wide.len()]).unwrap(),
+    );
+    ctx.plan_vec(visited, true, frontier, h).unwrap();
+    assert_eq!(ctx.plan_cache_stats().misses, misses2 + 1);
+}
+
+#[test]
+fn vector_registry_updates_and_versions() {
+    let ctx = Context::with_threads(1);
+    let h = ctx.insert_vec(SparseVec::try_new(10, vec![2], vec![true]).unwrap());
+    assert_eq!(ctx.vector(h).value_kind(), ValueKind::Bool);
+    assert_eq!(ctx.vector(h).nnz(), 1);
+    let v0 = ctx.vec_version(h);
+
+    // Updates may change the lane; the version advances.
+    ctx.update_vec(
+        h,
+        SparseVec::try_new(10, vec![2, 5], vec![1i64, 9]).unwrap(),
+    );
+    assert_eq!(ctx.vector(h).value_kind(), ValueKind::I64);
+    assert_eq!(ctx.vector(h).nnz(), 2);
+    assert!(ctx.vec_version(h) > v0);
+    assert_eq!(ctx.vector(h).indices(), &[2, 5]);
+    assert_eq!(ctx.vector(h).pattern().indices(), &[2, 5]);
+    ctx.remove_vec(h);
+}

@@ -39,14 +39,15 @@ fn direct_result(
     alg: Algorithm,
     ph: Phases,
 ) -> Result<CsrMatrix<f64>, SparseError> {
+    let (mask, a, b) = op.mat_operands().expect("matrix operands");
     masked_spgemm(
         alg,
         ph,
         op.complemented,
         DynSemiring::new(op.semiring),
-        &ctx.matrix(op.mask),
-        &ctx.matrix(op.a),
-        &ctx.matrix(op.b),
+        &ctx.matrix(mask),
+        &ctx.matrix(a),
+        &ctx.matrix(b),
     )
 }
 
