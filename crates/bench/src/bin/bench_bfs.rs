@@ -81,6 +81,32 @@ fn main() {
     }
     group.finish();
 
+    // Resident registry bytes after one full traversal: the f64-canonical
+    // registration (historical `insert`; the bool lane is a cached cast
+    // aux) vs. native-bool registration (`insert_bool`; the bool lane IS
+    // the storage — ISSUE 5's inversion). Entry bytes come from the typed
+    // registry, aux bytes from the byte-budgeted cache ledger.
+    let measure_registry = |native: bool| -> (usize, usize) {
+        let ctx = Context::with_threads(1);
+        let h = if native {
+            ctx.insert_bool(adj.map_values(|v| v != 0.0))
+        } else {
+            ctx.insert(adj.clone())
+        };
+        let r = bfs_auto(&ctx, h, 0, Direction::Auto).expect("well-shaped");
+        assert_eq!(r.levels, expect, "registry probe diverged");
+        (ctx.stats(h).bytes, ctx.aux_cache_stats().bytes)
+    };
+    let (canon_entry, canon_aux) = measure_registry(false);
+    let (native_entry, native_aux) = measure_registry(true);
+    println!(
+        "registry bytes after BFS: f64-canonical entry {canon_entry} + aux {canon_aux} = {} \
+         | native-bool entry {native_entry} + aux {native_aux} = {} (resident ratio {:.2})",
+        canon_entry + canon_aux,
+        native_entry + native_aux,
+        (canon_entry + canon_aux) as f64 / (native_entry + native_aux).max(1) as f64,
+    );
+
     let reports = take_reports();
     let json = reports_to_json(&reports);
     // Anchored to the repo root (two levels above this crate's manifest),
@@ -89,9 +115,14 @@ fn main() {
     let record = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
         .join("../..")
         .join("BENCH_bfs.json");
-    std::fs::write(&record, format!("{json}\n")).expect("write BENCH_bfs.json");
+    let payload = format!(
+        "{{\n\"reports\": {json},\n\"registry_bytes\": {{\n  \
+         \"f64_canonical\": {{\"entry\": {canon_entry}, \"aux\": {canon_aux}}},\n  \
+         \"native_bool\": {{\"entry\": {native_entry}, \"aux\": {native_aux}}}\n}}\n}}\n"
+    );
+    std::fs::write(&record, payload).expect("write BENCH_bfs.json");
     println!(
-        "wrote {} ({} measurements)",
+        "wrote {} ({} measurements + registry bytes)",
         record.display(),
         reports.len()
     );

@@ -273,6 +273,30 @@ fn main() {
         args.reps
     );
 
+    // 5b. Repeat-BFS (ISSUE 5 satellite): back-to-back traversals of the
+    //     same graph, where the engine's per-lane SpGEVM kernel scratch is
+    //     reused across every level of every traversal (the direct loop
+    //     rebuilds its accumulator per level). Gated like every repeated
+    //     workload: engine must be no slower than direct.
+    let bfs_loops = 5usize;
+    let (_, direct) = profile::best_of(args.reps, || {
+        let mut depth = 0usize;
+        for _ in 0..bfs_loops {
+            depth = bfs(&bfs_adj, 0, Direction::Auto).depth;
+        }
+        depth
+    });
+    let (_, engine) = profile::best_of(args.reps, || {
+        let mut depth = 0usize;
+        for _ in 0..bfs_loops {
+            depth = bfs_auto(&ctx, hb, 0, Direction::Auto)
+                .expect("well-shaped traversal")
+                .depth;
+        }
+        depth
+    });
+    record(&mut table, "bfs_repeat_loop", direct.secs(), engine.secs());
+
     println!("{}", table.to_console());
     table
         .write_csv(args.out_dir.join("engine_repeat.csv"))

@@ -55,6 +55,17 @@ impl ValueKind {
             ValueKind::F64 => "f64",
         }
     }
+
+    /// Bytes one stored value of this lane occupies — what byte-budgeted
+    /// registries charge per nonzero, so a natively-`bool` matrix is
+    /// billed at 1 byte/nnz rather than `f64` width.
+    pub fn value_bytes(self) -> usize {
+        match self {
+            ValueKind::Bool => std::mem::size_of::<bool>(),
+            ValueKind::I64 => std::mem::size_of::<i64>(),
+            ValueKind::F64 => std::mem::size_of::<f64>(),
+        }
+    }
 }
 
 /// A scalar type usable as a runtime-selected value lane.
@@ -62,13 +73,34 @@ impl ValueKind {
 /// The associated operations define what the [`SemiringKind`]s mean on this
 /// lane: `lane_add`/`lane_mul` are the lane's notion of `+`/`×` (`||`/`&&`
 /// on `bool`), `lane_min` its meet, `lane_one` its multiplicative identity.
+///
+/// # Lane cast rules
+///
+/// Matrices are stored natively on one lane and *cast* to another on
+/// demand; every cross-lane cast factors through `f64`
+/// ([`LaneValue::to_f64`] then [`LaneValue::from_f64`], fused by
+/// [`LaneValue::cast_from`]):
+///
+/// * `bool → i64/f64`: `true → 1`, `false → 0`;
+/// * `i64 → f64`: exact up to 2⁵³ (beyond any `u32`-indexed nnz count);
+/// * `f64 → i64`: truncation (the historical `i64` view semantics);
+/// * `i64/f64 → bool`: `v != 0` (structural presence).
 pub trait LaneValue: Copy + Send + Sync + Default + PartialEq + std::fmt::Debug + 'static {
     /// The [`ValueKind`] tag of this lane.
     const KIND: ValueKind;
 
-    /// Convert from the registry's canonical `f64` storage (used to build
-    /// typed operand views; `i64` truncates, `bool` is `v != 0.0`).
+    /// Convert from an `f64` value (used to build typed operand casts;
+    /// `i64` truncates, `bool` is `v != 0.0`).
     fn from_f64(v: f64) -> Self;
+
+    /// Convert to `f64` (`true → 1.0`) — the other half of the cast rules.
+    fn to_f64(self) -> f64;
+
+    /// Cast a value from another lane (see the trait-level cast rules).
+    #[inline(always)]
+    fn cast_from<U: LaneValue>(v: U) -> Self {
+        Self::from_f64(v.to_f64())
+    }
 
     /// Lane addition (`||` on `bool`).
     fn lane_add(a: Self, b: Self) -> Self;
@@ -90,6 +122,15 @@ impl LaneValue for bool {
     #[inline(always)]
     fn from_f64(v: f64) -> bool {
         v != 0.0
+    }
+
+    #[inline(always)]
+    fn to_f64(self) -> f64 {
+        if self {
+            1.0
+        } else {
+            0.0
+        }
     }
 
     #[inline(always)]
@@ -121,6 +162,11 @@ macro_rules! impl_numeric_lane {
             #[inline(always)]
             fn from_f64(v: f64) -> $t {
                 $from(v)
+            }
+
+            #[inline(always)]
+            fn to_f64(self) -> f64 {
+                self as f64
             }
 
             #[inline(always)]

@@ -18,7 +18,7 @@
 use std::marker::PhantomData;
 use std::sync::Mutex;
 
-use sparse::{CscMatrix, CsrMatrix, Idx, Semiring, SparseError};
+use sparse::{CscMatrix, CsrMatrix, Idx, Semiring, SparseError, SparseVec};
 
 use crate::algos::{inner, ninspect, HashKernel, HeapKernel, McaKernel, MsaKernel};
 use crate::api::Algorithm;
@@ -272,6 +272,87 @@ where
                 }
             }),
         }
+    }
+
+    /// Run one masked SpGEVM `v = m ⊙ (u·B)` with this set's reused
+    /// accumulators — the vector counterpart of [`ScratchSet::run`].
+    ///
+    /// Where [`crate::masked_spgevm`] builds a fresh `O(ncols)` accumulator
+    /// per call, this borrows the family's [`KernelScratch`] (regrown
+    /// monotonically), so frontier loops that issue one product per BFS
+    /// level stop paying the allocation and page-touch cost per level.
+    /// [`Algorithm::Inner`] carries no accumulator (dots write straight to
+    /// the output); it runs through the CSC path (`b_csc`, converted on the
+    /// fly when absent) exactly like the matrix driver.
+    #[allow(clippy::too_many_arguments)]
+    pub fn run_vec<MT>(
+        &mut self,
+        algorithm: Algorithm,
+        complemented: bool,
+        sr: S,
+        mask: &SparseVec<MT>,
+        u: &SparseVec<S::A>,
+        b: &CsrMatrix<S::B>,
+        b_csc: Option<&CscMatrix<S::B>>,
+    ) -> Result<SparseVec<S::C>, SparseError>
+    where
+        MT: Copy,
+        S::B: Clone,
+    {
+        if u.dim() != b.nrows() {
+            return Err(SparseError::DimMismatch {
+                op: "ScratchSet::run_vec (u·B)",
+                lhs: (1, u.dim()),
+                rhs: b.shape(),
+            });
+        }
+        if mask.dim() != b.ncols() {
+            return Err(SparseError::DimMismatch {
+                op: "ScratchSet::run_vec (mask)",
+                lhs: (1, mask.dim()),
+                rhs: (1, b.ncols()),
+            });
+        }
+        algorithm.check_complement_support(complemented)?;
+        if algorithm == Algorithm::Inner {
+            return Ok(match b_csc {
+                Some(csc) => crate::spgevm::masked_spgevm_csc(complemented, sr, mask, u, csc)?,
+                None => {
+                    let csc = CscMatrix::from_csr(b);
+                    crate::spgevm::masked_spgevm_csc(complemented, sr, mask, u, &csc)?
+                }
+            });
+        }
+        let (mcols, ucols, uvals) = (mask.indices(), u.indices(), u.values());
+        let mut out_cols = Vec::new();
+        let mut out_vals = Vec::new();
+        macro_rules! run_kernel {
+            ($scratch:expr) => {{
+                let k = $scratch.acquire(b.ncols(), mcols.len());
+                if complemented {
+                    k.compute_row_complemented(
+                        sr,
+                        mcols,
+                        ucols,
+                        uvals,
+                        b,
+                        &mut out_cols,
+                        &mut out_vals,
+                    );
+                } else {
+                    k.compute_row(sr, mcols, ucols, uvals, b, &mut out_cols, &mut out_vals);
+                }
+            }};
+        }
+        match algorithm {
+            Algorithm::Msa => run_kernel!(self.msa),
+            Algorithm::Hash => run_kernel!(self.hash),
+            Algorithm::Mca => run_kernel!(self.mca),
+            Algorithm::Heap => run_kernel!(self.heap),
+            Algorithm::HeapDot => run_kernel!(self.heap_dot),
+            Algorithm::Inner => unreachable!("handled above"),
+        }
+        SparseVec::try_new(b.ncols(), out_cols, out_vals)
     }
 }
 

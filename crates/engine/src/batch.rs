@@ -40,12 +40,10 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::mpsc;
 use std::sync::{Arc, Mutex};
 
-use masked_spgemm::{
-    masked_spgevm, masked_spgevm_csc, Algorithm, DynLane, LaneValue, ScratchSet, ValueKind,
-};
+use masked_spgemm::{masked_spgevm_csc, Algorithm, DynLane, LaneValue, ScratchSet, ValueKind};
 use sparse::{CscMatrix, CsrMatrix, Semiring, SparseError, SparseVec};
 
-use crate::context::{Context, MatrixHandle, ValueVec};
+use crate::context::{Context, MatrixHandle, ValueMat, ValueVec};
 use crate::op::{FromOpOutput, MaskedOp, OpOutput, Operands, ResultSink, OPERAND_LANE_MISMATCH};
 use crate::plan::{Choice, Plan};
 
@@ -69,11 +67,13 @@ pub struct BatchOp {
 }
 
 /// A matrix-product batch entry resolved to the data a worker needs:
-/// operand `Arc`s on the op's lane, a fixed algorithm, and the per-op
+/// the mask in its **native** stored lane (kernels read only its pattern),
+/// operand `Arc`s on the op's lane (the stored matrices themselves when
+/// the lanes agree — no canonical copy), a fixed algorithm, and the per-op
 /// erased semiring.
 struct PreparedMat<T: LaneValue> {
     sr: DynLane<T>,
-    mask: Arc<CsrMatrix<f64>>,
+    mask: ValueMat,
     a: Arc<CsrMatrix<T>>,
     b: Arc<CsrMatrix<T>>,
     b_csc: Option<Arc<CscMatrix<T>>>,
@@ -83,15 +83,24 @@ struct PreparedMat<T: LaneValue> {
 
 impl<T: LaneValue> PreparedMat<T> {
     fn run(&self, scratch: &mut ScratchSet<DynLane<T>>) -> Result<CsrMatrix<T>, SparseError> {
-        scratch.run(
-            self.algorithm,
-            self.complemented,
-            self.sr,
-            &self.mask,
-            &self.a,
-            &self.b,
-            self.b_csc.as_deref(),
-        )
+        macro_rules! go {
+            ($mask:expr) => {
+                scratch.run(
+                    self.algorithm,
+                    self.complemented,
+                    self.sr,
+                    $mask,
+                    &self.a,
+                    &self.b,
+                    self.b_csc.as_deref(),
+                )
+            };
+        }
+        match &self.mask {
+            ValueMat::Bool(m) => go!(m.as_ref()),
+            ValueMat::I64(m) => go!(m.as_ref()),
+            ValueMat::F64(m) => go!(m.as_ref()),
+        }
     }
 }
 
@@ -108,19 +117,23 @@ struct PreparedVec<T: LaneValue> {
 }
 
 impl<T: LaneValue> PreparedVec<T> {
-    fn run(&self) -> Result<SparseVec<T>, SparseError> {
+    /// Push products run through the worker's reused per-lane scratch
+    /// (ROADMAP follow-on: SpGEVM accumulators were rebuilt per call); the
+    /// pull path carries no accumulator.
+    fn run(&self, scratch: &mut ScratchSet<DynLane<T>>) -> Result<SparseVec<T>, SparseError> {
         if self.algorithm == Algorithm::Inner {
             let csc = self.b_csc.as_ref().expect("pull plan materialized CSC");
             masked_spgevm_csc(self.complemented, self.sr, &self.mask, &self.u, csc)
         } else {
             let view = self.b_view.as_ref().expect("push plan materialized view");
-            masked_spgevm(
+            scratch.run_vec(
                 self.algorithm,
                 self.complemented,
                 self.sr,
                 &self.mask,
                 &self.u,
                 view,
+                None,
             )
         }
     }
@@ -142,9 +155,9 @@ impl PreparedAny {
             PreparedAny::MatF64(p) => p.run(&mut scratch.f64).map(OpOutput::MatF64),
             PreparedAny::MatI64(p) => p.run(&mut scratch.i64).map(OpOutput::MatI64),
             PreparedAny::MatBool(p) => p.run(&mut scratch.boolean).map(OpOutput::MatBool),
-            PreparedAny::VecF64(p) => p.run().map(OpOutput::VecF64),
-            PreparedAny::VecI64(p) => p.run().map(OpOutput::VecI64),
-            PreparedAny::VecBool(p) => p.run().map(OpOutput::VecBool),
+            PreparedAny::VecF64(p) => p.run(&mut scratch.f64).map(OpOutput::VecF64),
+            PreparedAny::VecI64(p) => p.run(&mut scratch.i64).map(OpOutput::VecI64),
+            PreparedAny::VecBool(p) => p.run(&mut scratch.boolean).map(OpOutput::VecBool),
         }
     }
 }
@@ -204,7 +217,9 @@ impl Context {
                     ($variant:ident, $view:ident, $csc:ident) => {
                         Ok(PreparedAny::$variant(PreparedMat {
                             sr: DynLane::new(op.semiring),
-                            mask: self.matrix(mask),
+                            // Native mask — no lane cast for a pattern-only
+                            // operand.
+                            mask: self.value_mat(mask),
                             a: self.$view(a),
                             b: self.$view(b),
                             // Materialize the cached CSC only when the plan
@@ -216,7 +231,7 @@ impl Context {
                     };
                 }
                 match op.value {
-                    ValueKind::F64 => prep!(MatF64, matrix, csc),
+                    ValueKind::F64 => prep!(MatF64, f64_view, csc),
                     ValueKind::I64 => prep!(MatI64, i64_view, i64_csc),
                     ValueKind::Bool => prep!(MatBool, bool_view, bool_csc),
                 }
@@ -237,7 +252,7 @@ impl Context {
                     };
                 }
                 match (op.value, self.vector(u)) {
-                    (ValueKind::F64, ValueVec::F64(uv)) => prep!(VecF64, uv, matrix, csc),
+                    (ValueKind::F64, ValueVec::F64(uv)) => prep!(VecF64, uv, f64_view, csc),
                     (ValueKind::I64, ValueVec::I64(uv)) => prep!(VecI64, uv, i64_view, i64_csc),
                     (ValueKind::Bool, ValueVec::Bool(uv)) => {
                         prep!(VecBool, uv, bool_view, bool_csc)

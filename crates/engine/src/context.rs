@@ -7,11 +7,11 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock, RwLock};
 
 use masked_spgemm::{
-    hybrid_masked_spgemm, masked_spgemm, masked_spgemm_csc, Algorithm, HybridConfig, LaneValue,
-    Phases, ScratchSet, ValueKind,
+    hybrid_masked_spgemm, masked_spgemm, masked_spgemm_csc, Algorithm, DynLane, HybridConfig,
+    LaneValue, Phases, ScratchSet, ValueKind,
 };
 use sparse::transpose::transpose;
-use sparse::{CscMatrix, CsrMatrix, Semiring, SparseError, SparseVec};
+use sparse::{CscMatrix, CsrMatrix, Idx, Semiring, SparseError, SparseVec};
 
 use crate::plan::{self, Choice, Plan};
 
@@ -111,6 +111,182 @@ impl From<SparseVec<f64>> for ValueVec {
     }
 }
 
+/// A registered matrix, stored **natively** on one value lane — the matrix
+/// counterpart of [`ValueVec`] and the storage unit of the registry.
+///
+/// This is the inversion of the old `f64`-canonical scheme: a boolean
+/// adjacency matrix registered with [`Context::insert_bool`] keeps its
+/// entries at 1 byte/nnz and is multiplied directly by `bool`-lane kernels
+/// (zero-copy), while *cross-lane casts* — not the native storage — are the
+/// on-demand, byte-budgeted auxiliaries ([`Context::bool_view`] /
+/// [`Context::i64_view`] / [`Context::f64_view`] when the requested lane
+/// differs from the stored one).
+///
+/// The variants hold `Arc`s, so a `ValueMat` is a cheap clone — reading a
+/// matrix out of the context never copies its entries.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ValueMat {
+    /// Boolean lane (adjacency patterns, reachability).
+    Bool(Arc<CsrMatrix<bool>>),
+    /// Integer lane (exact counts, tropical distances).
+    I64(Arc<CsrMatrix<i64>>),
+    /// Float lane (the historical canonical storage).
+    F64(Arc<CsrMatrix<f64>>),
+}
+
+impl ValueMat {
+    /// `(nrows, ncols)`.
+    pub fn shape(&self) -> (usize, usize) {
+        match self {
+            ValueMat::Bool(m) => m.shape(),
+            ValueMat::I64(m) => m.shape(),
+            ValueMat::F64(m) => m.shape(),
+        }
+    }
+
+    /// Number of rows.
+    pub fn nrows(&self) -> usize {
+        self.shape().0
+    }
+
+    /// Number of columns.
+    pub fn ncols(&self) -> usize {
+        self.shape().1
+    }
+
+    /// Number of stored entries.
+    pub fn nnz(&self) -> usize {
+        match self {
+            ValueMat::Bool(m) => m.nnz(),
+            ValueMat::I64(m) => m.nnz(),
+            ValueMat::F64(m) => m.nnz(),
+        }
+    }
+
+    /// Which value lane the entries live on.
+    pub fn value_kind(&self) -> ValueKind {
+        match self {
+            ValueMat::Bool(_) => ValueKind::Bool,
+            ValueMat::I64(_) => ValueKind::I64,
+            ValueMat::F64(_) => ValueKind::F64,
+        }
+    }
+
+    /// Heap bytes of the native storage, with values billed at the stored
+    /// lane's actual width ([`ValueKind::value_bytes`] — 1 byte/nnz for
+    /// `bool`, not `f64` width).
+    pub fn bytes(&self) -> usize {
+        let structure = match self {
+            ValueMat::Bool(m) => m.structure_bytes(),
+            ValueMat::I64(m) => m.structure_bytes(),
+            ValueMat::F64(m) => m.structure_bytes(),
+        };
+        structure + self.nnz() * self.value_kind().value_bytes()
+    }
+
+    /// Row pointers — the structure is lane-independent, so structural
+    /// consumers (planner, flop counting) read it without dispatching.
+    pub(crate) fn rowptr(&self) -> &[usize] {
+        match self {
+            ValueMat::Bool(m) => m.rowptr(),
+            ValueMat::I64(m) => m.rowptr(),
+            ValueMat::F64(m) => m.rowptr(),
+        }
+    }
+
+    /// Column indices of all stored entries, row-major (lane-independent).
+    pub(crate) fn colidx(&self) -> &[Idx] {
+        match self {
+            ValueMat::Bool(m) => m.colidx(),
+            ValueMat::I64(m) => m.colidx(),
+            ValueMat::F64(m) => m.colidx(),
+        }
+    }
+
+    /// Column indices of row `i`.
+    pub(crate) fn row_cols(&self, i: usize) -> &[Idx] {
+        let (s, e) = (self.rowptr()[i], self.rowptr()[i + 1]);
+        &self.colidx()[s..e]
+    }
+
+    /// Stored entries in row `i`.
+    pub(crate) fn row_nnz(&self, i: usize) -> usize {
+        self.rowptr()[i + 1] - self.rowptr()[i]
+    }
+
+    fn max_row_nnz(&self) -> usize {
+        match self {
+            ValueMat::Bool(m) => m.max_row_nnz(),
+            ValueMat::I64(m) => m.max_row_nnz(),
+            ValueMat::F64(m) => m.max_row_nnz(),
+        }
+    }
+
+    fn nonempty_rows(&self) -> usize {
+        match self {
+            ValueMat::Bool(m) => m.nonempty_rows(),
+            ValueMat::I64(m) => m.nonempty_rows(),
+            ValueMat::F64(m) => m.nonempty_rows(),
+        }
+    }
+
+    /// Native-lane transpose (the lane travels with the structure).
+    fn transposed(&self) -> ValueMat {
+        match self {
+            ValueMat::Bool(m) => ValueMat::Bool(Arc::new(transpose(m))),
+            ValueMat::I64(m) => ValueMat::I64(Arc::new(transpose(m))),
+            ValueMat::F64(m) => ValueMat::F64(Arc::new(transpose(m))),
+        }
+    }
+
+    /// Cast to lane `T` (see [`LaneValue`]'s cast rules). Callers are
+    /// expected to have taken the zero-copy native path already when
+    /// `T::KIND == self.value_kind()`.
+    fn cast<T: LaneValue>(&self) -> CsrMatrix<T> {
+        match self {
+            ValueMat::Bool(m) => m.map_values(T::cast_from),
+            ValueMat::I64(m) => m.map_values(T::cast_from),
+            ValueMat::F64(m) => m.map_values(T::cast_from),
+        }
+    }
+}
+
+impl From<CsrMatrix<bool>> for ValueMat {
+    fn from(m: CsrMatrix<bool>) -> Self {
+        ValueMat::Bool(Arc::new(m))
+    }
+}
+
+impl From<CsrMatrix<i64>> for ValueMat {
+    fn from(m: CsrMatrix<i64>) -> Self {
+        ValueMat::I64(Arc::new(m))
+    }
+}
+
+impl From<CsrMatrix<f64>> for ValueMat {
+    fn from(m: CsrMatrix<f64>) -> Self {
+        ValueMat::F64(Arc::new(m))
+    }
+}
+
+impl From<Arc<CsrMatrix<bool>>> for ValueMat {
+    fn from(m: Arc<CsrMatrix<bool>>) -> Self {
+        ValueMat::Bool(m)
+    }
+}
+
+impl From<Arc<CsrMatrix<i64>>> for ValueMat {
+    fn from(m: Arc<CsrMatrix<i64>>) -> Self {
+        ValueMat::I64(m)
+    }
+}
+
+impl From<Arc<CsrMatrix<f64>>> for ValueMat {
+    fn from(m: Arc<CsrMatrix<f64>>) -> Self {
+        ValueMat::F64(m)
+    }
+}
+
 /// One registered vector: the current value plus a version stamp (bumped on
 /// every [`Context::update_vec`], which is how plan-cache coherence works
 /// for frontier-style vectors that change every level).
@@ -126,46 +302,54 @@ type Slot<T> = RwLock<Option<Arc<T>>>;
 
 /// One registered matrix plus lazily-computed auxiliaries.
 ///
-/// The heavyweight auxiliaries (CSC copy, transpose, degree vector) live in
-/// evictable [`Slot`]s accounted against the context's byte budget; cheap
-/// scalar statistics stay in `OnceLock`s. [`Context::update`] replaces the
-/// whole entry, which is what makes invalidation correct by construction:
-/// stale auxiliaries are unreachable, not flagged.
+/// The matrix itself is stored **natively typed** ([`ValueMat`]); the
+/// heavyweight auxiliaries — per-lane cast views and CSC forms, the
+/// native-lane transpose, the degree vector — live in evictable [`Slot`]s
+/// accounted against the context's byte budget, and cheap scalar
+/// statistics stay in `OnceLock`s. A cast/CSC slot exists per lane, but
+/// the slot of the *stored* lane is never populated: requests for the
+/// native lane are served zero-copy from `matrix` itself.
+/// [`Context::update_typed`] replaces the whole entry, which is what makes
+/// invalidation correct by construction: stale auxiliaries (every lane's)
+/// are unreachable, not flagged.
 pub(crate) struct Entry {
-    pub(crate) matrix: Arc<CsrMatrix<f64>>,
+    pub(crate) matrix: ValueMat,
     pub(crate) version: u64,
-    csc: Slot<CscMatrix<f64>>,
-    transposed: Slot<CsrMatrix<f64>>,
+    /// Cross-lane cast views in CSR form, one slot per non-native lane.
+    cast_bool: Slot<CsrMatrix<bool>>,
+    cast_i64: Slot<CsrMatrix<i64>>,
+    cast_f64: Slot<CsrMatrix<f64>>,
+    /// CSC forms per lane (the stored lane's slot holds the CSC of the
+    /// native matrix; others hold the CSC of the lane's cast view).
+    csc_bool: Slot<CscMatrix<bool>>,
+    csc_i64: Slot<CscMatrix<i64>>,
+    csc_f64: Slot<CscMatrix<f64>>,
+    /// Native-lane transpose.
+    transposed: Slot<ValueMat>,
     /// Registered handle for the transpose, so engine operations can use
     /// `Aᵀ` as an operand with its own cached auxiliaries. Owned by this
     /// entry: removed alongside it on update/remove.
     transpose_handle: OnceLock<MatrixHandle>,
     row_degrees: Slot<Vec<u32>>,
-    /// Typed value-lane views of the matrix (`bool`/`i64` copies in CSR
-    /// and CSC form), built lazily for operations that run on a non-`f64`
-    /// lane and evicted like every other auxiliary.
-    bool_view: Slot<CsrMatrix<bool>>,
-    i64_view: Slot<CsrMatrix<i64>>,
-    bool_csc: Slot<CscMatrix<bool>>,
-    i64_csc: Slot<CscMatrix<i64>>,
     max_row_nnz: OnceLock<usize>,
     nonempty_rows: OnceLock<usize>,
     plan_class: OnceLock<u64>,
 }
 
 impl Entry {
-    fn new(matrix: Arc<CsrMatrix<f64>>, version: u64) -> Self {
+    fn new(matrix: ValueMat, version: u64) -> Self {
         Entry {
             matrix,
             version,
-            csc: RwLock::new(None),
+            cast_bool: RwLock::new(None),
+            cast_i64: RwLock::new(None),
+            cast_f64: RwLock::new(None),
+            csc_bool: RwLock::new(None),
+            csc_i64: RwLock::new(None),
+            csc_f64: RwLock::new(None),
             transposed: RwLock::new(None),
             transpose_handle: OnceLock::new(),
             row_degrees: RwLock::new(None),
-            bool_view: RwLock::new(None),
-            i64_view: RwLock::new(None),
-            bool_csc: RwLock::new(None),
-            i64_csc: RwLock::new(None),
             max_row_nnz: OnceLock::new(),
             nonempty_rows: OnceLock::new(),
             plan_class: OnceLock::new(),
@@ -184,27 +368,41 @@ impl Entry {
 
     fn clear_aux(&self, kind: AuxKind) {
         match kind {
-            AuxKind::Csc => *self.csc.write().expect("csc slot lock") = None,
+            AuxKind::Cast(ValueKind::Bool) => {
+                *self.cast_bool.write().expect("bool cast slot lock") = None
+            }
+            AuxKind::Cast(ValueKind::I64) => {
+                *self.cast_i64.write().expect("i64 cast slot lock") = None
+            }
+            AuxKind::Cast(ValueKind::F64) => {
+                *self.cast_f64.write().expect("f64 cast slot lock") = None
+            }
+            AuxKind::Csc(ValueKind::Bool) => {
+                *self.csc_bool.write().expect("bool csc slot lock") = None
+            }
+            AuxKind::Csc(ValueKind::I64) => {
+                *self.csc_i64.write().expect("i64 csc slot lock") = None
+            }
+            AuxKind::Csc(ValueKind::F64) => {
+                *self.csc_f64.write().expect("f64 csc slot lock") = None
+            }
             AuxKind::Transpose => *self.transposed.write().expect("transpose slot lock") = None,
             AuxKind::RowDegrees => *self.row_degrees.write().expect("degrees slot lock") = None,
-            AuxKind::BoolView => *self.bool_view.write().expect("bool view slot lock") = None,
-            AuxKind::I64View => *self.i64_view.write().expect("i64 view slot lock") = None,
-            AuxKind::BoolCsc => *self.bool_csc.write().expect("bool csc slot lock") = None,
-            AuxKind::I64Csc => *self.i64_csc.write().expect("i64 csc slot lock") = None,
         }
     }
 }
 
-/// Which evictable auxiliary a ledger record tracks.
+/// Which evictable auxiliary a ledger record tracks. Cast views and CSC
+/// forms are tracked *per lane*, which is what lets eviction, status
+/// reporting, and invalidation reason about exactly one lane's slot.
 #[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
 enum AuxKind {
-    Csc,
+    /// Cross-lane CSR cast view on the given lane.
+    Cast(ValueKind),
+    /// CSC form on the given lane.
+    Csc(ValueKind),
     Transpose,
     RowDegrees,
-    BoolView,
-    I64View,
-    BoolCsc,
-    I64Csc,
 }
 
 /// Byte accounting for the evictable auxiliaries, LRU-stamped.
@@ -246,21 +444,40 @@ pub struct AuxCacheStats {
 
 /// Which auxiliaries a handle currently has materialized (diagnostics and
 /// cache-invalidation tests).
+///
+/// The `has_*_view` flags report **cross-lane cast slots** only: the
+/// stored lane is served zero-copy from the native matrix, so its flag is
+/// always `false` — which is exactly how a test asserts that a natively
+/// registered matrix never materialized a canonical copy on another lane.
 #[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
 pub struct AuxStatus {
-    /// Entry version (bumped by every [`Context::update`] that changes the
-    /// matrix).
+    /// Entry version (bumped by every [`Context::update`] /
+    /// [`Context::update_typed`] that changes the matrix).
     pub version: u64,
-    /// CSC copy built.
+    /// CSC form of the **stored** lane built.
     pub has_csc: bool,
-    /// Transpose built.
+    /// Native-lane transpose built.
     pub has_transpose: bool,
     /// Row-degree vector built.
     pub has_row_degrees: bool,
-    /// `bool`-lane CSR view built.
+    /// `bool`-lane CSR cast built (always `false` when stored `bool`).
     pub has_bool_view: bool,
-    /// `i64`-lane CSR view built.
+    /// `i64`-lane CSR cast built (always `false` when stored `i64`).
     pub has_i64_view: bool,
+    /// `f64`-lane CSR cast built (always `false` when stored `f64` — one
+    /// half of the "no f64 canonical was ever manufactured" witness for
+    /// natively `bool`/`i64` matrices; [`AuxStatus::has_f64_csc`] is the
+    /// other).
+    pub has_f64_view: bool,
+    /// `bool`-lane CSC built (for the stored lane this duplicates
+    /// [`AuxStatus::has_csc`]).
+    pub has_bool_csc: bool,
+    /// `i64`-lane CSC built.
+    pub has_i64_csc: bool,
+    /// `f64`-lane CSC built — an `f64`-valued CSC on a `bool`/`i64`-stored
+    /// entry is as much an f64 detour as a cast view, so the witness must
+    /// see it.
+    pub has_f64_csc: bool,
 }
 
 /// Cheap per-matrix statistics read from the cache.
@@ -274,6 +491,11 @@ pub struct MatrixStats {
     pub max_row_nnz: usize,
     /// Rows with at least one entry.
     pub nonempty_rows: usize,
+    /// The lane the matrix is natively stored on.
+    pub value: ValueKind,
+    /// Heap bytes of the native storage (values billed at the stored
+    /// lane's width — see [`ValueMat::bytes`]).
+    pub bytes: usize,
 }
 
 /// Plan-cache key: the structural fingerprint classes of the three operands
@@ -368,6 +590,28 @@ pub struct Context {
     /// serially on the calling thread (0 = never; installed by
     /// [`Context::calibrate`] from the measured dispatch overhead).
     serial_cutoff: RwLock<f64>,
+    /// Reusable per-lane SpGEVM kernel scratch for the single-op vector
+    /// path (batch workers hold their own sets). Guarded by `try_lock`
+    /// with a transient-scratch fallback, so concurrent single ops never
+    /// block each other — they just skip the reuse.
+    pub(crate) vec_scratch: VecScratch,
+}
+
+/// One reusable erased-semiring SpGEVM scratch set per value lane.
+pub(crate) struct VecScratch {
+    pub(crate) bool_: Mutex<ScratchSet<DynLane<bool>>>,
+    pub(crate) i64_: Mutex<ScratchSet<DynLane<i64>>>,
+    pub(crate) f64_: Mutex<ScratchSet<DynLane<f64>>>,
+}
+
+impl VecScratch {
+    fn new() -> Self {
+        VecScratch {
+            bool_: Mutex::new(ScratchSet::new()),
+            i64_: Mutex::new(ScratchSet::new()),
+            f64_: Mutex::new(ScratchSet::new()),
+        }
+    }
 }
 
 impl Default for Context {
@@ -376,16 +620,17 @@ impl Default for Context {
     }
 }
 
-/// Approximate heap footprint of a CSR matrix, for the aux-cache ledger.
+/// Heap footprint of a CSR matrix for the aux-cache ledger — delegates to
+/// [`CsrMatrix::heap_bytes`], which bills values at the *actual* stored
+/// lane's width (a `bool` cast view costs 1 byte/nnz, not `f64` width).
 fn csr_bytes<T>(m: &CsrMatrix<T>) -> usize {
-    (m.nrows() + 1) * mem::size_of::<usize>()
-        + m.nnz() * (mem::size_of::<u32>() + mem::size_of::<T>())
+    m.heap_bytes()
 }
 
-/// Approximate heap footprint of a CSC matrix, for the aux-cache ledger.
+/// Heap footprint of a CSC matrix for the aux-cache ledger (same
+/// per-stored-lane accounting as [`csr_bytes`]).
 fn csc_bytes<T>(m: &CscMatrix<T>) -> usize {
-    (m.ncols() + 1) * mem::size_of::<usize>()
-        + m.nnz() * (mem::size_of::<u32>() + mem::size_of::<T>())
+    m.heap_bytes()
 }
 
 /// Quantize a count to ~1.5× steps (most-significant bit plus the bit
@@ -428,6 +673,7 @@ impl Context {
             plan_cache: Mutex::new(PlanCacheState::new()),
             aux_ledger: Mutex::new(AuxLedger::new()),
             serial_cutoff: RwLock::new(0.0),
+            vec_scratch: VecScratch::new(),
         }
     }
 
@@ -495,39 +741,93 @@ impl Context {
 
     // ------------------------------------------------------------ registry
 
-    /// Register a matrix and return its handle.
+    /// Register a matrix on the `f64` lane and return its handle —
+    /// equivalent to [`Context::insert_typed`] with an `f64` matrix; the
+    /// historical entry point, kept so existing call sites compile
+    /// unchanged.
     pub fn insert(&self, matrix: CsrMatrix<f64>) -> MatrixHandle {
-        self.insert_shared(Arc::new(matrix))
+        self.insert_typed(matrix)
     }
 
-    /// Register an already-shared matrix without copying it (e.g. a cached
-    /// transpose obtained from [`Context::transposed`]).
+    /// Register an already-shared `f64` matrix without copying it (e.g. a
+    /// cached transpose obtained from [`Context::transposed`]).
     pub fn insert_shared(&self, matrix: Arc<CsrMatrix<f64>>) -> MatrixHandle {
+        self.insert_typed(ValueMat::F64(matrix))
+    }
+
+    /// Register a matrix with **native** storage on its own value lane.
+    ///
+    /// Accepts a typed `CsrMatrix<bool|i64|f64>`, a shared
+    /// `Arc<CsrMatrix<_>>`, or a [`ValueMat`]; the entries are stored as-is
+    /// (a boolean adjacency costs 1 byte/nnz, with *no* `f64` canonical
+    /// copy anywhere), operations whose lane matches the stored lane read
+    /// it zero-copy, and cross-lane casts are built on demand as evictable
+    /// auxiliaries.
+    ///
+    /// ```
+    /// use engine::{Context, ValueKind};
+    /// use sparse::CsrMatrix;
+    ///
+    /// let ctx = Context::with_threads(1);
+    /// let adj = CsrMatrix::try_new(2, 2, vec![0, 1, 2], vec![1, 0], vec![true, true]).unwrap();
+    /// let h = ctx.insert_typed(adj);
+    /// assert_eq!(ctx.stats(h).value, ValueKind::Bool);
+    /// ```
+    pub fn insert_typed(&self, matrix: impl Into<ValueMat>) -> MatrixHandle {
         let id = self.next_id.fetch_add(1, Ordering::Relaxed);
         let version = self.next_version.fetch_add(1, Ordering::Relaxed);
-        let entry = Arc::new(Entry::new(matrix, version));
+        let entry = Arc::new(Entry::new(matrix.into(), version));
         self.store.write().expect("store lock").insert(id, entry);
         MatrixHandle(id)
     }
 
-    /// Replace the matrix behind `handle`, invalidating all cached
-    /// auxiliaries (including superseded flops-cache entries and any
-    /// derived transpose handle). An update with an identical matrix (same
-    /// structure and values) keeps the cache warm instead.
+    /// Register a boolean matrix natively ([`Context::insert_typed`] on
+    /// the `bool` lane).
+    pub fn insert_bool(&self, matrix: CsrMatrix<bool>) -> MatrixHandle {
+        self.insert_typed(matrix)
+    }
+
+    /// Register an integer matrix natively ([`Context::insert_typed`] on
+    /// the `i64` lane).
+    pub fn insert_i64(&self, matrix: CsrMatrix<i64>) -> MatrixHandle {
+        self.insert_typed(matrix)
+    }
+
+    /// Replace the matrix behind `handle` on the `f64` lane — equivalent
+    /// to [`Context::update_typed`] with an `f64` matrix.
     pub fn update(&self, handle: MatrixHandle, matrix: CsrMatrix<f64>) {
+        self.update_typed(handle, matrix)
+    }
+
+    /// Replace the boolean matrix behind `handle`
+    /// ([`Context::update_typed`] on the `bool` lane).
+    pub fn update_bool(&self, handle: MatrixHandle, matrix: CsrMatrix<bool>) {
+        self.update_typed(handle, matrix)
+    }
+
+    /// Replace the integer matrix behind `handle`
+    /// ([`Context::update_typed`] on the `i64` lane).
+    pub fn update_i64(&self, handle: MatrixHandle, matrix: CsrMatrix<i64>) {
+        self.update_typed(handle, matrix)
+    }
+
+    /// Replace the matrix behind `handle` (the stored lane may change),
+    /// invalidating all cached auxiliaries — every lane's cast and CSC
+    /// slots, the transpose, degrees, superseded flops-cache entries, and
+    /// any derived transpose handle. An update with an identical matrix
+    /// (same lane, structure, and values) keeps the cache warm instead.
+    pub fn update_typed(&self, handle: MatrixHandle, matrix: impl Into<ValueMat>) {
+        let matrix = matrix.into();
         let derived;
         {
             let mut store = self.store.write().expect("store lock");
             let entry = store.get_mut(&handle.0).expect("handle not registered");
-            if entry.matrix.nnz() == matrix.nnz()
-                && entry.matrix.shape() == matrix.shape()
-                && *entry.matrix == matrix
-            {
+            if entry.matrix == matrix {
                 return; // no change — cached auxiliaries stay valid
             }
             derived = entry.transpose_handle.get().copied();
             let version = self.next_version.fetch_add(1, Ordering::Relaxed);
-            *entry = Arc::new(Entry::new(Arc::new(matrix), version));
+            *entry = Arc::new(Entry::new(matrix, version));
             if let Some(d) = derived {
                 store.remove(&d.0);
             }
@@ -601,9 +901,35 @@ impl Context {
             .clone()
     }
 
-    /// The matrix behind a handle.
-    pub fn matrix(&self, handle: MatrixHandle) -> Arc<CsrMatrix<f64>> {
+    /// The natively-stored matrix behind a handle (cheap clone — the
+    /// entries are shared, whatever lane they live on).
+    pub fn value_mat(&self, handle: MatrixHandle) -> ValueMat {
         self.entry(handle).matrix.clone()
+    }
+
+    /// The value lane the matrix behind `handle` is natively stored on.
+    pub fn matrix_kind(&self, handle: MatrixHandle) -> ValueKind {
+        self.entry(handle).matrix.value_kind()
+    }
+
+    /// The `f64`-lane view of the matrix behind a handle: the native
+    /// storage itself (zero-copy) when the entry is stored `f64`, else the
+    /// cached cast ([`Context::f64_view`]). The historical accessor — for
+    /// `f64`-registered matrices it behaves exactly as before; callers
+    /// that want the native lane use [`Context::value_mat`].
+    pub fn matrix(&self, handle: MatrixHandle) -> Arc<CsrMatrix<f64>> {
+        self.f64_view(handle)
+    }
+
+    /// Total heap bytes of all natively-stored registry entries (cast/CSC
+    /// auxiliaries are accounted separately — [`Context::aux_cache_stats`]).
+    pub fn registry_bytes(&self) -> usize {
+        self.store
+            .read()
+            .expect("store lock")
+            .values()
+            .map(|e| e.matrix.bytes())
+            .sum()
     }
 
     // ------------------------------------------------------ vector registry
@@ -758,6 +1084,16 @@ impl Context {
         }
     }
 
+    /// Drop the ledger record of `(id, kind)` without clearing the slot —
+    /// for auxiliaries whose ownership moved elsewhere (a transpose
+    /// promoted to a registry entry), where eviction would free nothing.
+    fn uncharge_aux(&self, handle: MatrixHandle, kind: AuxKind) {
+        let mut ledger = self.aux_ledger.lock().expect("aux ledger lock");
+        if let Some((bytes, _, _)) = ledger.records.remove(&(handle.0, kind)) {
+            ledger.total_bytes -= bytes;
+        }
+    }
+
     /// Evict LRU auxiliaries until the ledger is back under budget.
     /// `protect` (the auxiliary just built) is evicted only last, so one
     /// oversized auxiliary cannot thrash itself out while still in use.
@@ -799,13 +1135,18 @@ impl Context {
 
     /// The shared slot discipline of every evictable auxiliary: serve and
     /// LRU-touch a resident value, otherwise build it, publish it (first
-    /// writer wins a build race), and charge the ledger.
+    /// writer wins a build race), and charge the ledger. Only the
+    /// **publishing** thread charges — a build-race loser must not insert
+    /// a record for a value it did not publish, because the winner may
+    /// have been [`Context::transposed_for_promote`], whose value is
+    /// deliberately uncharged (owned by a registry entry); a loser's
+    /// late charge would double-bill those bytes.
     fn cached_aux<T: Send + Sync>(
         &self,
         handle: MatrixHandle,
         kind: AuxKind,
         slot: impl for<'a> Fn(&'a Entry) -> &'a Slot<T>,
-        build: impl FnOnce(&CsrMatrix<f64>) -> T,
+        build: impl FnOnce(&Entry) -> T,
         bytes: impl FnOnce(&T) -> usize,
     ) -> Arc<T> {
         let e = self.entry(handle);
@@ -813,115 +1154,223 @@ impl Context {
             self.touch_aux(handle, kind);
             return v;
         }
-        let built = Arc::new(build(&e.matrix));
+        let built = Arc::new(build(&e));
         let nbytes = bytes(&built);
-        let out = {
+        let (out, published) = {
             let mut s = slot(&e).write().expect("aux slot lock");
             match &*s {
-                Some(existing) => existing.clone(), // lost a build race
+                Some(existing) => (existing.clone(), false), // lost a build race
                 None => {
                     *s = Some(built.clone());
-                    built
+                    (built, true)
                 }
             }
         };
-        self.charge_aux(handle, e.version, kind, nbytes);
+        if published {
+            self.charge_aux(handle, e.version, kind, nbytes);
+        } else {
+            self.touch_aux(handle, kind);
+        }
         out
     }
 
-    /// Cached CSC form (built on first call, dropped under budget
-    /// pressure, rebuilt on demand).
+    /// The `bool`-lane CSR form of the matrix: the native storage itself
+    /// (zero-copy) when the entry was registered on the `bool` lane,
+    /// otherwise the cached cast view (`v != 0` per entry) built on first
+    /// call, dropped under budget pressure, and rebuilt on demand — what
+    /// boolean-semiring operations (BFS frontier expansion) multiply
+    /// against.
+    pub fn bool_view(&self, handle: MatrixHandle) -> Arc<CsrMatrix<bool>> {
+        if let ValueMat::Bool(m) = &self.entry(handle).matrix {
+            return m.clone();
+        }
+        self.cached_aux(
+            handle,
+            AuxKind::Cast(ValueKind::Bool),
+            |e| &e.cast_bool,
+            |e| e.matrix.cast(),
+            csr_bytes,
+        )
+    }
+
+    /// The `i64`-lane CSR form (native zero-copy or cached cast; `f64`
+    /// values truncate) — the operand of exact integer-semiring operations.
+    pub fn i64_view(&self, handle: MatrixHandle) -> Arc<CsrMatrix<i64>> {
+        if let ValueMat::I64(m) = &self.entry(handle).matrix {
+            return m.clone();
+        }
+        self.cached_aux(
+            handle,
+            AuxKind::Cast(ValueKind::I64),
+            |e| &e.cast_i64,
+            |e| e.matrix.cast(),
+            csr_bytes,
+        )
+    }
+
+    /// The `f64`-lane CSR form (native zero-copy or cached cast) — the
+    /// compatibility view behind [`Context::matrix`]. Natively `bool`/`i64`
+    /// matrices only ever pay for this when an `f64`-lane operation
+    /// actually asks for them.
+    pub fn f64_view(&self, handle: MatrixHandle) -> Arc<CsrMatrix<f64>> {
+        if let ValueMat::F64(m) = &self.entry(handle).matrix {
+            return m.clone();
+        }
+        self.cached_aux(
+            handle,
+            AuxKind::Cast(ValueKind::F64),
+            |e| &e.cast_f64,
+            |e| e.matrix.cast(),
+            csr_bytes,
+        )
+    }
+
+    /// Cached CSC form on the `f64` lane (built from the `f64` view on
+    /// first call, dropped under budget pressure, rebuilt on demand).
     pub fn csc(&self, handle: MatrixHandle) -> Arc<CscMatrix<f64>> {
         self.cached_aux(
             handle,
-            AuxKind::Csc,
-            |e| &e.csc,
-            CscMatrix::from_csr,
+            AuxKind::Csc(ValueKind::F64),
+            |e| &e.csc_f64,
+            |_| CscMatrix::from_csr(&self.f64_view(handle)),
             csc_bytes,
         )
     }
 
-    /// Cached transpose (built on first call, dropped under budget
-    /// pressure, rebuilt on demand).
-    pub fn transposed(&self, handle: MatrixHandle) -> Arc<CsrMatrix<f64>> {
-        self.cached_aux(
-            handle,
-            AuxKind::Transpose,
-            |e| &e.transposed,
-            transpose,
-            csr_bytes,
-        )
-    }
-
-    /// Cached `bool`-lane view of the matrix (`v != 0.0` per entry) —
-    /// what boolean-semiring operations (BFS frontier expansion) multiply
-    /// against instead of re-deriving a boolean copy per call.
-    pub fn bool_view(&self, handle: MatrixHandle) -> Arc<CsrMatrix<bool>> {
-        self.cached_aux(
-            handle,
-            AuxKind::BoolView,
-            |e| &e.bool_view,
-            |m| m.map(|&v| bool::from_f64(v)),
-            csr_bytes,
-        )
-    }
-
-    /// Cached `i64`-lane view of the matrix (values truncated) — the
-    /// operand of exact integer-semiring operations.
-    pub fn i64_view(&self, handle: MatrixHandle) -> Arc<CsrMatrix<i64>> {
-        self.cached_aux(
-            handle,
-            AuxKind::I64View,
-            |e| &e.i64_view,
-            |m| m.map(|&v| i64::from_f64(v)),
-            csr_bytes,
-        )
-    }
-
-    /// Cached CSC form of the `bool`-lane view (pull-based boolean ops).
-    /// The CSR view is fetched inside the build closure, so a resident CSC
-    /// is served without touching (or rebuilding) the view slot.
+    /// Cached CSC form on the `bool` lane (pull-based boolean ops). The
+    /// CSR form is fetched inside the build closure, so a resident CSC is
+    /// served without touching (or rebuilding) the cast slot; for natively
+    /// `bool` matrices this is the CSC of the native storage.
     pub fn bool_csc(&self, handle: MatrixHandle) -> Arc<CscMatrix<bool>> {
         self.cached_aux(
             handle,
-            AuxKind::BoolCsc,
-            |e| &e.bool_csc,
+            AuxKind::Csc(ValueKind::Bool),
+            |e| &e.csc_bool,
             |_| CscMatrix::from_csr(&self.bool_view(handle)),
             csc_bytes,
         )
     }
 
-    /// Cached CSC form of the `i64`-lane view (pull-based integer ops; see
+    /// Cached CSC form on the `i64` lane (pull-based integer ops; see
     /// [`Context::bool_csc`] for the lazy-view discipline).
     pub fn i64_csc(&self, handle: MatrixHandle) -> Arc<CscMatrix<i64>> {
         self.cached_aux(
             handle,
-            AuxKind::I64Csc,
-            |e| &e.i64_csc,
+            AuxKind::Csc(ValueKind::I64),
+            |e| &e.csc_i64,
             |_| CscMatrix::from_csr(&self.i64_view(handle)),
             csc_bytes,
         )
     }
 
-    /// Handle for the cached transpose, registered on first call and owned
-    /// by the parent entry: it shares the cached `Aᵀ` storage, carries its
-    /// own auxiliaries (degrees, CSC, plans), and is removed or invalidated
-    /// together with the parent. Lets repeated calls (BC sweeps, similarity
-    /// joins) use `Aᵀ` as an operand without re-registering it per call.
-    pub fn transpose_handle(&self, handle: MatrixHandle) -> MatrixHandle {
-        let e = self.entry(handle);
-        *e.transpose_handle
-            .get_or_init(|| self.insert_shared(self.transposed(handle)))
+    /// Cached native-lane transpose (built on first call, dropped under
+    /// budget pressure, rebuilt on demand). The lane travels with the
+    /// structure: a `bool`-stored matrix has a `bool` transpose.
+    pub fn transposed_mat(&self, handle: MatrixHandle) -> ValueMat {
+        (*self.cached_aux(
+            handle,
+            AuxKind::Transpose,
+            |e| &e.transposed,
+            |e| e.matrix.transposed(),
+            |t| t.bytes(),
+        ))
+        .clone()
     }
 
-    /// Cached row-degree vector (built on first call, dropped under budget
-    /// pressure, rebuilt on demand).
+    /// Cached transpose on the `f64` lane — the historical accessor,
+    /// unchanged for `f64`-stored matrices (an evictable aux slot). For
+    /// natively `bool`/`i64` matrices the native transpose is computed
+    /// first and its `f64` cast is cached on the derived transpose
+    /// handle, which this call registers ([`Context::transpose_handle`] —
+    /// owned by the parent entry, freed with it).
+    pub fn transposed(&self, handle: MatrixHandle) -> Arc<CsrMatrix<f64>> {
+        match self.transposed_mat(handle) {
+            ValueMat::F64(m) => m,
+            _ => self.f64_view(self.transpose_handle(handle)),
+        }
+    }
+
+    /// The transpose for promotion to a registry entry: serve or build the
+    /// slot like [`Context::transposed_mat`], but **without** charging the
+    /// ledger — the bytes are about to be owned by a registry entry
+    /// (counted by `registry_bytes`), and charging first would evict
+    /// unrelated hot auxiliaries to make room for a record that is
+    /// immediately released again. Any record a concurrent
+    /// [`Context::transposed_mat`] managed to charge is dropped (evicting
+    /// the slot would free nothing once the entry pins the Arc).
+    fn transposed_for_promote(&self, e: &Entry, handle: MatrixHandle) -> ValueMat {
+        let resident = e.transposed.read().expect("transpose slot lock").clone();
+        let out = match resident {
+            Some(t) => (*t).clone(),
+            None => {
+                let built = Arc::new(e.matrix.transposed());
+                let mut s = e.transposed.write().expect("transpose slot lock");
+                match &*s {
+                    Some(existing) => (**existing).clone(), // lost a build race
+                    None => {
+                        *s = Some(built.clone());
+                        (*built).clone()
+                    }
+                }
+            }
+        };
+        self.uncharge_aux(handle, AuxKind::Transpose);
+        out
+    }
+
+    /// Handle for the cached transpose, registered on first call and owned
+    /// by the parent entry: it shares the cached `Aᵀ` storage (on the
+    /// parent's native lane), carries its own auxiliaries (degrees, CSC,
+    /// plans), and is removed or invalidated together with the parent.
+    /// Lets repeated calls (BC sweeps, similarity joins) use `Aᵀ` as an
+    /// operand without re-registering it per call.
+    pub fn transpose_handle(&self, handle: MatrixHandle) -> MatrixHandle {
+        loop {
+            let e = self.entry(handle);
+            let derived = *e
+                .transpose_handle
+                .get_or_init(|| self.insert_typed(self.transposed_for_promote(&e, handle)));
+            // A concurrent update/remove may have superseded `e` while the
+            // init ran; its OnceLock (and the derived entry registered
+            // into it) are then unreachable from the store, so the
+            // update's derived-handle cleanup never saw them. Detect the
+            // supersede, drop the orphan, and retry against the current
+            // entry (same discipline as `charge_aux`'s version guard).
+            let current = self
+                .store
+                .read()
+                .expect("store lock")
+                .get(&handle.0)
+                .cloned();
+            match current {
+                Some(cur)
+                    if cur.version == e.version || cur.transpose_handle.get() == Some(&derived) =>
+                {
+                    return derived;
+                }
+                Some(_) => self.remove(derived), // orphaned by an update — retry
+                None => {
+                    // Parent removed mid-init: the derived entry must not
+                    // outlive it.
+                    self.remove(derived);
+                    panic!("handle not registered");
+                }
+            }
+        }
+    }
+
+    /// Cached row-degree vector (structure-only; built on first call,
+    /// dropped under budget pressure, rebuilt on demand).
     pub fn row_degrees(&self, handle: MatrixHandle) -> Arc<Vec<u32>> {
         self.cached_aux(
             handle,
             AuxKind::RowDegrees,
             |e| &e.row_degrees,
-            |m| (0..m.nrows()).map(|i| m.row_nnz(i) as u32).collect(),
+            |e| {
+                (0..e.matrix.nrows())
+                    .map(|i| e.matrix.row_nnz(i) as u32)
+                    .collect()
+            },
             |d| d.len() * mem::size_of::<u32>(),
         )
     }
@@ -934,25 +1383,33 @@ impl Context {
             nnz: e.matrix.nnz(),
             max_row_nnz: e.max_row_nnz(),
             nonempty_rows: e.nonempty_rows(),
+            value: e.matrix.value_kind(),
+            bytes: e.matrix.bytes(),
         }
     }
 
-    /// Which auxiliaries are currently materialized for `handle`.
+    /// Which auxiliaries are currently materialized for `handle` (see
+    /// [`AuxStatus`] for the per-lane cast semantics).
     pub fn aux_status(&self, handle: MatrixHandle) -> AuxStatus {
         let e = self.entry(handle);
-        let has_csc = e.csc.read().expect("csc slot lock").is_some();
-        let has_transpose = e.transposed.read().expect("transpose slot lock").is_some();
-        let has_row_degrees = e.row_degrees.read().expect("degrees slot lock").is_some();
-        let has_bool_view = e.bool_view.read().expect("bool view slot lock").is_some();
-        let has_i64_view = e.i64_view.read().expect("i64 view slot lock").is_some();
-        AuxStatus {
+        let has_csc = match e.matrix.value_kind() {
+            ValueKind::Bool => e.csc_bool.read().expect("csc slot lock").is_some(),
+            ValueKind::I64 => e.csc_i64.read().expect("csc slot lock").is_some(),
+            ValueKind::F64 => e.csc_f64.read().expect("csc slot lock").is_some(),
+        };
+        let status = AuxStatus {
             version: e.version,
             has_csc,
-            has_transpose,
-            has_row_degrees,
-            has_bool_view,
-            has_i64_view,
-        }
+            has_transpose: e.transposed.read().expect("transpose slot lock").is_some(),
+            has_row_degrees: e.row_degrees.read().expect("degrees slot lock").is_some(),
+            has_bool_view: e.cast_bool.read().expect("bool cast slot lock").is_some(),
+            has_i64_view: e.cast_i64.read().expect("i64 cast slot lock").is_some(),
+            has_f64_view: e.cast_f64.read().expect("f64 cast slot lock").is_some(),
+            has_bool_csc: e.csc_bool.read().expect("bool csc slot lock").is_some(),
+            has_i64_csc: e.csc_i64.read().expect("i64 csc slot lock").is_some(),
+            has_f64_csc: e.csc_f64.read().expect("f64 csc slot lock").is_some(),
+        };
+        status
     }
 
     /// The structural fingerprint class of the matrix behind `handle` —
@@ -975,6 +1432,14 @@ impl Context {
             mix(e.matrix.nrows() as u64);
             mix(e.matrix.ncols() as u64);
             mix(log_bucket(e.matrix.nnz()));
+            // The stored kind tags the class: a natively-bool operand and
+            // its f64 twin resolve operands differently (zero-copy vs
+            // cast), so their plans must not alias.
+            mix(match e.matrix.value_kind() {
+                ValueKind::Bool => 1,
+                ValueKind::I64 => 2,
+                ValueKind::F64 => 3,
+            });
             h
         })
     }
@@ -988,6 +1453,7 @@ impl Context {
             return f;
         }
         let bdeg = self.row_degrees(b);
+        // Structure-only: the flop count never touches a value lane.
         let f: u64 = ea
             .matrix
             .colidx()
@@ -1114,7 +1580,9 @@ impl Context {
     /// Run one masked SpGEMM under an explicit plan against caller-supplied
     /// typed operand views — the lane-generic core every execution entry
     /// point (the `f64` handle path and the typed-lane dispatch in
-    /// [`crate::MaskedOp`] execution) shares. `b_csc` is invoked only when
+    /// [`crate::MaskedOp`] execution) shares. The mask is consumed in its
+    /// **native** storage (the kernels only read its pattern, so no lane
+    /// cast is ever built for a mask operand); `b_csc` is invoked only when
     /// the plan actually pulls, so CSC views are materialized on demand.
     ///
     /// A [`Plan::serial`](crate::Plan) plan with a fixed algorithm runs the
@@ -1125,7 +1593,7 @@ impl Context {
         &self,
         plan: &Plan,
         sr: S,
-        mask: &CsrMatrix<f64>,
+        mask: &ValueMat,
         a: &CsrMatrix<S::A>,
         b: &CsrMatrix<S::B>,
         b_csc: &mut dyn FnMut() -> Arc<CscMatrix<S::B>>,
@@ -1134,6 +1602,31 @@ impl Context {
         S: Semiring,
         S::B: Clone,
         S::C: Default + Send + Sync,
+    {
+        match mask {
+            ValueMat::Bool(m) => self.execute_mat_views_masked(plan, sr, m, a, b, b_csc),
+            ValueMat::I64(m) => self.execute_mat_views_masked(plan, sr, m, a, b, b_csc),
+            ValueMat::F64(m) => self.execute_mat_views_masked(plan, sr, m, a, b, b_csc),
+        }
+    }
+
+    /// [`Context::execute_mat_views`] monomorphized per mask lane (the
+    /// kernels are generic over the mask's scalar — only its pattern is
+    /// read).
+    fn execute_mat_views_masked<S, MT>(
+        &self,
+        plan: &Plan,
+        sr: S,
+        mask: &CsrMatrix<MT>,
+        a: &CsrMatrix<S::A>,
+        b: &CsrMatrix<S::B>,
+        b_csc: &mut dyn FnMut() -> Arc<CscMatrix<S::B>>,
+    ) -> Result<CsrMatrix<S::C>, SparseError>
+    where
+        S: Semiring,
+        S::B: Clone,
+        S::C: Default + Send + Sync,
+        MT: Copy + Sync,
     {
         let cfg = self.config();
         if plan.serial {
@@ -1187,10 +1680,9 @@ impl Context {
         S: Semiring<A = f64, B = f64>,
         S::C: Default + Send + Sync,
     {
-        let (em, ea, eb) = (self.entry(mask), self.entry(a), self.entry(b));
-        self.execute_mat_views(plan, sr, &em.matrix, &ea.matrix, &eb.matrix, &mut || {
-            self.csc(b)
-        })
+        let mask_vm = self.value_mat(mask);
+        let (av, bv) = (self.f64_view(a), self.f64_view(b));
+        self.execute_mat_views(plan, sr, &mask_vm, &av, &bv, &mut || self.csc(b))
     }
 
     /// Run one masked SpGEMM under an explicit plan.

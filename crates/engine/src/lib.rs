@@ -15,10 +15,18 @@
 //!   polarity, a runtime [`SemiringKind`], optional algorithm/phase
 //!   overrides, and an accumulation mode, decoupling *what* to compute
 //!   from *how* it runs;
-//! * **caches auxiliaries per matrix** — CSC copies for pull-based schemes,
-//!   transposes, degree vectors, row statistics, and pairwise flop counts
-//!   are computed lazily, reused until the matrix changes
-//!   ([`Context::insert`] / [`Context::update`]), and evicted
+//! * **stores matrices natively typed** — the registry holds each matrix
+//!   on its own value lane ([`ValueMat`]: `bool`, `i64`, or `f64` via
+//!   [`Context::insert_typed`] / [`Context::insert_bool`] /
+//!   [`Context::insert_i64`]; the historical [`Context::insert`] is the
+//!   `f64` case), so a boolean adjacency costs 1 byte/nnz and is consumed
+//!   zero-copy by `bool`-lane operations, with cross-lane *casts* demoted
+//!   to on-demand, byte-budgeted auxiliaries;
+//! * **caches auxiliaries per matrix** — per-lane CSC forms and cast views,
+//!   native-lane transposes, degree vectors, row statistics, and pairwise
+//!   flop counts are computed lazily, reused until the matrix changes
+//!   ([`Context::insert`] / [`Context::update`] / [`Context::update_typed`],
+//!   which invalidates every lane's slots), and evicted
 //!   least-recently-used under a byte budget ([`Context::set_aux_budget`]);
 //! * **plans per operation** — [`Context::plan`] aggregates the per-row
 //!   cost model over cached statistics and picks a fixed algorithm or the
@@ -71,8 +79,8 @@ mod plan;
 pub use batch::BatchOp;
 pub use calibrate::Calibration;
 pub use context::{
-    AuxCacheStats, AuxStatus, Context, MatrixHandle, MatrixStats, PlanCacheStats, ValueVec,
-    VectorHandle,
+    AuxCacheStats, AuxStatus, Context, MatrixHandle, MatrixStats, PlanCacheStats, ValueMat,
+    ValueVec, VectorHandle,
 };
 pub use masked_spgemm::{
     Algorithm, DynLane, DynSemiring, HybridConfig, LaneValue, Phases, SemiringKind, ValueKind,

@@ -52,17 +52,16 @@
 //! ```
 
 use masked_spgemm::{
-    masked_spgevm, masked_spgevm_csc, Algorithm, DynLane, LaneValue, Phases, SemiringKind,
-    ValueKind,
+    masked_spgevm_csc, Algorithm, DynLane, LaneValue, Phases, ScratchSet, SemiringKind, ValueKind,
 };
 use sparse::ewise::ewise_union;
 use sparse::{
     BoolAndOr, CscMatrix, CsrMatrix, MinPlus, PlusFirst, PlusPair, PlusSecond, PlusTimes, Semiring,
     SparseError, SparseVec,
 };
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 
-use crate::context::{Context, MatrixHandle, ValueVec, VectorHandle};
+use crate::context::{Context, MatrixHandle, ValueMat, ValueVec, VectorHandle};
 use crate::plan::{self, Choice, Plan};
 
 /// Uniform error text: the semiring kind is not defined on the value lane.
@@ -82,7 +81,7 @@ pub const OUTPUT_KIND_MISMATCH: &str =
     "operation output is a different kind; consume it as an OpOutput";
 
 /// The operands of a masked multiply: today's matrix product, or a masked
-/// sparse vector-matrix product over [`masked_spgevm`].
+/// sparse vector-matrix product over [`masked_spgemm::masked_spgevm`].
 #[derive(Copy, Clone, Debug, PartialEq, Eq)]
 pub enum Operands {
     /// `C = M ⊙ (A·B)` — three registered matrices.
@@ -111,7 +110,8 @@ pub enum Operands {
 /// Where an accumulating operation merges its result.
 #[derive(Copy, Clone, Debug, PartialEq, Eq)]
 pub enum AccumTarget {
-    /// A registered matrix (for `f64`-lane matrix products).
+    /// A registered matrix (for matrix products whose value lane matches
+    /// the target's natively stored lane).
     Mat(MatrixHandle),
     /// A registered vector (for vector products; lanes must agree).
     Vec(VectorHandle),
@@ -563,11 +563,13 @@ impl Context {
                 return Err(SparseError::Unsupported(ACCUM_MONOID_LANE_MISMATCH));
             }
             match target {
-                AccumTarget::Mat(_) => {
-                    // The matrix registry stores f64: only f64 matrix
-                    // products can merge back into it.
+                AccumTarget::Mat(tm) => {
+                    // The registry stores matrices natively typed: a matrix
+                    // product merges back into a target stored on the same
+                    // lane (zero-cast merge), any other combination is a
+                    // uniform mismatch.
                     let ok = matches!(op.operands, Operands::MatMat { .. })
-                        && op.value == ValueKind::F64;
+                        && self.matrix_kind(tm) == op.value;
                     if !ok {
                         return Err(SparseError::Unsupported(ACCUM_TARGET_MISMATCH));
                     }
@@ -639,15 +641,17 @@ impl Context {
     /// Execute one descriptor now, applying its accumulation mode, and
     /// return the typed [`OpOutput`].
     ///
-    /// The single-op path dispatches to *typed* lane semirings for the
-    /// descriptor's `(semiring, value)` pair, so the kernels' inner loops
-    /// are monomorphized and inlined exactly as on the engine-free entry
-    /// points — bit-identical to the erased [`DynLane`] used by
-    /// heterogeneous batches (where one worker's scratch must serve every
-    /// kind) but without its dispatch on the hot path. Matrix products run
-    /// row-parallel on the context's pool unless the plan's calibrated
-    /// serial cutoff applies; vector products are single-row and always run
-    /// on the calling thread.
+    /// Operands resolve to their **native** stored lane with zero copies
+    /// when the op's lane matches ([`crate::ValueMat`]); cross-lane casts
+    /// come from the aux cache. Matrix products dispatch to *typed* lane
+    /// semirings for the descriptor's `(semiring, value)` pair, so the
+    /// kernels' inner loops are monomorphized and inlined exactly as on
+    /// the engine-free entry points; they run row-parallel on the
+    /// context's pool unless the plan's calibrated serial cutoff applies.
+    /// Vector products are single-row, always run on the calling thread,
+    /// and reuse the context's per-lane kernel scratch through the erased
+    /// [`DynLane`] (bit-identical to the typed semirings) instead of
+    /// rebuilding their accumulator per call.
     pub fn run_op_out(&self, op: &MaskedOp) -> Result<OpOutput, SparseError> {
         let plan = self.resolve_plan(op)?;
         let out = match op.operands {
@@ -675,10 +679,15 @@ impl Context {
         a: MatrixHandle,
         b: MatrixHandle,
     ) -> Result<CsrMatrix<f64>, SparseError> {
-        let (mm, am, bm) = (self.matrix(mask), self.matrix(a), self.matrix(b));
+        // Operand resolution is native-first: the mask is consumed in its
+        // stored lane (kernels read only its pattern), and the `f64` views
+        // are the stored matrices themselves when the entries were
+        // registered on this lane — zero-copy, no canonical detour.
+        let mm = self.value_mat(mask);
+        let (av, bv) = (self.f64_view(a), self.f64_view(b));
         macro_rules! go {
             ($sr:expr) => {
-                self.execute_mat_views(plan, $sr, &mm, &am, &bm, &mut || self.csc(b))
+                self.execute_mat_views(plan, $sr, &mm, &av, &bv, &mut || self.csc(b))
             };
         }
         match op.semiring {
@@ -699,7 +708,7 @@ impl Context {
         a: MatrixHandle,
         b: MatrixHandle,
     ) -> Result<CsrMatrix<i64>, SparseError> {
-        let mm = self.matrix(mask);
+        let mm = self.value_mat(mask);
         let (av, bv) = (self.i64_view(a), self.i64_view(b));
         macro_rules! go {
             ($sr:expr) => {
@@ -726,7 +735,7 @@ impl Context {
     ) -> Result<CsrMatrix<bool>, SparseError> {
         match op.semiring {
             SemiringKind::BoolAndOr => {
-                let mm = self.matrix(mask);
+                let mm = self.value_mat(mask);
                 let (av, bv) = (self.bool_view(a), self.bool_view(b));
                 self.execute_mat_views(plan, BoolAndOr, &mm, &av, &bv, &mut || self.bool_csc(b))
             }
@@ -744,106 +753,90 @@ impl Context {
     ) -> Result<OpOutput, SparseError> {
         let mask_pat = self.vector(mask).pattern();
         match (op.value, self.vector(u)) {
-            (ValueKind::Bool, ValueVec::Bool(uv)) => {
-                // BoolAndOr is the bool lane's only semiring (validated).
-                let v = self.run_vec_typed(
+            (ValueKind::Bool, ValueVec::Bool(uv)) => self
+                .run_vec_lane(
                     plan,
-                    BoolAndOr,
+                    op,
                     &mask_pat,
                     &uv,
                     b,
                     |ctx, h| ctx.bool_view(h),
                     |ctx, h| ctx.bool_csc(h),
-                )?;
-                Ok(OpOutput::VecBool(v))
-            }
-            (ValueKind::I64, ValueVec::I64(uv)) => {
-                macro_rules! go {
-                    ($sr:expr) => {
-                        self.run_vec_typed(
-                            plan,
-                            $sr,
-                            &mask_pat,
-                            &uv,
-                            b,
-                            |ctx, h| ctx.i64_view(h),
-                            |ctx, h| ctx.i64_csc(h),
-                        )
-                        .map(OpOutput::VecI64)
-                    };
-                }
-                match op.semiring {
-                    SemiringKind::PlusTimes => go!(PlusTimes::<i64>::new()),
-                    SemiringKind::PlusPair => go!(PlusPair::<i64, i64, i64>::new()),
-                    SemiringKind::PlusFirst => go!(PlusFirst::<i64>::new()),
-                    SemiringKind::PlusSecond => go!(PlusSecond::<i64, i64>::new()),
-                    SemiringKind::MinPlus => go!(MinPlus::<i64>::new()),
-                    SemiringKind::BoolAndOr => {
-                        Err(SparseError::Unsupported(SEMIRING_LANE_UNSUPPORTED))
-                    }
-                }
-            }
-            (ValueKind::F64, ValueVec::F64(uv)) => {
-                macro_rules! go {
-                    ($sr:expr) => {
-                        self.run_vec_typed(
-                            plan,
-                            $sr,
-                            &mask_pat,
-                            &uv,
-                            b,
-                            |ctx, h| ctx.matrix(h),
-                            |ctx, h| ctx.csc(h),
-                        )
-                        .map(OpOutput::VecF64)
-                    };
-                }
-                match op.semiring {
-                    SemiringKind::PlusTimes => go!(PlusTimes::<f64>::new()),
-                    SemiringKind::PlusPair => go!(PlusPair::<f64, f64, f64>::new()),
-                    SemiringKind::PlusFirst => go!(PlusFirst::<f64>::new()),
-                    SemiringKind::PlusSecond => go!(PlusSecond::<f64, f64>::new()),
-                    SemiringKind::MinPlus => go!(MinPlus::<f64>::new()),
-                    SemiringKind::BoolAndOr => {
-                        Err(SparseError::Unsupported(SEMIRING_LANE_UNSUPPORTED))
-                    }
-                }
-            }
+                    &self.vec_scratch.bool_,
+                )
+                .map(OpOutput::VecBool),
+            (ValueKind::I64, ValueVec::I64(uv)) => self
+                .run_vec_lane(
+                    plan,
+                    op,
+                    &mask_pat,
+                    &uv,
+                    b,
+                    |ctx, h| ctx.i64_view(h),
+                    |ctx, h| ctx.i64_csc(h),
+                    &self.vec_scratch.i64_,
+                )
+                .map(OpOutput::VecI64),
+            (ValueKind::F64, ValueVec::F64(uv)) => self
+                .run_vec_lane(
+                    plan,
+                    op,
+                    &mask_pat,
+                    &uv,
+                    b,
+                    |ctx, h| ctx.f64_view(h),
+                    |ctx, h| ctx.csc(h),
+                    &self.vec_scratch.f64_,
+                )
+                .map(OpOutput::VecF64),
             // Lane agreement was validated; reaching here means the vector
             // was concurrently replaced with another lane.
             _ => Err(SparseError::Unsupported(OPERAND_LANE_MISMATCH)),
         }
     }
 
-    /// Execute a planned vector-operand product on a typed lane semiring,
-    /// reading `B` through the lane accessors (`view_of` in CSR form for
-    /// push kernels, `csc_of` for the pull path — both served from the
-    /// context's aux cache, built only when the plan actually needs them).
+    /// Execute a planned vector-operand product on one lane, reading `B`
+    /// through the lane accessors (`view_of` in CSR form for push kernels,
+    /// `csc_of` for the pull path — both served from the context's aux
+    /// cache, built only when the plan actually needs them).
+    ///
+    /// Push products run through the context's **reusable per-lane
+    /// [`ScratchSet`]** ([`DynLane`] erasure, bit-identical to the typed
+    /// semirings), so a BFS that issues one product per level stops
+    /// rebuilding its `O(ncols)` accumulator every level. The pull path
+    /// (`Inner`) carries no accumulator and writes its dots directly.
     #[allow(clippy::too_many_arguments)]
-    fn run_vec_typed<T, S>(
+    fn run_vec_lane<T>(
         &self,
         plan: &Plan,
-        sr: S,
+        op: &MaskedOp,
         mask: &SparseVec<()>,
         u: &SparseVec<T>,
         b: MatrixHandle,
         view_of: impl Fn(&Context, MatrixHandle) -> Arc<CsrMatrix<T>>,
         csc_of: impl Fn(&Context, MatrixHandle) -> Arc<CscMatrix<T>>,
+        scratch: &Mutex<ScratchSet<DynLane<T>>>,
     ) -> Result<SparseVec<T>, SparseError>
     where
         T: LaneValue,
-        S: Semiring<A = T, B = T, C = T>,
     {
+        let sr = DynLane::<T>::new(op.semiring);
         let algorithm = match plan.choice {
             Choice::Fixed(alg) => alg,
             Choice::Hybrid => Algorithm::Msa, // vec plans are never hybrid
         };
         if algorithm == Algorithm::Inner {
             let csc = csc_of(self, b);
-            masked_spgevm_csc(plan.complemented, sr, mask, u, &csc)
-        } else {
-            let view = view_of(self, b);
-            masked_spgevm(algorithm, plan.complemented, sr, mask, u, &view)
+            return masked_spgevm_csc(plan.complemented, sr, mask, u, &csc);
+        }
+        let view = view_of(self, b);
+        match scratch.try_lock() {
+            Ok(mut set) => set.run_vec(algorithm, plan.complemented, sr, mask, u, &view, None),
+            // Another single op holds the lane's scratch right now: run on
+            // transient scratch rather than serializing behind it.
+            Err(_) => {
+                ScratchSet::new().run_vec(algorithm, plan.complemented, sr, mask, u, &view, None)
+            }
         }
     }
 
@@ -858,30 +851,59 @@ impl Context {
         };
         match target {
             AccumTarget::Mat(handle) => {
-                let OpOutput::MatF64(c) = out else {
-                    return Err(SparseError::Unsupported(ACCUM_TARGET_MISMATCH));
-                };
-                let custom = match monoid {
-                    AccumMonoid::CustomF64(f) => Some(f),
-                    _ => None,
-                };
-                let existing = self.matrix(handle);
-                if existing.shape() != c.shape() {
-                    return Err(SparseError::DimMismatch {
-                        op: "accumulate_into",
-                        lhs: existing.shape(),
-                        rhs: c.shape(),
-                    });
+                macro_rules! merge_mat {
+                    ($c:expr, $existing:expr, $custom:expr, $variant:ident) => {{
+                        let (c, existing) = ($c, $existing);
+                        if existing.shape() != c.shape() {
+                            return Err(SparseError::DimMismatch {
+                                op: "accumulate_into",
+                                lhs: existing.shape(),
+                                rhs: c.shape(),
+                            });
+                        }
+                        let merged = ewise_union(
+                            existing.as_ref(),
+                            &c,
+                            |x, y| apply_monoid(monoid, op.semiring, $custom, *x, *y),
+                            |x| *x,
+                            |y| *y,
+                        );
+                        self.update_typed(handle, merged.clone());
+                        Ok(OpOutput::$variant(merged))
+                    }};
                 }
-                let merged = ewise_union(
-                    &existing,
-                    &c,
-                    |x, y| apply_monoid(monoid, op.semiring, custom, *x, *y),
-                    |x| *x,
-                    |y| *y,
-                );
-                self.update(handle, merged.clone());
-                Ok(OpOutput::MatF64(merged))
+                // Validation pinned the target's stored lane to the op's
+                // lane; reaching a mismatch means a concurrent lane change.
+                match (out, self.value_mat(handle)) {
+                    (OpOutput::MatF64(c), ValueMat::F64(e)) => merge_mat!(
+                        c,
+                        e,
+                        match monoid {
+                            AccumMonoid::CustomF64(f) => Some(f),
+                            _ => None,
+                        },
+                        MatF64
+                    ),
+                    (OpOutput::MatI64(c), ValueMat::I64(e)) => merge_mat!(
+                        c,
+                        e,
+                        match monoid {
+                            AccumMonoid::CustomI64(f) => Some(f),
+                            _ => None,
+                        },
+                        MatI64
+                    ),
+                    (OpOutput::MatBool(c), ValueMat::Bool(e)) => merge_mat!(
+                        c,
+                        e,
+                        match monoid {
+                            AccumMonoid::CustomBool(f) => Some(f),
+                            _ => None,
+                        },
+                        MatBool
+                    ),
+                    _ => Err(SparseError::Unsupported(ACCUM_TARGET_MISMATCH)),
+                }
             }
             AccumTarget::Vec(handle) => {
                 macro_rules! merge_vec {

@@ -152,6 +152,9 @@ pub(crate) fn plan(
     // by the *unmasked* column count (`ncols − mm` dots — an empty mask row
     // is the maximal-work row, not a free one), and such rows must not be
     // skipped.
+    // Structure-only: the planner reads patterns and degrees, never a
+    // value lane, so it costs the same whatever lane the operands are
+    // natively stored on.
     let a_mat = &ea.matrix;
     let ncols_out = eb.matrix.ncols() as f64;
     let mut costs = CostBreakdown {
@@ -167,7 +170,7 @@ pub(crate) fn plan(
         if u == 0 || (mm == 0 && !complemented) {
             continue;
         }
-        let (acols, _) = a_mat.row(i);
+        let acols = a_mat.row_cols(i);
         let f: u64 = acols.iter().map(|&k| b_deg[k as usize] as u64).sum();
         if f == 0 {
             continue;
@@ -262,19 +265,20 @@ pub(crate) fn validate_vec(
     b: MatrixHandle,
 ) -> Result<(), SparseError> {
     let (mv, uv) = (ctx.vector(mask), ctx.vector(u));
-    let bm = ctx.matrix(b);
-    if uv.dim() != bm.nrows() {
+    // Shape checks are structure-only: never materialize a lane view here.
+    let b_shape = ctx.entry(b).matrix.shape();
+    if uv.dim() != b_shape.0 {
         return Err(SparseError::DimMismatch {
             op: "engine plan (u·B)",
             lhs: (1, uv.dim()),
-            rhs: bm.shape(),
+            rhs: b_shape,
         });
     }
-    if mv.dim() != bm.ncols() {
+    if mv.dim() != b_shape.1 {
         return Err(SparseError::DimMismatch {
             op: "engine plan (vector mask)",
             lhs: (1, mv.dim()),
-            rhs: (1, bm.ncols()),
+            rhs: (1, b_shape.1),
         });
     }
     Ok(())
@@ -305,13 +309,14 @@ pub(crate) fn plan_vec(
     let (mv, uv) = (ctx.vector(mask), ctx.vector(u));
     let cfg = ctx.config();
     let b_deg = ctx.row_degrees(b);
-    let bm = ctx.matrix(b);
+    // Structure-only statistics — no lane view is materialized to plan.
+    let bs = ctx.stats(b);
 
     let flops: u64 = uv.indices().iter().map(|&k| b_deg[k as usize] as u64).sum();
     let (mm, un) = (mv.nnz() as f64, uv.nnz() as f64);
-    let ncols = bm.ncols() as f64;
-    let avg_b_col_nnz = if bm.ncols() > 0 {
-        bm.nnz() as f64 / ncols
+    let ncols = bs.shape.1 as f64;
+    let avg_b_col_nnz = if bs.shape.1 > 0 {
+        bs.nnz as f64 / ncols
     } else {
         0.0
     };

@@ -24,7 +24,10 @@
 //! same float operations in the same order as the typed ones; counting
 //! semirings count in `f64`, exact to 2⁵³.)
 
-use engine::{Algorithm, Choice, Context, MatrixHandle, SemiringKind, ValueKind, ValueVec};
+use engine::{
+    Algorithm, Choice, Context, FromOpOutput, LaneValue, MatrixHandle, OpOutput, SemiringKind,
+    ValueKind, ValueMat, ValueVec,
+};
 use sparse::ewise::{ewise_mult, ewise_union};
 use sparse::reduce::sum_all;
 use sparse::{CsrMatrix, Idx, SparseError, SparseVec};
@@ -46,19 +49,57 @@ pub fn triangle_count_auto(ctx: &Context, l: MatrixHandle) -> Result<u64, Sparse
 ///
 /// `adj` must have a symmetric pattern. The shrinking edge set lives in a
 /// scratch handle whose auxiliaries are invalidated by each peel —
-/// [`Context::update`] is exactly the mutation the cache is built around.
-/// Plan reuse across peels comes from the context's fingerprint-keyed plan
-/// cache: while the edge set stays in the same nnz regime, each iteration's
-/// `Context::op(..).run()` serves the cached plan instead of re-running the
-/// cost model (watch it with [`Context::plan_cache_stats`]).
+/// [`Context::update_typed`] is exactly the mutation the cache is built
+/// around. Plan reuse across peels comes from the context's
+/// fingerprint-keyed plan cache: while the edge set stays in the same nnz
+/// regime, each iteration's `Context::op(..)` serves the cached plan
+/// instead of re-running the cost model (watch it with
+/// [`Context::plan_cache_stats`]).
+///
+/// The peel runs on the adjacency's **native lane**: an `f64`-registered
+/// graph counts in `f64` exactly as before, while natively `i64`/`bool`
+/// graphs ([`Context::insert_typed`]) peel on the exact `i64` lane (the
+/// `bool` lane has no counting semiring; its pattern is lifted to `i64`
+/// once, never through an `f64` canonical). The surviving-edge patterns
+/// are identical on every lane — support counts are small integers.
 pub fn ktruss_auto(
     ctx: &Context,
     adj: MatrixHandle,
     k: usize,
 ) -> Result<KtrussResult, SparseError> {
     assert!(k >= 3, "k-truss needs k >= 3");
-    let min_support = (k - 2) as f64;
-    let work = ctx.insert_shared(ctx.matrix(adj));
+    match ctx.value_mat(adj) {
+        ValueMat::F64(m) => ktruss_auto_lane::<f64>(ctx, ValueMat::F64(m), k, |m| m),
+        ValueMat::I64(m) => {
+            ktruss_auto_lane::<i64>(ctx, ValueMat::I64(m), k, |m| m.map_values(|v| v as f64))
+        }
+        ValueMat::Bool(m) => {
+            // One transient i64 lift of the pattern, owned by the peel's
+            // work entry (a cached `i64_view` would pin the same Arc in
+            // both the aux ledger and the registry — double-billed bytes
+            // and an eviction that frees nothing), then the whole peel
+            // stays on the integer lane.
+            let lifted = ValueMat::from(m.map_values(i64::cast_from));
+            ktruss_auto_lane::<i64>(ctx, lifted, k, |m| m.map_values(|v| v as f64))
+        }
+    }
+}
+
+/// The lane-generic peel loop behind [`ktruss_auto`]: `initial` is the
+/// starting edge set on lane `T`, `finish` converts the surviving truss to
+/// the result's `f64` representation (identity for the `f64` lane).
+fn ktruss_auto_lane<T>(
+    ctx: &Context,
+    initial: ValueMat,
+    k: usize,
+    finish: impl Fn(CsrMatrix<T>) -> CsrMatrix<f64>,
+) -> Result<KtrussResult, SparseError>
+where
+    T: LaneValue + PartialOrd,
+    CsrMatrix<T>: FromOpOutput + Into<ValueMat>,
+{
+    let min_support = T::from_f64((k - 2) as f64);
+    let work = ctx.insert_typed(initial);
     let mut iterations = 0usize;
     let mut total_flops = 0u64;
     let result = loop {
@@ -68,10 +109,12 @@ pub fn ktruss_auto(
         // Support of every surviving edge: common-neighbor counts masked to
         // the current edge set; algorithm re-chosen as the mask sparsifies
         // (plan served from the fingerprint cache while the regime holds).
-        let support = match ctx
+        let support: CsrMatrix<T> = match ctx
             .op(work, work, work)
             .semiring(SemiringKind::PlusPair)
-            .run()
+            .value(T::KIND)
+            .run_out()
+            .and_then(OpOutput::into_typed)
         {
             Ok(support) => support,
             Err(e) => {
@@ -79,15 +122,17 @@ pub fn ktruss_auto(
                 return Err(e);
             }
         };
-        let kept = support.filter(|_, _, &s| s >= min_support).map(|_| 1.0f64);
+        let kept = support
+            .filter(|_, _, s| *s >= min_support)
+            .map(|_| T::lane_one());
         if kept.nnz() == current_nnz || kept.nnz() == 0 {
             break KtrussResult {
-                truss: kept,
+                truss: finish(kept),
                 iterations,
                 total_flops,
             };
         }
-        ctx.update(work, kept);
+        ctx.update_typed(work, kept);
     };
     ctx.remove(work);
     Ok(result)
@@ -102,9 +147,8 @@ pub fn betweenness_centrality_auto(
     adj: MatrixHandle,
     sources: &[Idx],
 ) -> Result<BcResult, SparseError> {
-    let adj_m = ctx.matrix(adj);
-    let n = adj_m.nrows();
-    assert_eq!(adj_m.ncols(), n, "adjacency must be square");
+    let (n, ncols) = ctx.stats(adj).shape;
+    assert_eq!(ncols, n, "adjacency must be square");
     let s = sources.len();
     assert!(s > 0, "empty source batch");
 

@@ -86,6 +86,17 @@ impl<T> CscMatrix<T> {
         self.rowidx.len()
     }
 
+    /// Heap bytes of the structure alone (column pointers + row indices).
+    pub fn structure_bytes(&self) -> usize {
+        (self.ncols + 1) * std::mem::size_of::<usize>() + self.nnz() * std::mem::size_of::<Idx>()
+    }
+
+    /// Approximate heap bytes, counting values at the actual stored width
+    /// (see [`CsrMatrix::heap_bytes`]).
+    pub fn heap_bytes(&self) -> usize {
+        self.structure_bytes() + self.nnz() * std::mem::size_of::<T>()
+    }
+
     /// Column pointer array (`ncols + 1` entries).
     #[inline]
     pub fn colptr(&self) -> &[usize] {

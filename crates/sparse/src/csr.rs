@@ -265,6 +265,31 @@ impl<T> CsrMatrix<T> {
         }
     }
 
+    /// [`CsrMatrix::map`] taking values by copy — the cast primitive for
+    /// converting a matrix between value lanes (`bool`/`i64`/`f64`)
+    /// without touching the structure.
+    pub fn map_values<U>(&self, mut f: impl FnMut(T) -> U) -> CsrMatrix<U>
+    where
+        T: Copy,
+    {
+        self.map(|&v| f(v))
+    }
+
+    /// Heap bytes of the structure alone (row pointers + column indices)
+    /// — what a pattern-only matrix occupies, value lane excluded.
+    pub fn structure_bytes(&self) -> usize {
+        (self.nrows + 1) * std::mem::size_of::<usize>() + self.nnz() * std::mem::size_of::<Idx>()
+    }
+
+    /// Approximate heap bytes of this matrix, counting values at the
+    /// *actual* stored width (`size_of::<T>()`: 1 for `bool`, 8 for
+    /// `f64`/`i64`, 0 for `()` patterns) — the quantity byte-budgeted
+    /// caches must charge so a boolean matrix is not billed at `f64`
+    /// width.
+    pub fn heap_bytes(&self) -> usize {
+        self.structure_bytes() + self.nnz() * std::mem::size_of::<T>()
+    }
+
     /// The pattern of this matrix with unit values.
     pub fn pattern(&self) -> CsrMatrix<()> {
         self.map(|_| ())
